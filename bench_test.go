@@ -1,0 +1,436 @@
+// Benchmark harness: one benchmark per table and figure of the paper, plus
+// the ablation studies DESIGN.md calls out. Each benchmark regenerates its
+// artifact and reports the headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the evaluation end to end. Simulation lengths are kept modest
+// (60k dynamic instructions) so the full suite runs in minutes; cmd/mcreport
+// runs the same experiments at full length.
+package multicluster
+
+import (
+	"fmt"
+	"testing"
+
+	"multicluster/internal/bpred"
+	"multicluster/internal/core"
+	"multicluster/internal/cycletime"
+	"multicluster/internal/experiment"
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+	"multicluster/internal/partition"
+	"multicluster/internal/trace"
+	"multicluster/internal/workload"
+)
+
+const benchInstrs = 60_000
+
+func benchOpts() experiment.Options {
+	opts := experiment.DefaultOptions()
+	opts.Instructions = benchInstrs
+	opts.ProfileInstructions = 15_000
+	return opts
+}
+
+// BenchmarkTable1IssueRules exercises the Table 1 issue limits: a stream
+// saturating every instruction class on both configurations, reporting the
+// achieved IPC per machine.
+func BenchmarkTable1IssueRules(b *testing.B) {
+	mixed := make([]isa.Instruction, 0, 24)
+	fp := func(n int) isa.Reg { return isa.FPReg(n) }
+	r := func(n int) isa.Reg { return isa.IntReg(n) }
+	for i := 0; i < 8; i++ {
+		mixed = append(mixed, isa.Instruction{Op: isa.ADD, Dst: r(2 * (i % 8)), Src1: isa.RegZero, Src2: isa.RegZero, MemID: -1, BrID: -1})
+	}
+	for i := 0; i < 4; i++ {
+		mixed = append(mixed, isa.Instruction{Op: isa.FADD, Dst: fp(2 * (i % 4)), Src1: isa.FPZero, Src2: isa.FPZero, MemID: -1, BrID: -1})
+	}
+	for i := 0; i < 4; i++ {
+		mixed = append(mixed, isa.Instruction{Op: isa.LDW, Dst: r(1 + 2*(i%4)), Src1: isa.RegZero, MemID: i, BrID: -1})
+	}
+	for _, cfg := range []struct {
+		name string
+		c    core.Config
+	}{
+		{"single8", core.SingleCluster8Way()},
+		{"dual4x2", core.DualCluster4Way()},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			c := cfg.c
+			c.ICache.MissLatency = 0
+			c.DCache.MissLatency = 0
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				entries := make([]trace.Entry, 0, 4096)
+				for len(entries) < 4096 {
+					for j := range mixed {
+						entries = append(entries, trace.Entry{Index: len(entries), Instr: &mixed[j], Addr: 0x1000})
+					}
+				}
+				p, err := core.New(c, &trace.SliceReader{Entries: entries})
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats, err := p.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				ipc = stats.IPC()
+			}
+			b.ReportMetric(ipc, "IPC")
+		})
+	}
+}
+
+// BenchmarkTable2 regenerates the paper's Table 2, one sub-benchmark per
+// SPEC92-like workload, reporting the none/local speedup percentages.
+func BenchmarkTable2(b *testing.B) {
+	for _, w := range workload.All() {
+		b.Run(w.Name, func(b *testing.B) {
+			var row experiment.Table2Row
+			var err error
+			for i := 0; i < b.N; i++ {
+				row, err = experiment.Table2Bench(workload.ByName(w.Name), benchOpts())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(row.NonePct, "none-%")
+			b.ReportMetric(row.LocalPct, "local-%")
+			b.ReportMetric(100*row.LocalStats.DualFraction(), "dual-%")
+			b.ReportMetric(float64(row.LocalStats.Replays), "replays")
+		})
+	}
+}
+
+// scenarioBench runs one Figures 2–5 micro-program and reports the add's
+// completion cycle.
+func scenarioBench(b *testing.B, instrs []isa.Instruction) {
+	cfg := core.DualCluster4Way()
+	cfg.ICache.MissLatency = 0
+	cfg.DCache.MissLatency = 0
+	var done float64
+	for i := 0; i < b.N; i++ {
+		local := append([]isa.Instruction(nil), instrs...)
+		entries := make([]trace.Entry, len(local))
+		for j := range local {
+			entries[j] = trace.Entry{Index: j, Instr: &local[j]}
+		}
+		tls, _, err := core.CollectTimeline(cfg, &trace.SliceReader{Entries: entries})
+		if err != nil {
+			b.Fatal(err)
+		}
+		done = float64(tls[len(tls)-1].Done)
+	}
+	b.ReportMetric(done, "done-cycle")
+}
+
+func lda(dst isa.Reg, imm int64) isa.Instruction {
+	return isa.Instruction{Op: isa.LDA, Dst: dst, Src1: isa.RegZero, Imm: imm, MemID: -1, BrID: -1}
+}
+
+func addI(dst, s1, s2 isa.Reg) isa.Instruction {
+	return isa.Instruction{Op: isa.ADD, Dst: dst, Src1: s1, Src2: s2, MemID: -1, BrID: -1}
+}
+
+// BenchmarkFigure2 is scenario two: operand forwarded to the master.
+func BenchmarkFigure2(b *testing.B) {
+	r := isa.IntReg
+	scenarioBench(b, []isa.Instruction{lda(r(2), 1), lda(r(1), 2), addI(r(0), r(2), r(1))})
+}
+
+// BenchmarkFigure3 is scenario three: result forwarded to the slave.
+func BenchmarkFigure3(b *testing.B) {
+	r := isa.IntReg
+	scenarioBench(b, []isa.Instruction{lda(r(0), 1), lda(r(2), 2), addI(r(1), r(0), r(2))})
+}
+
+// BenchmarkFigure4 is scenario four: global destination.
+func BenchmarkFigure4(b *testing.B) {
+	r := isa.IntReg
+	scenarioBench(b, []isa.Instruction{lda(r(0), 1), lda(r(2), 2), addI(isa.RegSP, r(0), r(2))})
+}
+
+// BenchmarkFigure5 is scenario five: operand forward plus global result.
+func BenchmarkFigure5(b *testing.B) {
+	r := isa.IntReg
+	scenarioBench(b, []isa.Instruction{lda(r(1), 1), lda(r(0), 2), addI(isa.RegSP, r(1), r(0))})
+}
+
+// BenchmarkFigure6 runs the local scheduler on the Figure 6 graph and
+// reports its static quality metrics.
+func BenchmarkFigure6(b *testing.B) {
+	var m partition.Metrics
+	for i := 0; i < b.N; i++ {
+		p := il.Figure6()
+		res := partition.Local{}.Partition(p)
+		m = partition.Measure(p, res)
+	}
+	b.ReportMetric(100*m.DualFraction(), "dual-%")
+	b.ReportMetric(100*m.Imbalance(), "imbalance-%")
+}
+
+// BenchmarkCycleTimeCrossover reproduces the §4.2 cycle-time analysis for
+// the paper's worst-case 25% slowdown.
+func BenchmarkCycleTimeCrossover(b *testing.B) {
+	var um, s35, s18 float64
+	for i := 0; i < b.N; i++ {
+		um = cycletime.CrossoverFeatureUm(1.25, 4, 8, 0.10, 0.50)
+		s35 = cycletime.Process035().NetSpeedup(1.25, 4, 8)
+		s18 = cycletime.Process018().NetSpeedup(1.25, 4, 8)
+	}
+	b.ReportMetric(um, "crossover-um")
+	b.ReportMetric(s35, "speedup@0.35")
+	b.ReportMetric(s18, "speedup@0.18")
+}
+
+// BenchmarkAblationMasterSelect compares master-cluster selection policies
+// on the unscheduled doduc binary, where dual distribution is plentiful.
+func BenchmarkAblationMasterSelect(b *testing.B) {
+	opts := benchOpts()
+	w := workload.ByName("doduc")
+	mp, _, err := experiment.Compile(w, nil, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pol := range []core.MasterPolicy{core.MasterMajority, core.MasterFirstSource, core.MasterAlternate} {
+		b.Run(pol.String(), func(b *testing.B) {
+			cfg := core.DualCluster4Way()
+			cfg.MasterSelect = pol
+			cfg.MaxCycles = benchInstrs * 100
+			var stats core.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				stats, err = experiment.Simulate(mp, w, cfg, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.Cycles), "cycles")
+			b.ReportMetric(float64(stats.OperandForwards+stats.ResultForwards), "transfers")
+		})
+	}
+}
+
+// BenchmarkAblationBufferDepth sweeps the transfer-buffer depth on ora,
+// whose long divide chains keep entries occupied.
+func BenchmarkAblationBufferDepth(b *testing.B) {
+	opts := benchOpts()
+	w := workload.ByName("ora")
+	mp, _, err := experiment.Compile(w, nil, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, depth := range []int{2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			cfg := core.DualCluster4Way()
+			cfg.OperandBuffer = depth
+			cfg.ResultBuffer = depth
+			cfg.MaxCycles = benchInstrs * 200
+			var stats core.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				stats, err = experiment.Simulate(mp, w, cfg, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.Cycles), "cycles")
+			b.ReportMetric(float64(stats.Replays), "replays")
+		})
+	}
+}
+
+// BenchmarkAblationImbalanceWindow sweeps the local scheduler's
+// compile-time imbalance constant.
+func BenchmarkAblationImbalanceWindow(b *testing.B) {
+	opts := benchOpts()
+	for _, window := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("window%d", window), func(b *testing.B) {
+			o := opts
+			o.Window = window
+			var stats core.Stats
+			for i := 0; i < b.N; i++ {
+				w := workload.ByName("doduc")
+				mp, _, err := experiment.Compile(w, partition.Local{Window: window}, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats, err = experiment.Simulate(mp, w, o.Dual, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.Cycles), "cycles")
+			b.ReportMetric(100*stats.DualFraction(), "dual-%")
+		})
+	}
+}
+
+// BenchmarkAblationPartitioners compares the partitioners on gcc1.
+func BenchmarkAblationPartitioners(b *testing.B) {
+	opts := benchOpts()
+	for _, pt := range []partition.Partitioner{
+		partition.Local{}, partition.Hash{}, partition.RoundRobin{}, partition.Affinity{},
+	} {
+		b.Run(pt.Name(), func(b *testing.B) {
+			var stats core.Stats
+			for i := 0; i < b.N; i++ {
+				w := workload.ByName("gcc1")
+				mp, _, err := experiment.Compile(w, pt, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats, err = experiment.Simulate(mp, w, opts.Dual, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.Cycles), "cycles")
+			b.ReportMetric(100*stats.DualFraction(), "dual-%")
+		})
+	}
+}
+
+// BenchmarkAblationGlobals compares designating SP/GP as global registers
+// (the paper's choice) against making every live range local.
+func BenchmarkAblationGlobals(b *testing.B) {
+	opts := benchOpts()
+	for _, globals := range []bool{true, false} {
+		name := "sp-gp-global"
+		if !globals {
+			name = "all-local"
+		}
+		b.Run(name, func(b *testing.B) {
+			var stats core.Stats
+			for i := 0; i < b.N; i++ {
+				w := workload.ByName("compress")
+				if !globals {
+					for id := range w.Program.Values {
+						w.Program.Values[id].GlobalCandidate = false
+					}
+				}
+				mp, _, err := experiment.Compile(w, partition.Local{}, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats, err = experiment.Simulate(mp, w, opts.Dual, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.Cycles), "cycles")
+			b.ReportMetric(100*stats.DualFraction(), "dual-%")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (dynamic
+// instructions per second) on the dual-cluster machine.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	opts := benchOpts()
+	w := workload.ByName("gcc1")
+	mp, _, err := experiment.Compile(w, partition.Local{}, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Simulate(mp, w, opts.Dual, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchInstrs*b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkAblationUnifiedBuffer compares the paper's separate operand and
+// result transfer buffers against one unified pool of the same total size
+// (§2.1 separates them partly to reduce replay exceptions).
+func BenchmarkAblationUnifiedBuffer(b *testing.B) {
+	opts := benchOpts()
+	w := workload.ByName("ora")
+	mp, _, err := experiment.Compile(w, nil, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, unified := range []bool{false, true} {
+		name := "separate-8+8"
+		if unified {
+			name = "unified-16"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DualCluster4Way()
+			cfg.OperandBuffer = 3
+			cfg.ResultBuffer = 3
+			cfg.UnifiedBuffer = unified
+			cfg.MaxCycles = benchInstrs * 200
+			var stats core.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				stats, err = experiment.Simulate(mp, w, cfg, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.Cycles), "cycles")
+			b.ReportMetric(float64(stats.Replays), "replays")
+		})
+	}
+}
+
+// BenchmarkAblationPredictor compares McFarling's combining predictor
+// against its components on gcc1, the branchiest workload.
+func BenchmarkAblationPredictor(b *testing.B) {
+	opts := benchOpts()
+	w := workload.ByName("gcc1")
+	mp, _, err := experiment.Compile(w, partition.Local{}, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, kind := range []bpred.Kind{bpred.Combining, bpred.BimodalOnly, bpred.GshareOnly} {
+		b.Run(kind.String(), func(b *testing.B) {
+			cfg := core.DualCluster4Way()
+			cfg.Predictor.Kind = kind
+			cfg.MaxCycles = benchInstrs * 100
+			var stats core.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				stats, err = experiment.Simulate(mp, w, cfg, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.Cycles), "cycles")
+			b.ReportMetric(100*stats.MispredictRate(), "mispred-%")
+		})
+	}
+}
+
+// BenchmarkPostPassScheduling measures methodology step 6 — the post-pass
+// list scheduler — on the dual-cluster machine.
+func BenchmarkPostPassScheduling(b *testing.B) {
+	for _, scheduled := range []bool{false, true} {
+		name := "builder-order"
+		if scheduled {
+			name = "list-scheduled"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := benchOpts()
+			opts.PostSchedule = scheduled
+			var stats core.Stats
+			for i := 0; i < b.N; i++ {
+				w := workload.ByName("doduc")
+				mp, _, err := experiment.Compile(w, partition.Local{}, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats, err = experiment.Simulate(mp, w, opts.Dual, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.Cycles), "cycles")
+		})
+	}
+}

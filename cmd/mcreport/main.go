@@ -1,0 +1,87 @@
+// Command mcreport regenerates every table and figure of the paper's
+// evaluation in one run: Table 1 (configuration), Table 2 (speedup ratios),
+// the per-run detail behind the §4.2 discussion, the scenario timelines of
+// Figures 2–5, the Figure 6 scheduling walk-through, and the
+// Palacharla-based cycle-time analysis.
+//
+// Usage:
+//
+//	mcreport                 # everything, 300k instructions per run
+//	mcreport -n 1000000      # longer runs
+//	mcreport -only table2    # one artifact: table1, table2, detail,
+//	                         # figures, figure6, cycletime
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multicluster/internal/experiment"
+)
+
+func main() {
+	var (
+		n      = flag.Int64("n", 300_000, "dynamic instructions per simulation")
+		seed   = flag.Int64("seed", 42, "behaviour-driver seed")
+		only   = flag.String("only", "", "emit one artifact: table1, table2, detail, figures, figure6, cycletime, assignments")
+		width  = flag.Int("width", 8, "aggregate issue width: 8 (paper's main study) or 4")
+		format = flag.String("format", "text", "table2 output format: text, json, csv")
+	)
+	flag.Parse()
+
+	opts := experiment.DefaultOptions()
+	if *width == 4 {
+		opts = experiment.FourWayOptions()
+	} else if *width != 8 {
+		fmt.Fprintln(os.Stderr, "mcreport: -width must be 4 or 8")
+		os.Exit(1)
+	}
+	opts.Instructions = *n
+	opts.Seed = *seed
+
+	want := func(name string) bool { return *only == "" || *only == name }
+
+	if want("table1") {
+		fmt.Println(experiment.FormatTable1())
+	}
+	if want("figures") {
+		fmt.Println(experiment.ScenarioTimelines())
+	}
+	if want("figure6") {
+		fmt.Println(experiment.Figure6Report())
+	}
+	if *only == "assignments" {
+		var cmps []experiment.AssignmentComparison
+		for _, name := range []string{"compress", "doduc", "su2cor"} {
+			c, err := experiment.CompareAssignments(name, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mcreport: %v\n", err)
+				os.Exit(1)
+			}
+			cmps = append(cmps, c)
+		}
+		fmt.Println(experiment.FormatAssignmentComparison(cmps))
+	}
+
+	if want("table2") || want("detail") || want("cycletime") {
+		rows, err := experiment.Table2(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcreport: %v\n", err)
+			os.Exit(1)
+		}
+		if want("table2") {
+			if err := experiment.WriteRows(os.Stdout, rows, *format); err != nil {
+				fmt.Fprintf(os.Stderr, "mcreport: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		if want("detail") {
+			fmt.Println(experiment.FormatTable2Detail(rows))
+		}
+		if want("cycletime") {
+			fmt.Println(experiment.CycleTimeReport(rows))
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Command mcsched runs the static scheduling pipeline on a benchmark (or
+// the paper's Figure 6 example) and dumps the partitioning, register
+// allocation, and lowered machine code, so the compiler side of the system
+// can be inspected without simulating anything.
+//
+// Usage:
+//
+//	mcsched -bench figure6 -sched local
+//	mcsched -bench compress -sched local -asm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"multicluster/internal/codegen"
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+	"multicluster/internal/partition"
+	"multicluster/internal/regalloc"
+	"multicluster/internal/trace"
+	"multicluster/internal/workload"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "figure6", "benchmark name or 'figure6'")
+		sched  = flag.String("sched", "local", "partitioner: local, hash, roundrobin, affinity")
+		window = flag.Int("window", 0, "local-scheduler imbalance window (0 = default)")
+		seed   = flag.Int64("seed", 42, "profiling seed (ignored for figure6)")
+		asm    = flag.Bool("asm", false, "print the lowered machine code")
+	)
+	flag.Parse()
+
+	prog, err := loadProgram(*bench, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	part, err := pickPartitioner(*sched, *window)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	res := part.Partition(prog)
+	if err := res.Validate(prog); err != nil {
+		fatalf("partitioning invalid: %v", err)
+	}
+	m := partition.Measure(prog, res)
+
+	fmt.Printf("program %s: %d live ranges, %d blocks, %d static instructions\n",
+		prog.Name, prog.NumValues(), len(prog.Blocks), prog.StaticInstrCount())
+	fmt.Printf("partitioner %s: %s\n\n", part.Name(), m)
+
+	fmt.Println("assignment order (first write encountered during the sorted bottom-up traversal):")
+	for i, id := range res.Order {
+		fmt.Printf("  %2d. %-10s -> cluster %d\n", i+1, prog.Value(id).Name, res.Of(id))
+	}
+	var globals []string
+	for id := range prog.Values {
+		if res.Of(id) == partition.Global {
+			globals = append(globals, prog.Value(id).Name)
+		}
+	}
+	sort.Strings(globals)
+	fmt.Printf("global registers: %v\n\n", globals)
+
+	alloc, err := regalloc.Allocate(prog, res, regalloc.Config{
+		Assignment:        isa.DefaultAssignment(),
+		Clustered:         true,
+		OtherClusterSpill: true,
+	})
+	if err != nil {
+		fatalf("allocation: %v", err)
+	}
+	fmt.Printf("register allocation: %d colouring rounds, %d spills, %d demotions\n",
+		alloc.Iterations, alloc.Spilled, alloc.Demoted)
+	for id := range alloc.Prog.Values {
+		v := alloc.Prog.Value(id)
+		fmt.Printf("  %-10s -> %-4s (cluster %s)\n", v.Name, alloc.RegOf[id], clusterName(alloc.Cluster[id]))
+	}
+
+	mp, err := codegen.Lower(alloc)
+	if err != nil {
+		fatalf("lowering: %v", err)
+	}
+	fmt.Printf("\nmachine code: %d instructions, %d memory ops, %d conditional branches\n",
+		len(mp.Instrs), mp.NumMemOps, mp.NumBranches)
+	if *asm {
+		fmt.Println()
+		fmt.Print(mp.Disassemble())
+	}
+}
+
+func loadProgram(name string, seed int64) (*il.Program, error) {
+	if name == "figure6" {
+		return il.Figure6(), nil
+	}
+	b := workload.ByName(name)
+	if b == nil {
+		return nil, fmt.Errorf("unknown benchmark %q (try figure6, compress, doduc, gcc1, ora, su2cor, tomcatv)", name)
+	}
+	trace.Profile(b.Program, b.NewDriver(seed), 50_000)
+	return b.Program, nil
+}
+
+func pickPartitioner(name string, window int) (partition.Partitioner, error) {
+	switch name {
+	case "local":
+		return partition.Local{Window: window}, nil
+	case "hash":
+		return partition.Hash{}, nil
+	case "roundrobin":
+		return partition.RoundRobin{}, nil
+	case "affinity":
+		return partition.Affinity{}, nil
+	}
+	return nil, fmt.Errorf("unknown partitioner %q", name)
+}
+
+func clusterName(c int) string {
+	if c == partition.Global {
+		return "global"
+	}
+	return fmt.Sprintf("%d", c)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mcsched: "+format+"\n", args...)
+	os.Exit(1)
+}

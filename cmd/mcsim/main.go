@@ -1,0 +1,141 @@
+// Command mcsim runs one benchmark on one processor configuration and
+// prints the simulation statistics.
+//
+// Usage:
+//
+//	mcsim -bench compress -machine dual -sched local -n 300000
+//
+// Machines: single (8-way single cluster), dual (2×4-way multicluster),
+// single4, dual2. Schedulers: none (native, cluster-oblivious allocation),
+// local (the paper's local scheduler), hash, roundrobin, affinity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multicluster/internal/core"
+	"multicluster/internal/experiment"
+	"multicluster/internal/partition"
+	"multicluster/internal/trace"
+	"multicluster/internal/workload"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "compress", "benchmark: compress, doduc, gcc1, ora, su2cor, tomcatv")
+		machine  = flag.String("machine", "dual", "machine: single, dual, single4, dual2")
+		sched    = flag.String("sched", "local", "scheduler: none, local, hash, roundrobin, affinity")
+		n        = flag.Int64("n", 300_000, "dynamic instructions to simulate")
+		seed     = flag.Int64("seed", 42, "behaviour-driver seed")
+		window   = flag.Int("window", 0, "local-scheduler imbalance window (0 = default)")
+		verbose  = flag.Bool("v", false, "print per-cluster and stall detail")
+		timeline = flag.Int("timeline", 0, "print a pipeline diagram of the first N instructions")
+		hot      = flag.Int("hot", 0, "print the N hottest static instructions after the run")
+	)
+	flag.Parse()
+
+	b := workload.ByName(*bench)
+	if b == nil {
+		fatalf("unknown benchmark %q", *bench)
+	}
+	cfg, err := machineConfig(*machine)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	part, err := scheduler(*sched, *window)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	opts := experiment.DefaultOptions()
+	opts.Instructions = *n
+	opts.Seed = *seed
+	opts.Window = *window
+
+	mp, alloc, err := experiment.Compile(b, part, opts)
+	if err != nil {
+		fatalf("compile: %v", err)
+	}
+	if *timeline > 0 {
+		gen, err := trace.NewGenerator(mp, b.NewDriver(*seed), int64(*timeline))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		tls, _, err := core.CollectTimeline(cfg, gen)
+		if err != nil {
+			fatalf("timeline: %v", err)
+		}
+		fmt.Printf("pipeline timeline, first %d instructions of %s on %s:\n", len(tls), b.Name, *machine)
+		fmt.Print(experiment.FormatTimeline(tls))
+		return
+	}
+	if *hot > 0 {
+		cfg.CollectProfile = true
+	}
+	stats, err := experiment.Simulate(mp, b, cfg, opts)
+	if err != nil {
+		fatalf("simulate: %v", err)
+	}
+
+	fmt.Printf("%s on %s with %s scheduling (%d instructions, seed %d)\n",
+		b.Name, *machine, *sched, *n, *seed)
+	fmt.Printf("  cycles        %12d\n", stats.Cycles)
+	fmt.Printf("  IPC           %12.3f\n", stats.IPC())
+	fmt.Printf("  dual-dist     %11.1f%%  (op forwards %d, result forwards %d)\n",
+		100*stats.DualFraction(), stats.OperandForwards, stats.ResultForwards)
+	fmt.Printf("  replays       %12d  (%d instructions squashed)\n", stats.Replays, stats.ReplayedInstructions)
+	fmt.Printf("  mispredicts   %11.2f%%  of %d conditional branches\n", 100*stats.MispredictRate(), stats.CondBranches)
+	fmt.Printf("  dcache miss   %11.2f%%  icache miss %.2f%%\n", 100*stats.DCache.MissRate(), 100*stats.ICache.MissRate())
+	fmt.Printf("  issue disorder%12.2f\n", stats.MeanDisorder())
+	fmt.Printf("  spills        %12d  demotions %d\n", alloc.Spilled, alloc.Demoted)
+	if *hot > 0 {
+		fmt.Printf("\nhottest static instructions:\n")
+		fmt.Print(experiment.FormatHotSpots(mp, stats, *hot))
+	}
+	if *verbose {
+		fmt.Printf("  fetch stalls: icache=%d mispredict=%d queue=%d regs=%d replay=%d\n",
+			stats.Fetch.ICacheMiss, stats.Fetch.Mispredict, stats.Fetch.QueueFull, stats.Fetch.RegsFull, stats.Fetch.Replay)
+		for c := 0; c < cfg.Clusters; c++ {
+			cs := stats.Cluster[c]
+			fmt.Printf("  cluster %d: distributed=%d issued=%d mean queue=%.1f\n",
+				c, cs.Distributed, cs.IssuedUops, float64(cs.QueueOccupancySum)/float64(stats.Cycles))
+		}
+	}
+}
+
+func machineConfig(name string) (core.Config, error) {
+	switch name {
+	case "single":
+		return core.SingleCluster8Way(), nil
+	case "dual":
+		return core.DualCluster4Way(), nil
+	case "single4":
+		return core.SingleCluster4Way(), nil
+	case "dual2":
+		return core.DualCluster2Way(), nil
+	}
+	return core.Config{}, fmt.Errorf("unknown machine %q", name)
+}
+
+func scheduler(name string, window int) (partition.Partitioner, error) {
+	switch name {
+	case "none":
+		return nil, nil
+	case "local":
+		return partition.Local{Window: window}, nil
+	case "hash":
+		return partition.Hash{}, nil
+	case "roundrobin":
+		return partition.RoundRobin{}, nil
+	case "affinity":
+		return partition.Affinity{}, nil
+	}
+	return nil, fmt.Errorf("unknown scheduler %q", name)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mcsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package multicluster reproduces "The Multicluster Architecture: Reducing
+// Cycle Time Through Partitioning" (Farkas, Chow, Jouppi, Vranesic,
+// MICRO-30, 1997): a cycle-level simulator of single- and dual-cluster
+// dynamically-scheduled processors, the static instruction-scheduling
+// toolchain (live-range partitioning, clustered register allocation, code
+// generation), six SPEC92-like synthetic workloads, and the harnesses that
+// regenerate every table and figure of the paper's evaluation.
+//
+// The implementation lives under internal/; the cmd/ directory provides the
+// mcsim, mcsched, and mcreport executables, and examples/ shows the library
+// in use. The benchmark suite in bench_test.go regenerates the paper's
+// artifacts; see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured results.
+package multicluster

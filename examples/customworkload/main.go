@@ -1,0 +1,155 @@
+// Customworkload: define a new benchmark from scratch — a blocked
+// dot-product kernel with its own behaviour driver — and push it through
+// the entire methodology: profile, partition with each scheduler, allocate,
+// lower, and simulate on both machines. This is the template for evaluating
+// the multicluster architecture on workloads of your own.
+//
+//	go run ./examples/customworkload
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"multicluster/internal/codegen"
+	"multicluster/internal/core"
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+	"multicluster/internal/partition"
+	"multicluster/internal/regalloc"
+	"multicluster/internal/trace"
+)
+
+// dotDriver drives the kernel: the inner loop runs a fixed trip count and
+// the two input vectors stream from separate regions.
+type dotDriver struct {
+	seed   int64
+	rng    *rand.Rand
+	trips  int64
+	inner  int64
+	aN, bN int64
+}
+
+func (d *dotDriver) Reset() {
+	d.rng = rand.New(rand.NewSource(d.seed))
+	d.inner, d.aN, d.bN = 0, 0, 0
+}
+
+func (d *dotDriver) NextBlock(cur string, succs []string) (string, bool) {
+	switch cur {
+	case "dot":
+		d.inner++
+		if d.inner%d.trips == 0 {
+			return "tail", true
+		}
+		return "dot", true
+	case "tail":
+		return "dot", true
+	}
+	if len(succs) > 0 {
+		return succs[0], true
+	}
+	return "", false
+}
+
+func (d *dotDriver) Addr(memID int) uint64 {
+	switch memID {
+	case 0: // vector a
+		d.aN++
+		return 0x1000_0000 + uint64(d.aN)*8
+	case 1: // vector b
+		d.bN++
+		return 0x2000_0000 + uint64(d.bN)*8
+	}
+	return 0x1000
+}
+
+func buildKernel() *il.Program {
+	b := il.NewBuilder("dotprod")
+	sp := b.GlobalValue("SP", il.KindInt)
+	fa, fb, fprod, facc := b.FP("fa"), b.FP("fb"), b.FP("fprod"), b.FP("facc")
+	i := b.Int("i")
+
+	entry := b.Block("entry", 1)
+	entry.Const(i, 0)
+	entry.FallTo("dot")
+
+	dot := b.Block("dot", 1000)
+	dot.Load(isa.LDF, fa, sp, 0)
+	dot.Load(isa.LDF, fb, sp, 8)
+	dot.Op(isa.FMUL, fprod, fa, fb)
+	dot.Op(isa.FADD, facc, facc, fprod)
+	dot.OpImm(isa.ADD, i, i, 1)
+	dot.CondBr(isa.BNE, i, "dot", "tail")
+
+	tail := b.Block("tail", 10)
+	tail.Op(isa.FADD, facc, facc, facc)
+	tail.CondBr(isa.BNE, i, "dot", "done")
+
+	done := b.Block("done", 1)
+	done.Ret(i)
+
+	return b.MustFinish()
+}
+
+func main() {
+	prog := buildKernel()
+	newDriver := func() trace.Driver { return &dotDriver{seed: 9, trips: 128} }
+
+	trace.Profile(prog, newDriver(), 30_000)
+
+	fmt.Println("scheduler comparison on the dot-product kernel (30k instructions):")
+	fmt.Println("  scheduler     machine  cycles      IPC    dual%   transfers")
+	for _, sched := range []struct {
+		name string
+		part partition.Partitioner
+	}{
+		{"native", nil},
+		{"local", partition.Local{}},
+		{"round-robin", partition.RoundRobin{}},
+	} {
+		var pr *partition.Result
+		clustered := sched.part != nil
+		if clustered {
+			pr = sched.part.Partition(prog)
+		}
+		alloc, err := regalloc.Allocate(prog, pr, regalloc.Config{
+			Assignment:        isa.DefaultAssignment(),
+			Clustered:         clustered,
+			OtherClusterSpill: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		machine, err := codegen.Lower(alloc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, m := range []struct {
+			name string
+			cfg  core.Config
+		}{
+			{"single", core.SingleCluster8Way()},
+			{"dual", core.DualCluster4Way()},
+		} {
+			gen, err := trace.NewGenerator(machine, newDriver(), 30_000)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p, err := core.New(m.cfg, gen)
+			if err != nil {
+				log.Fatal(err)
+			}
+			stats, err := p.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-12s  %-7s  %7d  %5.2f  %5.1f  %9d\n",
+				sched.name, m.name, stats.Cycles, stats.IPC(),
+				100*stats.DualFraction(), stats.OperandForwards+stats.ResultForwards)
+		}
+	}
+	fmt.Println("\n(single-cluster results are identical across schedulers: register names")
+	fmt.Println("only matter once the even/odd cluster assignment interprets them.)")
+}

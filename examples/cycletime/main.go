@@ -1,0 +1,57 @@
+// Cycletime: explore the §4.2 analysis — when does the multicluster's
+// faster clock pay for its extra cycles? Sweeps feature sizes with the
+// Palacharla-style delay model and prints the break-even frontier.
+//
+//	go run ./examples/cycletime
+package main
+
+import (
+	"fmt"
+
+	"multicluster/internal/cycletime"
+)
+
+func main() {
+	fmt.Println("critical-path delay vs issue width (ps):")
+	fmt.Println("  feature   4-issue   8-issue   increase   clock gain of clustering")
+	for _, um := range []float64{0.50, 0.35, 0.25, 0.18, 0.13, 0.10} {
+		m := cycletime.At(um)
+		fmt.Printf("  %.2f um  %7.0f   %7.0f   %+7.0f%%   %.2fx\n",
+			um, m.CycleTimePs(4), m.CycleTimePs(8),
+			100*m.WidthIncrease(4, 8), m.CycleTimePs(8)/m.CycleTimePs(4))
+	}
+
+	fmt.Println("\nnet speedup of a dual-cluster (4-way clusters) over an 8-way single cluster")
+	fmt.Println("for a given cycle-count slowdown (rows) at each feature size (columns):")
+	fmt.Printf("  %-10s", "slowdown")
+	sizes := []float64{0.35, 0.25, 0.18, 0.13}
+	for _, um := range sizes {
+		fmt.Printf("  %6.2fum", um)
+	}
+	fmt.Println()
+	for _, slow := range []float64{1.00, 1.05, 1.15, 1.25, 1.40, 1.60} {
+		fmt.Printf("  %+8.0f%%", 100*(slow-1))
+		for _, um := range sizes {
+			fmt.Printf("  %7.2fx", cycletime.At(um).NetSpeedup(slow, 4, 8))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nbreak-even feature size (the multicluster wins below it):")
+	for _, slow := range []float64{1.05, 1.15, 1.25, 1.40, 1.60} {
+		um := cycletime.CrossoverFeatureUm(slow, 4, 8, 0.05, 0.50)
+		switch {
+		case um == 0:
+			fmt.Printf("  %+4.0f%% more cycles: never within 0.05-0.50 um\n", 100*(slow-1))
+		case um == 0.50:
+			fmt.Printf("  %+4.0f%% more cycles: always within 0.05-0.50 um\n", 100*(slow-1))
+		default:
+			fmt.Printf("  %+4.0f%% more cycles: %.3f um\n", 100*(slow-1), um)
+		}
+	}
+	fmt.Printf("\nthe paper's worst-case local-scheduler slowdown (25%%) needs a %.0f%% shorter clock;\n",
+		100*cycletime.RequiredClockReduction(1.25))
+	fmt.Printf("partitioning provides %.0f%% at 0.35um and %.0f%% at 0.18um.\n",
+		100*(1-1/(cycletime.Process035().CycleTimePs(8)/cycletime.Process035().CycleTimePs(4))),
+		100*(1-1/(cycletime.Process018().CycleTimePs(8)/cycletime.Process018().CycleTimePs(4))))
+}

@@ -1,0 +1,3 @@
+module multicluster
+
+go 1.22

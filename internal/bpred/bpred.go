@@ -1,0 +1,192 @@
+// Package bpred implements the combining branch predictor of McFarling
+// (DEC WRL TN-36) used by the paper's simulated processors: a bimodal
+// predictor, a global-history predictor, and a chooser that selects between
+// them per branch.
+//
+// Predictions are made when a branch is inserted into a dispatch queue, but
+// the tables and the global history register are updated only when the
+// branch executes (footnote 2 of §4.2). The gap between the two is what
+// makes large dispatch queues hurt prediction accuracy in the paper's
+// compress result; callers model it by calling Predict at dispatch and
+// Update at resolution.
+package bpred
+
+// Kind selects which predictor components are active.
+type Kind uint8
+
+const (
+	// Combining is McFarling's full scheme: bimodal + global history with a
+	// per-branch chooser (the paper's configuration).
+	Combining Kind = iota
+	// BimodalOnly uses just the per-PC two-bit counters.
+	BimodalOnly
+	// GshareOnly uses just the global-history component.
+	GshareOnly
+)
+
+func (k Kind) String() string {
+	switch k {
+	case BimodalOnly:
+		return "bimodal"
+	case GshareOnly:
+		return "gshare"
+	default:
+		return "combining"
+	}
+}
+
+// Config sizes the tables and selects the scheme.
+type Config struct {
+	// Kind selects the active components; the zero value is Combining.
+	Kind Kind
+	// BimodalBits is log2 of the bimodal table size.
+	BimodalBits int
+	// GlobalBits is log2 of the global-history table size and the history
+	// register length.
+	GlobalBits int
+	// ChooserBits is log2 of the chooser table size.
+	ChooserBits int
+}
+
+// DefaultConfig returns 4K-entry tables, the size McFarling's technical
+// note evaluates.
+func DefaultConfig() Config {
+	return Config{BimodalBits: 12, GlobalBits: 12, ChooserBits: 12}
+}
+
+// Stats counts prediction outcomes.
+type Stats struct {
+	Predictions int64
+	Mispredicts int64
+	// BimodalUsed / GlobalUsed count which component the chooser selected.
+	BimodalUsed, GlobalUsed int64
+}
+
+// Accuracy returns correct predictions per prediction.
+func (s Stats) Accuracy() float64 {
+	if s.Predictions == 0 {
+		return 0
+	}
+	return 1 - float64(s.Mispredicts)/float64(s.Predictions)
+}
+
+// Snapshot captures the inputs a prediction was made with, so the exact
+// counters consulted can be trained at resolution time even though the
+// history register has moved on.
+type Snapshot struct {
+	bimodalIdx int
+	globalIdx  int
+	chooserIdx int
+	usedGlobal bool
+	taken      bool
+}
+
+// Taken returns the predicted direction.
+func (s Snapshot) Taken() bool { return s.taken }
+
+// Predictor is a McFarling combining predictor. The zero value is not
+// usable; call New.
+type Predictor struct {
+	cfg     Config
+	bimodal []uint8 // 2-bit saturating counters, taken if >= 2
+	global  []uint8
+	chooser []uint8 // >= 2 selects the global predictor
+	history uint64  // global history, updated at resolution only
+	stats   Stats
+}
+
+// New builds a predictor; counters start weakly not-taken and the chooser
+// starts with no preference toward either component.
+func New(cfg Config) *Predictor {
+	p := &Predictor{
+		cfg:     cfg,
+		bimodal: make([]uint8, 1<<cfg.BimodalBits),
+		global:  make([]uint8, 1<<cfg.GlobalBits),
+		chooser: make([]uint8, 1<<cfg.ChooserBits),
+	}
+	for i := range p.bimodal {
+		p.bimodal[i] = 1
+	}
+	for i := range p.global {
+		p.global[i] = 1
+	}
+	for i := range p.chooser {
+		p.chooser[i] = 1
+	}
+	return p
+}
+
+// Predict returns the predicted direction for the branch at pc using the
+// current (possibly stale) table and history state, plus a snapshot to pass
+// back to Update at resolution.
+func (p *Predictor) Predict(pc uint64) Snapshot {
+	s := Snapshot{
+		bimodalIdx: int((pc >> 2) & uint64(len(p.bimodal)-1)),
+		globalIdx:  int(((pc >> 2) ^ p.history) & uint64(len(p.global)-1)),
+		chooserIdx: int((pc >> 2) & uint64(len(p.chooser)-1)),
+	}
+	bim := p.bimodal[s.bimodalIdx] >= 2
+	glo := p.global[s.globalIdx] >= 2
+	switch p.cfg.Kind {
+	case BimodalOnly:
+		s.usedGlobal = false
+		s.taken = bim
+	case GshareOnly:
+		s.usedGlobal = true
+		s.taken = glo
+	default:
+		s.usedGlobal = p.chooser[s.chooserIdx] >= 2
+		if s.usedGlobal {
+			s.taken = glo
+		} else {
+			s.taken = bim
+		}
+	}
+	p.stats.Predictions++
+	if s.usedGlobal {
+		p.stats.GlobalUsed++
+	} else {
+		p.stats.BimodalUsed++
+	}
+	return s
+}
+
+// Update trains the predictor with the resolved direction of a branch
+// previously predicted with the given snapshot, and records whether the
+// prediction was correct. The global history register shifts here — at
+// resolution, not at prediction — reproducing the delayed-update behaviour
+// of the paper's simulator.
+func (p *Predictor) Update(s Snapshot, taken bool) {
+	if s.taken != taken {
+		p.stats.Mispredicts++
+	}
+	bimCorrect := (p.bimodal[s.bimodalIdx] >= 2) == taken
+	gloCorrect := (p.global[s.globalIdx] >= 2) == taken
+
+	train(&p.bimodal[s.bimodalIdx], taken)
+	train(&p.global[s.globalIdx], taken)
+
+	// The chooser trains toward the component that was right when they
+	// disagree.
+	if bimCorrect != gloCorrect {
+		train(&p.chooser[s.chooserIdx], gloCorrect)
+	}
+
+	p.history = (p.history << 1) & ((1 << uint(p.cfg.GlobalBits)) - 1)
+	if taken {
+		p.history |= 1
+	}
+}
+
+// Stats returns a snapshot of the accuracy counters.
+func (p *Predictor) Stats() Stats { return p.stats }
+
+func train(counter *uint8, taken bool) {
+	if taken {
+		if *counter < 3 {
+			*counter++
+		}
+	} else if *counter > 0 {
+		*counter--
+	}
+}

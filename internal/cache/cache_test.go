@@ -1,0 +1,177 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() *Cache {
+	// 4 sets × 2 ways × 16-byte lines = 128 bytes; easy to force conflicts.
+	return MustNew(Config{Size: 128, LineSize: 16, Assoc: 2, MissLatency: 16})
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := small()
+	if lat := c.Access(0x100, 0); lat != 16 {
+		t.Fatalf("cold access latency = %d, want 16", lat)
+	}
+	if lat := c.Access(0x100, 100); lat != 0 {
+		t.Fatalf("second access latency = %d, want 0 (hit)", lat)
+	}
+	s := c.Stats()
+	if s.Accesses != 2 || s.Misses != 1 || s.Merges != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestSameLineDifferentWordsHit(t *testing.T) {
+	c := small()
+	c.Access(0x100, 0)
+	if lat := c.Access(0x10c, 100); lat != 0 {
+		t.Errorf("same-line access missed (lat %d)", lat)
+	}
+}
+
+func TestMergeWithInflightFill(t *testing.T) {
+	c := small()
+	if lat := c.Access(0x200, 10); lat != 16 {
+		t.Fatalf("primary miss lat = %d", lat)
+	}
+	// 6 cycles later the fill has 10 cycles to go: a merged miss.
+	if lat := c.Access(0x200, 16); lat != 10 {
+		t.Errorf("merged access lat = %d, want 10", lat)
+	}
+	if s := c.Stats(); s.Merges != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	// After the fill completes it is a plain hit.
+	if lat := c.Access(0x200, 26); lat != 0 {
+		t.Errorf("post-fill access lat = %d, want 0", lat)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := small()
+	// Three lines mapping to the same set (set stride = 4 sets × 16B = 64).
+	a, b, d := uint64(0x000), uint64(0x040), uint64(0x080)
+	c.Access(a, 0)
+	c.Access(b, 1)
+	c.Access(a, 2) // a most recently used
+	c.Access(d, 3) // evicts b (LRU)
+	if lat := c.Access(a, 100); lat != 0 {
+		t.Error("a should have survived (MRU)")
+	}
+	if lat := c.Access(b, 101); lat == 0 {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestContainsDoesNotPerturb(t *testing.T) {
+	c := small()
+	c.Access(0x300, 0)
+	before := c.Stats()
+	if !c.Contains(0x300, 50) {
+		t.Error("Contains(0x300) = false after fill")
+	}
+	if c.Contains(0x999000, 50) {
+		t.Error("Contains reports a never-accessed line")
+	}
+	if c.Stats() != before {
+		t.Error("Contains changed statistics")
+	}
+	// A line still being filled is not yet contained.
+	c.Access(0x400, 100)
+	if c.Contains(0x400, 105) {
+		t.Error("line contained before its fill completes")
+	}
+	if !c.Contains(0x400, 116) {
+		t.Error("line missing after fill completes")
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	c := small()
+	c.Access(0x100, 0)
+	c.Reset()
+	if s := c.Stats(); s.Accesses != 0 {
+		t.Error("Reset did not clear stats")
+	}
+	if lat := c.Access(0x100, 0); lat != 16 {
+		t.Error("Reset did not clear contents")
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	bad := []Config{
+		{Size: 0, LineSize: 16, Assoc: 2},
+		{Size: 128, LineSize: 15, Assoc: 2},
+		{Size: 96, LineSize: 16, Assoc: 2}, // 3 sets: not a power of two
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) accepted invalid geometry", cfg)
+		}
+	}
+	if _, err := New(Default64K()); err != nil {
+		t.Errorf("paper configuration rejected: %v", err)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("zero-access miss rate should be 0")
+	}
+	s = Stats{Accesses: 10, Misses: 2, Merges: 1}
+	if got := s.MissRate(); got != 0.3 {
+		t.Errorf("MissRate = %v, want 0.3", got)
+	}
+}
+
+func TestRepeatedAccessAlwaysHitsProperty(t *testing.T) {
+	// Property: accessing the same address twice in a row (after fill
+	// latency) always hits the second time, regardless of address.
+	c := MustNew(Default64K())
+	now := int64(0)
+	f := func(addr uint64) bool {
+		now += 100
+		c.Access(addr, now)
+		return c.Access(addr, now+50) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkingSetLargerThanCacheThrashes(t *testing.T) {
+	c := MustNew(Default64K())
+	// Stream over 4 MB twice: second pass must still miss everywhere.
+	var now int64
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < 4<<20; a += 32 {
+			now += 20
+			c.Access(a, now)
+		}
+	}
+	s := c.Stats()
+	if s.Misses < s.Accesses*99/100 {
+		t.Errorf("streaming 64× the capacity should miss ~always: %+v", s)
+	}
+}
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := MustNew(Default64K())
+	c.Access(0x1000, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000, int64(i))
+	}
+}
+
+func BenchmarkAccessStreaming(b *testing.B) {
+	c := MustNew(Default64K())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i)*32, int64(i))
+	}
+}

@@ -1,0 +1,153 @@
+// Package codegen lowers a register-allocated IL program to machine code
+// (step 6 of the paper's methodology): live ranges are replaced by their
+// architectural registers, spill code keeps its statically-known slot
+// addresses, branch targets are resolved to instruction indices, and every
+// memory operation and conditional branch receives a stable static ID so
+// behaviour drivers can attach address and outcome streams.
+//
+// MemID stability across binaries: spill rewriting preserves the relative
+// order of the original memory operations, and original operations are
+// numbered before spill operations, so the same workload driver produces
+// identical memory behaviour for the native and rescheduled binaries.
+package codegen
+
+import (
+	"fmt"
+
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+	"multicluster/internal/regalloc"
+)
+
+// Lower translates an allocated program to machine code. Block layout
+// follows the IL block order; every fall-through successor (explicit or the
+// not-taken side of a conditional branch) must be the next block in layout,
+// which the builders guarantee.
+func Lower(alloc *regalloc.Result) (*isa.Program, error) {
+	p := alloc.Prog
+	reg := func(id int) isa.Reg {
+		if id == il.None {
+			return isa.RegNone
+		}
+		return alloc.RegOf[id]
+	}
+
+	// First pass: block start indices.
+	start := make(map[string]int, len(p.Blocks))
+	idx := 0
+	for _, b := range p.Blocks {
+		start[b.Name] = idx
+		idx += len(b.Instrs)
+	}
+
+	mp := &isa.Program{Instrs: make([]isa.Instruction, 0, idx)}
+	nextOriginalMem := 0
+	var spillMems []int // indices of spill memory ops, numbered afterwards
+	brID := 0
+
+	for bi, b := range p.Blocks {
+		mp.Blocks = append(mp.Blocks, isa.BlockInfo{Name: b.Name, Start: len(mp.Instrs)})
+		if err := checkLayout(p, bi, b); err != nil {
+			return nil, err
+		}
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			m := isa.Instruction{Op: in.Op, Imm: in.Imm, MemID: -1, BrID: -1}
+			switch in.Op.Class() {
+			case isa.ClassLoad:
+				m.Dst = reg(in.Dst)
+				m.Src1 = reg(in.Src1)
+				if slot, ok := in.SpillInfo(); ok {
+					m.MarkSpill(slot)
+					m.Imm = int64(isa.SpillAddr(slot))
+					spillMems = append(spillMems, len(mp.Instrs))
+				} else {
+					m.MemID = nextOriginalMem
+					nextOriginalMem++
+				}
+			case isa.ClassStore:
+				m.Src1 = reg(in.Src1)
+				m.Src2 = reg(in.Src2)
+				if slot, ok := in.SpillInfo(); ok {
+					m.MarkSpill(slot)
+					m.Imm = int64(isa.SpillAddr(slot))
+					spillMems = append(spillMems, len(mp.Instrs))
+				} else {
+					m.MemID = nextOriginalMem
+					nextOriginalMem++
+				}
+			case isa.ClassControl:
+				switch in.Op {
+				case isa.BEQ, isa.BNE:
+					m.Src1 = reg(in.Src1)
+					m.Target = start[in.Target]
+					m.BrID = brID
+					brID++
+				case isa.BR:
+					m.Target = start[in.Target]
+				case isa.CALL:
+					m.Dst = reg(in.Dst)
+					m.Target = start[in.Target]
+				case isa.JMP, isa.RET:
+					m.Src1 = reg(in.Src1)
+				}
+			default:
+				m.Dst = reg(in.Dst)
+				m.Src1 = reg(in.Src1)
+				m.Src2 = reg(in.Src2)
+			}
+			mp.Instrs = append(mp.Instrs, m)
+		}
+		mp.Blocks[len(mp.Blocks)-1].End = len(mp.Instrs)
+	}
+
+	// Spill memory operations are numbered after the originals so original
+	// MemIDs are identical across differently-allocated binaries.
+	for _, i := range spillMems {
+		mp.Instrs[i].MemID = nextOriginalMem
+		nextOriginalMem++
+	}
+	mp.NumMemOps = nextOriginalMem
+	mp.NumBranches = brID
+
+	if err := mp.Validate(); err != nil {
+		return nil, fmt.Errorf("codegen: lowered program invalid: %w", err)
+	}
+	return mp, nil
+}
+
+// checkLayout verifies that fall-through successors are adjacent in layout.
+func checkLayout(p *il.Program, bi int, b *il.Block) error {
+	var fallthru string
+	if t := b.Terminator(); t == nil {
+		if len(b.Succs) == 1 {
+			fallthru = b.Succs[0]
+		} else if len(b.Succs) > 1 {
+			return fmt.Errorf("codegen: block %s has %d successors but no terminator", b.Name, len(b.Succs))
+		}
+	} else if t.Op.IsCondBranch() {
+		fallthru = b.Succs[0]
+	}
+	if fallthru == "" {
+		return nil
+	}
+	if bi+1 >= len(p.Blocks) || p.Blocks[bi+1].Name != fallthru {
+		return fmt.Errorf("codegen: block %s falls through to %s, which is not next in layout", b.Name, fallthru)
+	}
+	return nil
+}
+
+// OriginalMemOps returns the number of memory operations a behaviour driver
+// must supply addresses for (spill operations excluded).
+func OriginalMemOps(p *isa.Program) int {
+	n := 0
+	for i := range p.Instrs {
+		if _, spill := p.Instrs[i].SpillInfo(); spill {
+			continue
+		}
+		if p.Instrs[i].Op.Class().IsMem() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,175 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+	"multicluster/internal/partition"
+	"multicluster/internal/regalloc"
+)
+
+func lower(t *testing.T, p *il.Program, clustered bool) *isa.Program {
+	t.Helper()
+	var part *partition.Result
+	if clustered {
+		part = partition.Local{}.Partition(p)
+	}
+	alloc, err := regalloc.Allocate(p, part, regalloc.Config{
+		Assignment:        isa.DefaultAssignment(),
+		Clustered:         clustered,
+		OtherClusterSpill: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := Lower(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mp
+}
+
+func TestLowerFigure6(t *testing.T) {
+	mp := lower(t, il.Figure6(), false)
+	if err := mp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 17 IL instructions (12 figure lines + the split address add + two
+	// conditional branches + one jump + the return), no spills.
+	if len(mp.Instrs) != 17 {
+		t.Errorf("machine instructions = %d, want 17", len(mp.Instrs))
+	}
+	if mp.NumMemOps != 4 {
+		t.Errorf("NumMemOps = %d, want 4 (four loads)", mp.NumMemOps)
+	}
+	if mp.NumBranches != 2 {
+		t.Errorf("NumBranches = %d, want 2", mp.NumBranches)
+	}
+	// The loop branch in bb4 targets the start of bb4.
+	bb4 := mp.BlockOf(mp.Blocks[3].Start)
+	term := &mp.Instrs[bb4.End-1]
+	if !term.Op.IsCondBranch() || term.Target != bb4.Start {
+		t.Errorf("bb4 terminator %v targets %d, want %d", term, term.Target, bb4.Start)
+	}
+}
+
+func TestMemIDsStableAcrossAllocations(t *testing.T) {
+	// The k-th original memory operation must get MemID k in both the
+	// native and clustered binaries, even if the clustered one spills.
+	native := lower(t, il.Figure6(), false)
+	clustered := lower(t, il.Figure6(), true)
+	type memRef struct {
+		block string
+		op    isa.Op
+	}
+	collect := func(p *isa.Program) map[int]memRef {
+		m := map[int]memRef{}
+		for i := range p.Instrs {
+			in := &p.Instrs[i]
+			if _, spill := in.SpillInfo(); spill || !in.Op.Class().IsMem() {
+				continue
+			}
+			m[in.MemID] = memRef{p.BlockOf(i).Name, in.Op}
+		}
+		return m
+	}
+	a, b := collect(native), collect(clustered)
+	if len(a) != len(b) {
+		t.Fatalf("original mem op counts differ: %d vs %d", len(a), len(b))
+	}
+	for id, ra := range a {
+		if b[id] != ra {
+			t.Errorf("MemID %d: native %+v, clustered %+v", id, ra, b[id])
+		}
+	}
+}
+
+func TestConstantHasNoRegisterSources(t *testing.T) {
+	b := il.NewBuilder("c")
+	x := b.Int("x")
+	e := b.Block("entry", 1)
+	e.Const(x, 42)
+	e.Ret(x)
+	mp := lower(t, b.MustFinish(), false)
+	if mp.Instrs[0].Op != isa.LDA || mp.Instrs[0].Src1 != isa.RegNone || mp.Instrs[0].Imm != 42 {
+		t.Errorf("constant lowered to %v", &mp.Instrs[0])
+	}
+}
+
+func TestBadLayoutRejected(t *testing.T) {
+	// A conditional branch whose fall-through block is not adjacent.
+	b := il.NewBuilder("bad")
+	x := b.Int("x")
+	e := b.Block("entry", 1)
+	e.Const(x, 1)
+	e.CondBr(isa.BNE, x, "t", "far")
+	tb := b.Block("t", 1) // adjacent block is the *taken* target, not fall-through
+	tb.Ret(x)
+	fb := b.Block("far", 1)
+	fb.Ret(x)
+	p := b.MustFinish()
+	alloc, err := regalloc.Allocate(p, nil, regalloc.Config{Assignment: isa.DefaultAssignment()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lower(alloc); err == nil || !strings.Contains(err.Error(), "layout") {
+		t.Fatalf("expected layout error, got %v", err)
+	}
+}
+
+func TestDisassemblyRoundTripMentionsOps(t *testing.T) {
+	mp := lower(t, il.Figure6(), false)
+	d := mp.Disassemble()
+	for _, frag := range []string{"bb1:", "bb4:", "mul", "ldw", "bne"} {
+		if !strings.Contains(d, frag) {
+			t.Errorf("disassembly missing %q:\n%s", frag, d)
+		}
+	}
+}
+
+func TestSpillOpsNumberedAfterOriginals(t *testing.T) {
+	b := il.NewBuilder("spill")
+	ids := make([]int, 40)
+	for i := range ids {
+		ids[i] = b.Int(strings.Repeat("v", 1) + string(rune('a'+i%26)) + string(rune('0'+i/26)))
+	}
+	sp := b.GlobalValue("SP", il.KindInt)
+	e := b.Block("entry", 1)
+	e.Load(isa.LDW, ids[0], sp, 0) // original memory op: must be MemID 0
+	for i, id := range ids[1:] {
+		e.Const(id, int64(i))
+	}
+	sum := b.Int("sum")
+	e.Op(isa.ADD, sum, ids[0], ids[1])
+	for i := 2; i < len(ids); i++ {
+		e.Op(isa.ADD, sum, sum, ids[i])
+	}
+	e.Ret(sum)
+	mp := lower(t, b.MustFinish(), false)
+
+	var originalIDs, spillIDs []int
+	for i := range mp.Instrs {
+		in := &mp.Instrs[i]
+		if !in.Op.Class().IsMem() {
+			continue
+		}
+		if _, spill := in.SpillInfo(); spill {
+			spillIDs = append(spillIDs, in.MemID)
+		} else {
+			originalIDs = append(originalIDs, in.MemID)
+		}
+	}
+	if len(originalIDs) != 1 || originalIDs[0] != 0 {
+		t.Errorf("original MemIDs = %v, want [0]", originalIDs)
+	}
+	for _, id := range spillIDs {
+		if id < 1 {
+			t.Errorf("spill MemID %d collides with original range", id)
+		}
+	}
+	if len(spillIDs) == 0 {
+		t.Error("expected spill memory operations")
+	}
+}

@@ -1,0 +1,295 @@
+package core
+
+import "multicluster/internal/isa"
+
+// fetchItem is one dynamic instruction waiting to be distributed: either
+// fresh from the trace reader or re-queued by a replay exception.
+type fetchItem struct {
+	idx   int
+	in    *isa.Instruction
+	addr  uint64
+	taken bool
+}
+
+// distPlan is the outcome of the distribution rules of §2.1 for one
+// instruction: which cluster executes the computation (the master), whether
+// a slave copy is needed, which operands the slave forwards, and where
+// physical registers must be allocated.
+type distPlan struct {
+	dual     bool
+	masterCl int
+
+	// masterSrcs / slaveSrcs are the architectural source registers each
+	// copy reads from its own cluster's register file.
+	masterSrcs []isa.Reg
+	slaveSrcs  []isa.Reg
+
+	sendsResult bool
+	// allocIn[c] is true when a physical destination register must be
+	// allocated in cluster c.
+	allocIn [2]bool
+}
+
+// plan applies the register-driven distribution rules. For a single-cluster
+// machine everything lands in cluster 0.
+func (p *Processor) plan(in *isa.Instruction) distPlan {
+	var pl distPlan
+	srcs := in.Sources()
+	dest := in.Dest()
+
+	if p.cfg.Clusters == 1 {
+		pl.masterSrcs = srcs
+		if dest != isa.RegNone {
+			pl.allocIn[0] = true
+		}
+		return pl
+	}
+
+	a := p.cfg.Assignment
+	var localCount [2]int
+	for _, r := range srcs {
+		if !a.IsGlobal(r) {
+			localCount[a.Home(r)]++
+		}
+	}
+	destGlobal := false
+	if dest != isa.RegNone {
+		if a.IsGlobal(dest) {
+			destGlobal = true
+		} else {
+			localCount[a.Home(dest)]++
+		}
+	}
+	pl.masterCl = p.pickMaster(srcs, localCount)
+
+	other := 1 - pl.masterCl
+	for _, r := range srcs {
+		if a.In(r, pl.masterCl) {
+			pl.masterSrcs = append(pl.masterSrcs, r)
+		} else if len(pl.slaveSrcs) == 0 || pl.slaveSrcs[0] != r {
+			// One transfer-buffer entry per distinct value: an instruction
+			// naming the same remote register twice forwards it once.
+			pl.slaveSrcs = append(pl.slaveSrcs, r)
+		}
+	}
+	switch {
+	case dest == isa.RegNone:
+	case destGlobal:
+		pl.allocIn[0], pl.allocIn[1] = true, true
+		pl.sendsResult = true
+	case a.Home(dest) == pl.masterCl:
+		pl.allocIn[pl.masterCl] = true
+	default:
+		pl.allocIn[other] = true
+		pl.sendsResult = true
+	}
+	pl.dual = pl.sendsResult || len(pl.slaveSrcs) > 0
+	return pl
+}
+
+// pickMaster applies the configured master-selection policy.
+func (p *Processor) pickMaster(srcs []isa.Reg, localCount [2]int) int {
+	switch p.cfg.MasterSelect {
+	case MasterFirstSource:
+		for _, r := range srcs {
+			if !p.cfg.Assignment.IsGlobal(r) {
+				return p.cfg.Assignment.Home(r)
+			}
+		}
+		return p.balancePick()
+	case MasterAlternate:
+		c := int(p.nextSeq & 1)
+		return c
+	default:
+		switch {
+		case localCount[0] > localCount[1]:
+			return 0
+		case localCount[1] > localCount[0]:
+			return 1
+		}
+		return p.balancePick()
+	}
+}
+
+// balancePick breaks master-selection ties toward the cluster with the
+// lighter dispatch queue, then the fewer lifetime distributions, then 0.
+func (p *Processor) balancePick() int {
+	if len(p.queue[0]) != len(p.queue[1]) {
+		if len(p.queue[1]) < len(p.queue[0]) {
+			return 1
+		}
+		return 0
+	}
+	if p.stats.Cluster[1].Distributed < p.stats.Cluster[0].Distributed {
+		return 1
+	}
+	return 0
+}
+
+// canDistribute checks, without side effects, that every resource the plan
+// needs is available: a dispatch-queue entry in each target cluster and a
+// free physical register wherever the destination is allocated. It returns
+// the stall reason when blocked.
+func (p *Processor) canDistribute(in *isa.Instruction, pl distPlan) (ok bool, queueFull, regsFull bool) {
+	need := [2]int{}
+	need[pl.masterCl]++
+	if pl.dual {
+		need[1-pl.masterCl]++
+	}
+	for c := 0; c < p.cfg.Clusters; c++ {
+		if need[c] > 0 && len(p.queue[c])+need[c] > p.cfg.QueueSize {
+			return false, true, false
+		}
+	}
+	if dest := in.Dest(); dest != isa.RegNone {
+		fp := bIdx(dest.IsFP())
+		for c := 0; c < p.cfg.Clusters; c++ {
+			if pl.allocIn[c] && p.freeRegs[c][fp] < 1 {
+				return false, false, true
+			}
+		}
+	}
+	return true, false, false
+}
+
+// distribute commits one instruction to the machine at cycle t: builds the
+// dynamic instruction and its copies, renames the destination, allocates
+// physical registers, inserts the copies into dispatch queues, and predicts
+// conditional branches (footnote 2: prediction happens here, at insertion).
+func (p *Processor) distribute(item fetchItem, pl distPlan, t int64) *dynInst {
+	d := &dynInst{
+		seq:         p.nextSeq,
+		idx:         item.idx,
+		in:          item.in,
+		addr:        item.addr,
+		taken:       item.taken,
+		latency:     item.in.Op.Latency(),
+		dual:        pl.dual,
+		masterCl:    pl.masterCl,
+		resultCycle: never,
+		readyIn:     [2]int64{never, never},
+		doneCycle:   never,
+		destReg:     item.in.Dest(),
+	}
+	p.nextSeq++
+
+	lookup := func(regs []isa.Reg, cl int) []*dynInst {
+		var out []*dynInst
+		for _, r := range regs {
+			if prod := p.rename[cl][r]; prod != nil {
+				out = append(out, prod)
+			}
+		}
+		return out
+	}
+
+	m := &uop{
+		inst:          d,
+		cluster:       pl.masterCl,
+		master:        true,
+		srcs:          lookup(pl.masterSrcs, pl.masterCl),
+		fwdOperands:   len(pl.slaveSrcs),
+		sendsResult:   pl.sendsResult,
+		slotClass:     item.in.Op.Class(),
+		distributedAt: t,
+	}
+	d.master = m
+	d.copies = 1
+	p.queue[pl.masterCl] = append(p.queue[pl.masterCl], m)
+	p.stats.Cluster[pl.masterCl].Distributed++
+
+	if pl.dual {
+		other := 1 - pl.masterCl
+		s := &uop{
+			inst:          d,
+			cluster:       other,
+			master:        false,
+			srcs:          lookup(pl.slaveSrcs, other),
+			opFwdSlave:    len(pl.slaveSrcs) > 0,
+			recvsResult:   pl.sendsResult,
+			slotClass:     slaveSlotClass(item.in, pl),
+			distributedAt: t,
+		}
+		d.slave = s
+		d.copies = 2
+		p.queue[other] = append(p.queue[other], s)
+		p.stats.Cluster[other].Distributed++
+		p.dualInFlight = append(p.dualInFlight, d)
+		p.stats.DualDist++
+		if s.opFwdSlave {
+			p.stats.OperandForwards++
+		}
+		if pl.sendsResult {
+			p.stats.ResultForwards++
+		}
+	} else {
+		p.stats.SingleDist++
+	}
+
+	// Rename the destination: record the previous producer for squash
+	// recovery and claim a physical register wherever the value lives.
+	if d.destReg != isa.RegNone {
+		fp := bIdx(d.destReg.IsFP())
+		for c := 0; c < p.cfg.Clusters; c++ {
+			if pl.allocIn[c] {
+				d.prevProd[c] = p.rename[c][d.destReg]
+				p.rename[c][d.destReg] = d
+				d.renamed[c] = true
+				p.freeRegs[c][fp]--
+			}
+		}
+	}
+
+	// Store→load ordering: loads wait on the youngest older store to the
+	// same word; stores publish themselves. Squashed stores are always
+	// re-distributed before any younger load, so stale entries cannot leak
+	// into live dependences.
+	if p.lastStore != nil {
+		switch item.in.Op.Class() {
+		case isa.ClassLoad:
+			if st := p.lastStore[item.addr&^7]; st != nil && !st.retired() && !st.squashed {
+				m.memDep = st
+			}
+		case isa.ClassStore:
+			p.lastStore[item.addr&^7] = d
+		}
+	}
+
+	// Conditional branches are predicted at dispatch-queue insertion.
+	if item.in.Op.IsCondBranch() {
+		d.isCondBr = true
+		d.snap = p.pred.Predict(isa.PCOf(item.idx))
+		d.mispredicted = d.snap.Taken() != item.taken
+		p.pendingBr = append(p.pendingBr, d)
+	}
+
+	p.active = append(p.active, d)
+	p.stats.Fetched++
+	return d
+}
+
+// slaveSlotClass returns the issue-rule class a slave copy's issue slot
+// counts against: the file it touches (an integer read/write takes an
+// integer slot, per scenario two of §2.1).
+func slaveSlotClass(in *isa.Instruction, pl distPlan) isa.Class {
+	if pl.slaveSrcs != nil {
+		for _, r := range pl.slaveSrcs {
+			if r.IsFP() {
+				return isa.ClassFPOther
+			}
+		}
+		return isa.ClassIntOther
+	}
+	if dest := in.Dest(); dest != isa.RegNone && dest.IsFP() {
+		return isa.ClassFPOther
+	}
+	return isa.ClassIntOther
+}
+
+// bIdx converts a file flag to an index (0 int, 1 fp).
+func bIdx(fp bool) int {
+	if fp {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+
+	"multicluster/internal/isa"
+)
+
+// fetch runs the fetch/distribute stage for cycle t: up to FetchWidth
+// instructions are pulled (refetch queue first, then the trace), checked
+// against the instruction cache, and distributed to dispatch queues in
+// fetch order. Fetch stops at the first taken control flow, the first
+// mispredicted branch, an instruction-cache miss, or a structural stall
+// (queue or register file full), whichever comes first.
+func (p *Processor) fetch(t int64) bool {
+	if t < p.fetchStallUntil {
+		if p.fetchStallIsReplay {
+			p.stats.Fetch.Replay++
+		} else {
+			p.stats.Fetch.ICacheMiss++
+		}
+		return false
+	}
+	if p.fetchBlockedByBranch(t) {
+		p.stats.Fetch.Mispredict++
+		return false
+	}
+
+	fetched := 0
+	lineMask := uint64(p.icache.LineSize() - 1)
+	var linesTouched []uint64
+	for fetched < p.cfg.FetchWidth {
+		item := p.peekItem()
+		if item == nil {
+			break
+		}
+		// Dynamic reassignment hint: serialize, migrate, switch.
+		if len(p.reassigns) > 0 {
+			if r, ok := p.pendingReassign(item.idx); ok {
+				if len(p.active) > 0 || fetched > 0 {
+					p.stats.Reassign.DrainCycles++
+					break // drain before switching
+				}
+				p.fetchStallUntil = p.applyReassign(r, t)
+				p.fetchStallIsReplay = false
+				break
+			}
+		}
+		// Instruction-cache access, once per line per cycle.
+		pc := isa.PCOf(item.idx)
+		line := pc &^ lineMask
+		touched := false
+		for _, l := range linesTouched {
+			if l == line {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			if extra := p.icache.Access(pc, t); extra > 0 {
+				p.fetchStallUntil = t + int64(extra)
+				p.fetchStallIsReplay = false
+				if fetched == 0 {
+					p.stats.Fetch.ICacheMiss++
+				}
+				break
+			}
+			linesTouched = append(linesTouched, line)
+		}
+
+		pl := p.plan(item.in)
+		ok, queueFull, regsFull := p.canDistribute(item.in, pl)
+		if !ok {
+			if fetched == 0 {
+				if queueFull {
+					p.stats.Fetch.QueueFull++
+				} else if regsFull {
+					p.stats.Fetch.RegsFull++
+				}
+			}
+			break
+		}
+
+		d := p.distribute(*item, pl, t)
+		p.consumeItem()
+		fetched++
+
+		// Fetch discontinuities end the cycle's fetch group; a mispredicted
+		// conditional branch blocks fetch entirely until it resolves (the
+		// machine would be fetching the wrong path).
+		if d.isCondBr && d.mispredicted {
+			break
+		}
+		if item.in.Op.IsControl() && item.taken {
+			break
+		}
+	}
+	return fetched > 0
+}
+
+// peekItem returns the next instruction to distribute without consuming it:
+// replayed instructions first, then the trace.
+func (p *Processor) peekItem() *fetchItem {
+	if p.pending != nil {
+		return p.pending
+	}
+	if len(p.refetch) > 0 {
+		p.pending = &p.refetch[0]
+		p.refetch = p.refetch[1:]
+		return p.pending
+	}
+	if p.traceDone {
+		return nil
+	}
+	e, ok := p.reader.Next()
+	if !ok {
+		p.traceDone = true
+		return nil
+	}
+	p.pending = &fetchItem{idx: e.Index, in: e.Instr, addr: e.Addr, taken: e.Taken}
+	return p.pending
+}
+
+func (p *Processor) consumeItem() { p.pending = nil }
+
+// replay raises an instruction-replay exception (§2.1): the oldest
+// instruction with an unissued copy is blocked — in a correctly-sized
+// machine this can only persist when transfer-buffer entries are held by
+// younger instructions — so every younger instruction is squashed,
+// releasing their queue entries, physical registers, and buffer entries,
+// and is refetched after a short restart penalty.
+func (p *Processor) replay(t int64) error {
+	var oldest *dynInst
+	for _, d := range p.active {
+		if !d.allIssued() {
+			oldest = d
+			break
+		}
+	}
+	if oldest == nil {
+		return errDeadlock(p, t, "no unissued instruction")
+	}
+	// Collect and squash everything younger than the blocked instruction.
+	cut := -1
+	for i, d := range p.active {
+		if d.seq > oldest.seq {
+			cut = i
+			break
+		}
+	}
+	if cut < 0 {
+		return errDeadlock(p, t, "blocked instruction has no younger instructions to squash")
+	}
+	victims := p.active[cut:]
+	p.active = p.active[:cut]
+
+	// Undo youngest-first so rename maps unwind correctly.
+	for i := len(victims) - 1; i >= 0; i-- {
+		d := victims[i]
+		d.squashed = true
+		if d.destReg != isa.RegNone {
+			fp := bIdx(d.destReg.IsFP())
+			for c := 0; c < p.cfg.Clusters; c++ {
+				if d.renamed[c] {
+					p.rename[c][d.destReg] = d.prevProd[c]
+					p.freeRegs[c][fp]++
+				}
+			}
+		}
+		p.stats.ReplayedInstructions++
+	}
+	// Remove squashed copies from the dispatch queues.
+	for c := 0; c < p.cfg.Clusters; c++ {
+		kept := p.queue[c][:0]
+		for _, u := range p.queue[c] {
+			if !u.inst.squashed {
+				kept = append(kept, u)
+			}
+		}
+		p.queue[c] = kept
+	}
+	// Squashed-branch entries are pruned by resolveBranches; dual-in-flight
+	// entries by computeBufferOccupancy.
+
+	// Refetch the victims in program order, ahead of any not-yet-fetched
+	// pending instruction and the rest of the trace.
+	items := make([]fetchItem, 0, len(victims)+1+len(p.refetch))
+	for _, d := range victims {
+		items = append(items, fetchItem{idx: d.idx, in: d.in, addr: d.addr, taken: d.taken})
+	}
+	if p.pending != nil {
+		items = append(items, *p.pending)
+		p.pending = nil
+	}
+	items = append(items, p.refetch...)
+	p.refetch = items
+
+	p.fetchStallUntil = t + int64(p.cfg.ReplayPenalty)
+	p.fetchStallIsReplay = true
+	p.stats.Replays++
+	return nil
+}
+
+func errDeadlock(p *Processor, t int64, why string) error {
+	return &DeadlockError{Cycle: t, InFlight: len(p.active), Why: why}
+}
+
+// DeadlockError reports a machine state the replay mechanism cannot
+// recover, which indicates a modelling bug rather than a workload property.
+type DeadlockError struct {
+	Cycle    int64
+	InFlight int
+	Why      string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("core: unrecoverable stall at cycle %d with %d in flight: %s", e.Cycle, e.InFlight, e.Why)
+}

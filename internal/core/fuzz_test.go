@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"multicluster/internal/isa"
+	"multicluster/internal/trace"
+)
+
+// randomStream builds a random but well-formed instruction stream: register
+// operations over arbitrary registers, loads/stores with random addresses,
+// and conditional branches with random outcomes. The static "program" is a
+// flat array the entries index.
+func randomStream(rng *rand.Rand, n int) ([]isa.Instruction, []trace.Entry) {
+	anyReg := func() isa.Reg {
+		if rng.Intn(2) == 0 {
+			return isa.IntReg(rng.Intn(31)) // avoid r31 (zero)
+		}
+		return isa.FPReg(rng.Intn(31))
+	}
+	intReg := func() isa.Reg { return isa.IntReg(rng.Intn(31)) }
+	fpReg := func() isa.Reg { return isa.FPReg(rng.Intn(31)) }
+
+	instrs := make([]isa.Instruction, n)
+	entries := make([]trace.Entry, n)
+	memID, brID := 0, 0
+	for i := 0; i < n; i++ {
+		var in isa.Instruction
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			in = isa.Instruction{Op: isa.ADD, Dst: intReg(), Src1: intReg(), Src2: intReg()}
+		case 4:
+			in = isa.Instruction{Op: isa.MUL, Dst: intReg(), Src1: intReg(), Src2: intReg()}
+		case 5:
+			in = isa.Instruction{Op: isa.FMUL, Dst: fpReg(), Src1: fpReg(), Src2: fpReg()}
+		case 6:
+			in = isa.Instruction{Op: isa.FDIV, Dst: fpReg(), Src1: fpReg(), Src2: fpReg()}
+		case 7:
+			in = isa.Instruction{Op: isa.LDW, Dst: intReg(), Src1: intReg(), MemID: memID}
+			memID++
+		case 8:
+			in = isa.Instruction{Op: isa.STW, Src1: intReg(), Src2: anyReg(), MemID: memID}
+			if in.Src2.IsFP() {
+				in.Op = isa.STF
+			}
+			memID++
+		case 9:
+			in = isa.Instruction{Op: isa.BNE, Src1: intReg(), Target: rng.Intn(n), BrID: brID}
+			brID++
+		}
+		if in.MemID == 0 && !in.Op.Class().IsMem() {
+			in.MemID = -1
+		}
+		if in.BrID == 0 && !in.Op.IsCondBranch() {
+			in.BrID = -1
+		}
+		instrs[i] = in
+		entries[i] = trace.Entry{
+			Index: i,
+			Instr: &instrs[i],
+			Addr:  uint64(rng.Intn(1 << 22)),
+			Taken: rng.Intn(2) == 0,
+		}
+	}
+	return instrs, entries
+}
+
+// machineInvariants runs a stream and checks conservation laws: every
+// instruction retires exactly once, physical-register free counts return to
+// their initial values, the dispatch queues and active list drain, and the
+// transfer-buffer occupancy ends at zero.
+func machineInvariants(t *testing.T, cfg Config, entries []trace.Entry) Stats {
+	t.Helper()
+	p, err := New(cfg, &trace.SliceReader{Entries: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.Run()
+	if err != nil {
+		t.Fatalf("%v (stats %v)", err, stats)
+	}
+	if stats.Stop != StopTraceEnd {
+		t.Fatalf("machine did not drain: %v", stats)
+	}
+	if stats.Instructions != int64(len(entries)) {
+		t.Fatalf("retired %d of %d", stats.Instructions, len(entries))
+	}
+	for c := 0; c < cfg.Clusters; c++ {
+		// With no in-flight instructions every physical register beyond
+		// those backing the (current) architectural state must be free.
+		want := [2]int{
+			cfg.IntRegs - p.backedRegs(c, false),
+			cfg.FPRegs - p.backedRegs(c, true),
+		}
+		if p.freeRegs[c] != want {
+			t.Fatalf("cluster %d leaked physical registers: have %v, want %v", c, p.freeRegs[c], want)
+		}
+		if len(p.queue[c]) != 0 {
+			t.Fatalf("cluster %d queue not drained: %d entries", c, len(p.queue[c]))
+		}
+	}
+	if len(p.active) != 0 {
+		t.Fatalf("active list not drained: %d", len(p.active))
+	}
+	p.computeBufferOccupancy(p.cycle + 1)
+	if p.opBufUsed[0]|p.opBufUsed[1]|p.resBufUsed[0]|p.resBufUsed[1] != 0 {
+		t.Fatalf("transfer buffers leaked: op=%v res=%v", p.opBufUsed, p.resBufUsed)
+	}
+	return stats
+}
+
+func TestRandomStreamsSatisfyInvariants(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		_, entries := randomStream(rng, 600)
+		for _, cfg := range []Config{
+			SingleCluster8Way(),
+			DualCluster4Way(),
+			DualCluster2Way(),
+		} {
+			cfg.MaxCycles = 2_000_000
+			machineInvariants(t, cfg, entries)
+		}
+	}
+}
+
+func TestRandomStreamsWithTinyBuffersReplayButComplete(t *testing.T) {
+	// Starved transfer buffers force replays; the machine must still
+	// retire everything and conserve resources through squashes.
+	sawReplay := false
+	for seed := int64(100); seed < 115; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		_, entries := randomStream(rng, 600)
+		cfg := DualCluster4Way()
+		cfg.OperandBuffer = 1
+		cfg.ResultBuffer = 1
+		cfg.MaxCycles = 4_000_000
+		stats := machineInvariants(t, cfg, entries)
+		if stats.Replays > 0 {
+			sawReplay = true
+		}
+	}
+	if !sawReplay {
+		t.Error("no replays across 15 starved-buffer runs; the deadlock path went unexercised")
+	}
+}
+
+func TestRandomStreamsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	_, entries := randomStream(rng, 600)
+	cfg := DualCluster4Way()
+	cfg.MaxCycles = 2_000_000
+	a := machineInvariants(t, cfg, entries)
+	b := machineInvariants(t, cfg, entries)
+	if a.Cycles != b.Cycles || a.DualDist != b.DualDist || a.Replays != b.Replays {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestRandomStreamsUnderLowHighAssignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	_, entries := randomStream(rng, 600)
+	cfg := DualCluster4Way()
+	cfg.Assignment = isa.LowHighAssignment()
+	cfg.MaxCycles = 2_000_000
+	machineInvariants(t, cfg, entries)
+}
+
+func TestRandomStreamsWithReassignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	_, entries := randomStream(rng, 600)
+	cfg := DualCluster4Way()
+	cfg.MaxCycles = 4_000_000
+	cfg.Reassignments = []Reassignment{
+		{AtIndex: entries[300].Index, To: isa.LowHighAssignment()},
+	}
+	machineInvariants(t, cfg, entries)
+}

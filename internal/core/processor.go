@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+
+	"multicluster/internal/bpred"
+	"multicluster/internal/cache"
+	"multicluster/internal/isa"
+	"multicluster/internal/trace"
+)
+
+// Processor is one configured machine instance. Create with New, run one
+// trace with Run; a Processor is not reusable across runs and not safe for
+// concurrent use.
+type Processor struct {
+	cfg    Config
+	icache *cache.Cache
+	dcache *cache.Cache
+	pred   *bpred.Predictor
+
+	// Per-cluster machine state.
+	queue    [2][]*uop
+	rename   [2]map[isa.Reg]*dynInst
+	freeRegs [2][2]int // [cluster][0 int, 1 fp]
+	divFree  [2][]int64
+
+	// Transfer-buffer occupancy, recomputed each cycle from dualInFlight
+	// and then adjusted by same-cycle allocations (squash-safe by
+	// construction).
+	opBufUsed  [2]int
+	resBufUsed [2]int
+
+	active       []*dynInst // fetch-order window (the active list)
+	dualInFlight []*dynInst
+	pendingBr    []*dynInst
+
+	reader    trace.Reader
+	pending   *fetchItem
+	refetch   []fetchItem
+	traceDone bool
+
+	nextSeq      int64
+	maxIssuedSeq int64
+	cycle        int64
+
+	fetchStallUntil    int64
+	fetchStallIsReplay bool
+
+	lastProgress int64
+
+	// reassigns holds the not-yet-applied dynamic-reassignment hints.
+	reassigns []Reassignment
+
+	// lastStore maps a word-aligned address to the youngest store
+	// distributed to it, for store→load dependence tracking.
+	lastStore map[uint64]*dynInst
+
+	// Buffer-deadlock detection: the sequence number of the oldest
+	// instruction with an unissued copy, whether it was blocked purely by
+	// transfer-buffer space this cycle, and for how many consecutive
+	// cycles that has held.
+	oldestUnissuedSeq int64
+	bufBlockedNow     bool
+	bufBlockedSeq     int64
+	bufBlockedRun     int
+
+	stats Stats
+
+	// observe, when set, is called for every retired instruction; used by
+	// white-box timing tests and by the pipeline-diagram tooling.
+	observe func(*dynInst)
+}
+
+// New builds a processor for cfg reading dynamic instructions from r.
+func New(cfg Config, r trace.Reader) (*Processor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Processor{
+		cfg:          cfg,
+		icache:       cache.MustNew(cfg.ICache),
+		dcache:       cache.MustNew(cfg.DCache),
+		pred:         bpred.New(cfg.Predictor),
+		reader:       r,
+		maxIssuedSeq: -1,
+	}
+	p.reassigns = append(p.reassigns, cfg.Reassignments...)
+	if !cfg.UnorderedMemory {
+		p.lastStore = make(map[uint64]*dynInst)
+	}
+	if cfg.CollectProfile {
+		p.stats.Profile = make(map[int]PCStat)
+	}
+	for c := 0; c < cfg.Clusters; c++ {
+		p.rename[c] = make(map[isa.Reg]*dynInst, isa.NumRegs)
+		p.divFree[c] = make([]int64, cfg.Rules.FPDiv)
+		p.freeRegs[c][0] = cfg.IntRegs - p.backedRegs(c, false)
+		p.freeRegs[c][1] = cfg.FPRegs - p.backedRegs(c, true)
+		if p.freeRegs[c][0] <= 0 || p.freeRegs[c][1] <= 0 {
+			return nil, fmt.Errorf("core: cluster %d has no free physical registers after backing the architectural state", c)
+		}
+	}
+	return p, nil
+}
+
+// backedRegs counts the architectural registers whose committed values a
+// cluster must hold in physical registers: its locals plus the globals
+// (zero registers are hardwired, not renamed).
+func (p *Processor) backedRegs(c int, fp bool) int {
+	if p.cfg.Clusters == 1 {
+		if fp {
+			return isa.NumFPRegs - 1 // f31 is hardwired zero
+		}
+		return isa.NumIntRegs - 1
+	}
+	n := len(p.cfg.Assignment.LocalRegs(c, fp))
+	for _, g := range p.cfg.Assignment.Globals() {
+		if g.IsFP() == fp && !g.IsZero() {
+			n++
+		}
+	}
+	return n
+}
+
+// Run simulates until the trace is exhausted and the machine drains, or
+// until MaxCycles. It returns the accumulated statistics.
+func (p *Processor) Run() (Stats, error) {
+	maxCycles := p.cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = int64(1) << 62
+	}
+	p.stats.Stop = StopTraceEnd
+	for {
+		if p.drained() {
+			break
+		}
+		if p.cycle >= maxCycles {
+			p.stats.Stop = StopMaxCycles
+			break
+		}
+		if err := p.step(); err != nil {
+			return p.stats, err
+		}
+	}
+	p.stats.Cycles = p.cycle
+	p.stats.ICache = p.icache.Stats()
+	p.stats.DCache = p.dcache.Stats()
+	p.stats.Predictor = p.pred.Stats()
+	return p.stats, nil
+}
+
+func (p *Processor) drained() bool {
+	return p.traceDone && p.pending == nil && len(p.refetch) == 0 && len(p.active) == 0
+}
+
+// step advances the machine one cycle: resolve branches, recompute buffer
+// occupancy, retire, issue, fetch/distribute, then check the replay
+// watchdog.
+func (p *Processor) step() error {
+	t := p.cycle
+	progress := false
+
+	p.resolveBranches(t)
+	p.computeBufferOccupancy(t)
+
+	p.oldestUnissuedSeq = -1
+	for _, d := range p.active {
+		if !d.allIssued() {
+			p.oldestUnissuedSeq = d.seq
+			break
+		}
+	}
+	p.bufBlockedNow = false
+
+	if p.retire(t) {
+		progress = true
+	}
+	for c := 0; c < p.cfg.Clusters; c++ {
+		if p.issueCluster(c, t) {
+			progress = true
+		}
+		p.stats.Cluster[c].QueueOccupancySum += int64(len(p.queue[c]))
+	}
+	if p.fetch(t) {
+		progress = true
+	}
+
+	// Precise replay trigger: the oldest unissued instruction has been
+	// blocked purely by transfer-buffer space for several consecutive
+	// cycles. The entries it needs are necessarily held by younger
+	// instructions, so this cannot resolve on its own (§2.1).
+	if p.bufBlockedNow && p.oldestUnissuedSeq == p.bufBlockedSeq {
+		p.bufBlockedRun++
+	} else if p.bufBlockedNow {
+		p.bufBlockedSeq = p.oldestUnissuedSeq
+		p.bufBlockedRun = 1
+	} else {
+		p.bufBlockedRun = 0
+	}
+
+	switch {
+	case p.bufBlockedRun >= bufferBlockCycles:
+		if err := p.replay(t); err != nil {
+			return err
+		}
+		p.bufBlockedRun = 0
+		p.lastProgress = t
+	case progress:
+		p.lastProgress = t
+	case len(p.active) > 0 && t-p.lastProgress >= int64(p.cfg.ReplayWatchdog):
+		if err := p.replay(t); err != nil {
+			return err
+		}
+		p.lastProgress = t
+	}
+	p.cycle++
+	return nil
+}
+
+// resolveBranches trains the predictor at branch execution time and prunes
+// settled entries. Mispredicted branches block fetch until one cycle after
+// resolution (the machine would have been fetching the wrong path).
+func (p *Processor) resolveBranches(t int64) {
+	kept := p.pendingBr[:0]
+	for _, b := range p.pendingBr {
+		if b.squashed {
+			continue
+		}
+		if !b.resolved && b.master.issued && b.resultCycle <= t {
+			b.resolved = true
+			p.pred.Update(b.snap, b.taken)
+			if b.mispredicted {
+				p.stats.Mispredicts++
+				p.stats.MispredResolveSum += b.resultCycle - b.master.distributedAt
+			}
+		}
+		if b.resolved && b.resultCycle+1 <= t {
+			continue // settled; fetch no longer blocked by it
+		}
+		kept = append(kept, b)
+	}
+	p.pendingBr = kept
+}
+
+// fetchBlockedByBranch reports whether an in-flight mispredicted branch
+// still gates fetch at cycle t.
+func (p *Processor) fetchBlockedByBranch(t int64) bool {
+	for _, b := range p.pendingBr {
+		if b.mispredicted && (!b.resolved || b.resultCycle+1 > t) {
+			return true
+		}
+	}
+	return false
+}
+
+// computeBufferOccupancy derives the operand/result transfer-buffer usage
+// for cycle t from the dual-distributed instructions in flight, pruning
+// retired and squashed entries as it goes.
+func (p *Processor) computeBufferOccupancy(t int64) {
+	p.opBufUsed[0], p.opBufUsed[1] = 0, 0
+	p.resBufUsed[0], p.resBufUsed[1] = 0, 0
+	kept := p.dualInFlight[:0]
+	for _, d := range p.dualInFlight {
+		if d.squashed || d.retired() {
+			continue
+		}
+		kept = append(kept, d)
+		s, m := d.slave, d.master
+		if s.opFwdSlave && s.issued && s.issueCycle <= t {
+			// Operand entries live in the master's cluster until the
+			// master reads them at issue (reusable the next cycle).
+			if !m.issued || m.issueCycle >= t {
+				p.opBufUsed[m.cluster] += m.fwdOperands
+			}
+		}
+		if m.sendsResult && m.issued && m.issueCycle <= t {
+			end := int64(never)
+			if s.opFwdSlave {
+				// Scenario 5: the suspended slave reads the entry when the
+				// result arrives.
+				end = d.resultCycle
+			} else if s.issued {
+				end = s.issueCycle
+			}
+			if t <= end {
+				p.resBufUsed[s.cluster]++
+			}
+		}
+	}
+	p.dualInFlight = kept
+}
+
+// retired reports whether the instruction has left the active list.
+func (d *dynInst) retired() bool { return d.retiredFlag }
+
+// retire commits completed instructions in program order, up to
+// RetireWidth per cycle, releasing the physical registers of the previous
+// mappings of their destinations.
+func (p *Processor) retire(t int64) bool {
+	n := 0
+	for n < p.cfg.RetireWidth && len(p.active) > 0 {
+		d := p.active[0]
+		if !d.retireReady(t) {
+			break
+		}
+		p.active = p.active[1:]
+		d.retiredFlag = true
+		// Drop the store-ordering entry once the store leaves the window,
+		// so the map only ever pins in-flight instructions.
+		if p.lastStore != nil && d.in.Op.Class() == isa.ClassStore && p.lastStore[d.addr&^7] == d {
+			delete(p.lastStore, d.addr&^7)
+		}
+		if d.destReg != isa.RegNone {
+			fp := bIdx(d.destReg.IsFP())
+			for c := 0; c < p.cfg.Clusters; c++ {
+				if d.renamed[c] {
+					p.freeRegs[c][fp]++
+				}
+			}
+		}
+		p.stats.Instructions++
+		if d.isCondBr {
+			p.stats.CondBranches++
+		}
+		if p.stats.Profile != nil {
+			pc := p.stats.Profile[d.idx]
+			pc.Count++
+			pc.IssueDelaySum += d.master.issueCycle - d.master.distributedAt
+			if d.dual {
+				pc.DualCount++
+			}
+			if d.isCondBr && d.mispredicted {
+				pc.Mispredicts++
+			}
+			p.stats.Profile[d.idx] = pc
+		}
+		if p.observe != nil {
+			p.observe(d)
+		}
+		n++
+	}
+	return n > 0
+}

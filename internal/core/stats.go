@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"multicluster/internal/bpred"
+	"multicluster/internal/cache"
+)
+
+// StopReason reports why a simulation ended.
+type StopReason string
+
+const (
+	// StopTraceEnd means the trace was consumed and the machine drained.
+	StopTraceEnd StopReason = "trace-end"
+	// StopMaxCycles means the MaxCycles safety limit was hit.
+	StopMaxCycles StopReason = "max-cycles"
+)
+
+// ClusterStats aggregates per-cluster activity.
+type ClusterStats struct {
+	// IssuedUops counts copies issued from this cluster's dispatch queue
+	// (masters and slaves).
+	IssuedUops int64
+	// QueueOccupancySum accumulates dispatch-queue occupancy each cycle;
+	// divide by Cycles for the mean.
+	QueueOccupancySum int64
+	// Distributed counts copies inserted into this cluster's queue.
+	Distributed int64
+}
+
+// FetchStalls break down the cycles in which nothing could be fetched.
+type FetchStalls struct {
+	// ICacheMiss cycles waiting on instruction-cache fills.
+	ICacheMiss int64
+	// Mispredict cycles waiting for a mispredicted branch to resolve.
+	Mispredict int64
+	// QueueFull cycles blocked by a full dispatch queue.
+	QueueFull int64
+	// RegsFull cycles blocked waiting for a free physical register.
+	RegsFull int64
+	// Replay cycles of replay-exception restart penalty.
+	Replay int64
+}
+
+// Stats is the result of one simulation run.
+type Stats struct {
+	Cycles       int64
+	Instructions int64 // logical instructions retired
+	Fetched      int64
+
+	// SingleDist and DualDist count logical instructions distributed to
+	// one and to both clusters.
+	SingleDist, DualDist int64
+	// OperandForwards and ResultForwards count inter-cluster transfers.
+	OperandForwards, ResultForwards int64
+	// Replays counts instruction-replay exceptions.
+	Replays int64
+	// ReplayedInstructions counts instructions squashed and refetched.
+	ReplayedInstructions int64
+
+	// CondBranches and Mispredicts count conditional branches retired and
+	// mispredicted.
+	CondBranches, Mispredicts int64
+	// MispredResolveSum accumulates, over mispredicted branches, the cycles
+	// from distribution to resolution — the fetch-stall window each one
+	// causes.
+	MispredResolveSum int64
+
+	// DisorderSum accumulates, over every issued computation, how far
+	// beyond it the youngest already-issued instruction was (0 when issue
+	// happens in order); divide by issued instructions for the paper's
+	// "issue disorder" trend.
+	DisorderSum int64
+	IssuedOps   int64
+
+	ICache, DCache cache.Stats
+	Predictor      bpred.Stats
+
+	Fetch    FetchStalls
+	Cluster  [2]ClusterStats
+	Reassign ReassignStats
+
+	// Profile holds per-static-instruction counters when
+	// Config.CollectProfile is set, keyed by static instruction index.
+	Profile map[int]PCStat
+
+	Stop StopReason
+}
+
+// PCStat aggregates the dynamic behaviour of one static instruction.
+type PCStat struct {
+	// Count is how many times the instruction retired.
+	Count int64
+	// IssueDelaySum accumulates distribute→issue latency of the master
+	// copy; divide by Count for the mean queueing delay.
+	IssueDelaySum int64
+	// DualCount is how many executions were dual-distributed.
+	DualCount int64
+	// Mispredicts counts mispredictions (conditional branches only).
+	Mispredicts int64
+}
+
+// IPC returns retired logical instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// DualFraction returns the fraction of retired instructions that were
+// dual-distributed.
+func (s Stats) DualFraction() float64 {
+	if s.SingleDist+s.DualDist == 0 {
+		return 0
+	}
+	return float64(s.DualDist) / float64(s.SingleDist+s.DualDist)
+}
+
+// MispredictRate returns mispredictions per conditional branch.
+func (s Stats) MispredictRate() float64 {
+	if s.CondBranches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.CondBranches)
+}
+
+// MeanDisorder returns the average issue disorder per issued operation.
+func (s Stats) MeanDisorder() float64 {
+	if s.IssuedOps == 0 {
+		return 0
+	}
+	return float64(s.DisorderSum) / float64(s.IssuedOps)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"cycles=%d instrs=%d ipc=%.3f dual=%.1f%% fwd(op=%d res=%d) replays=%d mispred=%.2f%% dmiss=%.2f%% disorder=%.2f stop=%s",
+		s.Cycles, s.Instructions, s.IPC(), 100*s.DualFraction(),
+		s.OperandForwards, s.ResultForwards, s.Replays,
+		100*s.MispredictRate(), 100*s.DCache.MissRate(), s.MeanDisorder(), s.Stop)
+}

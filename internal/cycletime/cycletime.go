@@ -1,0 +1,120 @@
+// Package cycletime models the processor cycle time as a function of issue
+// width and process feature size, in the style of Palacharla, Jouppi and
+// Smith ("Complexity-Effective Superscalar Processors", ISCA 1997), which
+// §4.2 of the multicluster paper uses to convert cycle-count ratios into
+// run-time ratios.
+//
+// The model splits the worst-case critical path (window wakeup + select /
+// rename / bypass) into a width-independent gate-delay term that shrinks
+// linearly with the feature size, and a wire-delay term that grows
+// quadratically with issue width and shrinks much more slowly — wire delay
+// becomes relatively more expensive as features shrink. The coefficients
+// are calibrated to the two anchor points the multicluster paper cites:
+//
+//   - 0.35 µm: 4-issue 1248 ps → 8-issue 1484 ps (+18%)
+//   - 0.18 µm: 4-issue → 8-issue worst-case path +82%
+package cycletime
+
+import "math"
+
+// CycleModel is the critical-path delay model at one feature size.
+type CycleModel struct {
+	// FeatureUm is the process feature size in microns.
+	FeatureUm float64
+	// GatePs is the width-independent gate-delay term (picoseconds).
+	GatePs float64
+	// WirePs is the width-quadratic wire-delay coefficient (picoseconds).
+	WirePs float64
+}
+
+// Calibration constants derived from the two anchors (see package comment).
+const (
+	anchorUm     = 0.35
+	anchorGatePs = 1173.12 // A such that A + 16·B = 1248 with A/B = 250.67
+	anchorWirePs = 4.68
+	wireExponent = -1.6664 // ln(14.182/4.68) / ln(0.18/0.35)
+	smallUm      = 0.18
+	smallWirePs  = 14.182 // (A·18/35) / 42.537
+)
+
+// Process035 returns the 0.35 µm model of the paper's first anchor.
+func Process035() CycleModel { return At(anchorUm) }
+
+// Process018 returns the 0.18 µm model of the paper's second anchor.
+func Process018() CycleModel { return At(smallUm) }
+
+// At returns the model for an arbitrary feature size (microns): gate delay
+// scales linearly with feature size, wire delay follows a power law fitted
+// through the two anchors.
+func At(um float64) CycleModel {
+	return CycleModel{
+		FeatureUm: um,
+		GatePs:    anchorGatePs * um / anchorUm,
+		WirePs:    anchorWirePs * math.Pow(um/anchorUm, wireExponent),
+	}
+}
+
+// CycleTimePs returns the worst-case critical-path delay — the minimum
+// clock period — for an issueWidth-wide machine, in picoseconds.
+func (m CycleModel) CycleTimePs(issueWidth int) float64 {
+	w := float64(issueWidth)
+	return m.GatePs + m.WirePs*w*w
+}
+
+// ClockRatio returns T(narrow)/T(wide): how much faster the narrow machine
+// can be clocked. Values below one favour the narrow (clustered) machine.
+func (m CycleModel) ClockRatio(narrow, wide int) float64 {
+	return m.CycleTimePs(narrow) / m.CycleTimePs(wide)
+}
+
+// WidthIncrease returns the fractional critical-path growth from a
+// narrow-issue to a wide-issue machine at this feature size (0.18 ⇒ +18%).
+func (m CycleModel) WidthIncrease(narrow, wide int) float64 {
+	return m.CycleTimePs(wide)/m.CycleTimePs(narrow) - 1
+}
+
+// NetSpeedup combines a simulated cycle-count ratio with the clock-period
+// ratio: the run-time speedup of the dual-cluster machine (per-cluster
+// width `narrow`) over the single-cluster machine (width `wide`). Values
+// above one mean the multicluster wins.
+//
+// cycleRatio is Ndual/Nsingle, the relative increase in clock cycles the
+// simulation measured (e.g. 1.25 for a 25% slowdown).
+func (m CycleModel) NetSpeedup(cycleRatio float64, narrow, wide int) float64 {
+	// Run time is cycles × clock period on each machine:
+	// (Nsingle·T(wide)) / (Ndual·T(narrow)) = ClockRatio(wide,narrow)/cycleRatio.
+	return m.ClockRatio(wide, narrow) / cycleRatio
+}
+
+// RequiredClockReduction returns the fractional clock-period reduction the
+// partitioned machine needs to break even on a given cycle-count slowdown:
+// the paper's "25% more cycles needs a 20% smaller clock period"
+// (1 − 1/1.25 = 0.2).
+func RequiredClockReduction(cycleRatio float64) float64 {
+	return 1 - 1/cycleRatio
+}
+
+// CrossoverFeatureUm finds the feature size below which the dual-cluster
+// machine wins for a given cycle-count ratio, by bisection over the model.
+// It returns 0 when no crossover exists within (minUm, maxUm).
+func CrossoverFeatureUm(cycleRatio float64, narrow, wide int, minUm, maxUm float64) float64 {
+	wins := func(um float64) bool {
+		return At(um).NetSpeedup(cycleRatio, narrow, wide) >= 1
+	}
+	if !wins(minUm) {
+		return 0
+	}
+	if wins(maxUm) {
+		return maxUm
+	}
+	lo, hi := minUm, maxUm // wins at lo, loses at hi
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if wins(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,103 @@
+package cycletime
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+func TestAnchor035(t *testing.T) {
+	m := Process035()
+	if got := m.CycleTimePs(4); !approx(got, 1248, 1) {
+		t.Errorf("4-issue @0.35µm = %.1f ps, want 1248", got)
+	}
+	if got := m.WidthIncrease(4, 8); !approx(got, 0.18, 0.005) {
+		t.Errorf("4→8 increase @0.35µm = %.3f, want 0.18", got)
+	}
+}
+
+func TestAnchor018(t *testing.T) {
+	m := Process018()
+	if got := m.WidthIncrease(4, 8); !approx(got, 0.82, 0.01) {
+		t.Errorf("4→8 increase @0.18µm = %.3f, want 0.82", got)
+	}
+	// Gate delay shrinks linearly with feature size.
+	if got := m.GatePs / Process035().GatePs; !approx(got, 0.18/0.35, 0.001) {
+		t.Errorf("gate scaling = %.3f, want %.3f", got, 0.18/0.35)
+	}
+}
+
+func TestWireShareGrowsAsFeaturesShrink(t *testing.T) {
+	prev := -1.0
+	for _, um := range []float64{0.35, 0.25, 0.18, 0.13} {
+		m := At(um)
+		share := m.WirePs * 64 / m.CycleTimePs(8)
+		if share <= prev {
+			t.Errorf("wire share at %.2fµm = %.3f did not grow (prev %.3f)", um, share, prev)
+		}
+		prev = share
+	}
+}
+
+func TestPaperBreakEvenAnalysis(t *testing.T) {
+	// §4.2: a worst-case 25% cycle slowdown needs a 20% smaller clock.
+	if got := RequiredClockReduction(1.25); !approx(got, 0.20, 1e-9) {
+		t.Errorf("required reduction for 1.25 = %.3f, want 0.20", got)
+	}
+	// At 0.35µm the 4-issue clock is only 18% shorter — not enough: the
+	// net speedup for a 25% slowdown is below one.
+	if s := Process035().NetSpeedup(1.25, 4, 8); s >= 1 {
+		t.Errorf("net speedup @0.35µm for 25%% slowdown = %.3f, want < 1", s)
+	}
+	// At 0.18µm the 45% shorter clock (1/1.82) more than compensates.
+	if s := Process018().NetSpeedup(1.25, 4, 8); s <= 1 {
+		t.Errorf("net speedup @0.18µm for 25%% slowdown = %.3f, want > 1", s)
+	}
+}
+
+func TestNetSpeedupIdentity(t *testing.T) {
+	// With no cycle overhead, the net speedup is exactly the clock gain.
+	m := Process018()
+	want := m.CycleTimePs(8) / m.CycleTimePs(4)
+	if got := m.NetSpeedup(1.0, 4, 8); !approx(got, want, 1e-9) {
+		t.Errorf("NetSpeedup(1.0) = %.4f, want %.4f", got, want)
+	}
+}
+
+func TestCrossoverBetweenAnchors(t *testing.T) {
+	// For a 25% slowdown, the crossover feature size must lie strictly
+	// between the two anchor processes.
+	um := CrossoverFeatureUm(1.25, 4, 8, 0.10, 0.50)
+	if um <= 0.18 || um >= 0.35 {
+		t.Errorf("crossover at %.3fµm, want within (0.18, 0.35)", um)
+	}
+	// Exactly at the crossover the net speedup is ≈ 1.
+	if s := At(um).NetSpeedup(1.25, 4, 8); !approx(s, 1, 1e-6) {
+		t.Errorf("net speedup at crossover = %.6f, want 1", s)
+	}
+}
+
+func TestCrossoverDegenerateCases(t *testing.T) {
+	// A slowdown beyond the asymptotic clock gain (T8/T4 → 4 as wire delay
+	// dominates) never wins at any feature size.
+	if um := CrossoverFeatureUm(4.5, 4, 8, 0.10, 0.50); um != 0 {
+		t.Errorf("crossover for 4.5× slowdown = %.3f, want 0 (never wins)", um)
+	}
+	// No slowdown at all wins everywhere in range.
+	if um := CrossoverFeatureUm(1.0, 4, 8, 0.10, 0.50); um != 0.50 {
+		t.Errorf("crossover for no slowdown = %.3f, want 0.50 (always wins)", um)
+	}
+}
+
+func TestMonotonicInWidth(t *testing.T) {
+	m := Process018()
+	prev := 0.0
+	for w := 2; w <= 16; w *= 2 {
+		ct := m.CycleTimePs(w)
+		if ct <= prev {
+			t.Errorf("cycle time not monotone in width: %d-issue = %.1f", w, ct)
+		}
+		prev = ct
+	}
+}

@@ -1,0 +1,327 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"multicluster/internal/core"
+	"multicluster/internal/partition"
+	"multicluster/internal/workload"
+)
+
+// fastOpts keeps unit-test runs quick while staying long enough for the
+// predictor and caches to warm.
+func fastOpts() Options {
+	opts := DefaultOptions()
+	opts.Instructions = 40_000
+	opts.ProfileInstructions = 10_000
+	return opts
+}
+
+func TestCompileBothModes(t *testing.T) {
+	opts := fastOpts()
+	for _, b := range workload.All() {
+		if _, _, err := Compile(b, nil, opts); err != nil {
+			t.Errorf("%s native: %v", b.Name, err)
+		}
+		if _, alloc, err := Compile(b, partition.Local{}, opts); err != nil {
+			t.Errorf("%s local: %v", b.Name, err)
+		} else if alloc.Prog == nil {
+			t.Errorf("%s local: nil program", b.Name)
+		}
+	}
+}
+
+func TestTable2RowShape(t *testing.T) {
+	opts := fastOpts()
+	row, err := Table2Bench(workload.ByName("doduc"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline multicluster trends: the unscheduled binary slows down
+	// on the dual-cluster machine, and the local scheduler recovers a
+	// substantial part of that slowdown.
+	if row.NonePct >= 0 {
+		t.Errorf("doduc none = %+.1f%%, want a slowdown", row.NonePct)
+	}
+	if row.LocalPct <= row.NonePct {
+		t.Errorf("local (%+.1f%%) must improve on none (%+.1f%%) for doduc", row.LocalPct, row.NonePct)
+	}
+	// Dual-distribution fraction must drop under the local scheduler.
+	if row.LocalStats.DualFraction() >= row.NoneStats.DualFraction() {
+		t.Errorf("local dual fraction %.2f not below none %.2f",
+			row.LocalStats.DualFraction(), row.NoneStats.DualFraction())
+	}
+	// Consistency of the derived fields.
+	if row.SingleCycles != row.SingleStats.Cycles || row.DualNoneCycles != row.NoneStats.Cycles {
+		t.Error("cycle fields inconsistent with stats")
+	}
+	if r := row.CycleRatio(false); r < 1 {
+		t.Errorf("none cycle ratio %.3f < 1 contradicts the slowdown", r)
+	}
+}
+
+func TestTable2SingleClusterNeverDualDistributes(t *testing.T) {
+	opts := fastOpts()
+	row, err := Table2Bench(workload.ByName("compress"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.SingleStats.DualDist != 0 {
+		t.Errorf("single-cluster run dual-distributed %d instructions", row.SingleStats.DualDist)
+	}
+	if row.NoneStats.DualDist == 0 {
+		t.Error("the unscheduled binary should dual-distribute on the dual-cluster machine")
+	}
+}
+
+func TestLocalSchedulerReducesDualEverywhere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full six-benchmark sweep")
+	}
+	opts := fastOpts()
+	rows, err := Table2(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.LocalStats.DualFraction() > r.NoneStats.DualFraction()+1e-9 {
+			t.Errorf("%s: local dual %.2f exceeds none %.2f", r.Benchmark,
+				r.LocalStats.DualFraction(), r.NoneStats.DualFraction())
+		}
+		if r.NonePct > 1 {
+			t.Errorf("%s: unscheduled binary sped up by %.1f%% on the dual machine", r.Benchmark, r.NonePct)
+		}
+	}
+}
+
+func TestReportsRender(t *testing.T) {
+	t1 := FormatTable1()
+	for _, frag := range []string{"single, per cycle", "dual, per cluster", "8/16"} {
+		if !strings.Contains(t1, frag) {
+			t.Errorf("Table 1 output missing %q:\n%s", frag, t1)
+		}
+	}
+	rows := []Table2Row{{
+		Benchmark:       "compress",
+		SingleCycles:    100,
+		DualNoneCycles:  114,
+		DualLocalCycles: 94,
+		NonePct:         -14,
+		LocalPct:        +6,
+	}}
+	t2 := FormatTable2(rows)
+	if !strings.Contains(t2, "compress") || !strings.Contains(t2, "-14") || !strings.Contains(t2, "+6") {
+		t.Errorf("Table 2 output malformed:\n%s", t2)
+	}
+	ct := CycleTimeReport(rows)
+	for _, frag := range []string{"0.35um", "0.18um", "net run-time speedup"} {
+		if !strings.Contains(ct, frag) {
+			t.Errorf("cycle-time report missing %q:\n%s", frag, ct)
+		}
+	}
+	det := FormatTable2Detail(rows)
+	if !strings.Contains(det, "replays") {
+		t.Errorf("detail report missing replay column:\n%s", det)
+	}
+}
+
+func TestSpeedupPct(t *testing.T) {
+	if got := speedupPct(100, 125); got != -25 {
+		t.Errorf("speedupPct(100,125) = %v, want -25", got)
+	}
+	if got := speedupPct(100, 94); got != 6 {
+		t.Errorf("speedupPct(100,94) = %v, want +6", got)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	d := o.withDefaults()
+	if d.Instructions == 0 || d.ProfileInstructions == 0 {
+		t.Error("defaults not applied")
+	}
+	if d.Single.Clusters != 1 || d.Dual.Clusters != 2 {
+		t.Error("default configurations wrong")
+	}
+	if d.Single.MaxCycles == 0 || d.Dual.MaxCycles == 0 {
+		t.Error("runaway guard not set")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	opts := fastOpts()
+	b := workload.ByName("gcc1")
+	r1, err := Table2Bench(b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Table2Bench(b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.SingleCycles != r2.SingleCycles || r1.DualNoneCycles != r2.DualNoneCycles || r1.DualLocalCycles != r2.DualLocalCycles {
+		t.Errorf("non-deterministic results: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestSimulateRejectsOverrun(t *testing.T) {
+	opts := fastOpts()
+	opts.Dual.MaxCycles = 10 // absurdly small: must be reported as an error
+	b := workload.ByName("compress")
+	mp, _, err := Compile(b, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Simulate(mp, b, opts.Dual, opts); err == nil {
+		t.Error("hitting MaxCycles must surface as an error")
+	}
+}
+
+func TestMasterPolicyAblation(t *testing.T) {
+	// The alternate policy maximizes transfers; the majority policy must
+	// dual-distribute no more than it.
+	opts := fastOpts()
+	b := workload.ByName("doduc")
+	mp, _, err := Compile(b, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgMaj := opts.withDefaults().Dual
+	cfgAlt := cfgMaj
+	cfgAlt.MasterSelect = core.MasterAlternate
+	sMaj, err := Simulate(mp, b, cfgMaj, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sAlt, err := Simulate(mp, b, cfgAlt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sMaj.OperandForwards+sMaj.ResultForwards > sAlt.OperandForwards+sAlt.ResultForwards {
+		t.Errorf("majority policy produced more transfers (%d) than alternate (%d)",
+			sMaj.OperandForwards+sMaj.ResultForwards, sAlt.OperandForwards+sAlt.ResultForwards)
+	}
+}
+
+func TestExportFormats(t *testing.T) {
+	rows := []Table2Row{{
+		Benchmark:       "compress",
+		SingleCycles:    100,
+		DualNoneCycles:  114,
+		DualLocalCycles: 94,
+		NonePct:         -14,
+		LocalPct:        6,
+	}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []RowExport
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("JSON round trip: %v", err)
+	}
+	if len(decoded) != 1 || decoded[0].Benchmark != "compress" || decoded[0].NonePct != -14 {
+		t.Errorf("decoded %+v", decoded)
+	}
+
+	buf.Reset()
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV round trip: %v", err)
+	}
+	if len(recs) != 2 || recs[1][0] != "compress" {
+		t.Errorf("CSV records %v", recs)
+	}
+
+	buf.Reset()
+	if err := WriteRows(&buf, rows, "text"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "compress") {
+		t.Error("text format missing data")
+	}
+	if err := WriteRows(&buf, rows, "yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestScenarioTimelinesContent(t *testing.T) {
+	out := ScenarioTimelines()
+	for _, frag := range []string{
+		"scenario 2 (Figure 2)", "scenario 5 (Figure 5)",
+		"forwards an operand", "suspends",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("scenario timelines missing %q:\n%s", frag, out)
+		}
+	}
+	if strings.Contains(out, "ERROR") {
+		t.Errorf("scenario timelines contain an error:\n%s", out)
+	}
+}
+
+func TestFigure6ReportContent(t *testing.T) {
+	out := Figure6Report()
+	for _, frag := range []string{"bb4", "global register", "assignment order"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("figure 6 report missing %q:\n%s", frag, out)
+		}
+	}
+	// The paper's traversal order appears as numbered lines 1..5.
+	if !strings.Contains(out, "1. bb4") || !strings.Contains(out, "5. bb2") {
+		t.Errorf("traversal order not rendered:\n%s", out)
+	}
+}
+
+func TestCompareAssignmentsShape(t *testing.T) {
+	opts := fastOpts()
+	cmp, err := CompareAssignments("doduc", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The local scheduler chooses registers itself, so the local column is
+	// scheme-insensitive to within a few percent; the none column may
+	// differ arbitrarily.
+	if d := cmp.EvenOdd.LocalPct - cmp.LowHigh.LocalPct; d > 6 || d < -6 {
+		t.Errorf("local scheduler scheme-sensitive: even/odd %+.1f vs low/high %+.1f", cmp.EvenOdd.LocalPct, cmp.LowHigh.LocalPct)
+	}
+	if _, err := CompareAssignments("nope", opts); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	txt := FormatAssignmentComparison([]AssignmentComparison{cmp})
+	if !strings.Contains(txt, "doduc") || !strings.Contains(txt, "low-high") {
+		t.Errorf("comparison rendering:\n%s", txt)
+	}
+}
+
+func TestFourWayOptionsShape(t *testing.T) {
+	opts := FourWayOptions()
+	if opts.Single.Rules.All != 4 || opts.Dual.Rules.All != 2 {
+		t.Errorf("four-way study widths: single %d, dual %d", opts.Single.Rules.All, opts.Dual.Rules.All)
+	}
+	if opts.Single.QueueSize != opts.Dual.QueueSize*2 {
+		t.Errorf("aggregate queue mismatch: %d vs 2×%d", opts.Single.QueueSize, opts.Dual.QueueSize)
+	}
+}
+
+func TestPostScheduleOptionRuns(t *testing.T) {
+	opts := fastOpts()
+	opts.PostSchedule = true
+	row, err := Table2Bench(workload.ByName("tomcatv"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.SingleCycles == 0 || row.DualLocalCycles == 0 {
+		t.Fatalf("empty results: %+v", row)
+	}
+}

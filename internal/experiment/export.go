@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// RowExport is the flat, machine-readable form of one Table 2 row, suitable
+// for plotting or regression tracking.
+type RowExport struct {
+	Benchmark string `json:"benchmark"`
+
+	SingleCycles    int64 `json:"single_cycles"`
+	DualNoneCycles  int64 `json:"dual_none_cycles"`
+	DualLocalCycles int64 `json:"dual_local_cycles"`
+
+	NonePct  float64 `json:"none_pct"`
+	LocalPct float64 `json:"local_pct"`
+
+	NoneDualPct  float64 `json:"none_dual_pct"`
+	LocalDualPct float64 `json:"local_dual_pct"`
+
+	NoneReplays  int64 `json:"none_replays"`
+	LocalReplays int64 `json:"local_replays"`
+
+	SingleIPC float64 `json:"single_ipc"`
+	NoneIPC   float64 `json:"none_ipc"`
+	LocalIPC  float64 `json:"local_ipc"`
+
+	MispredictPct float64 `json:"mispredict_pct"`
+	DCacheMissPct float64 `json:"dcache_miss_pct"`
+}
+
+// Export flattens a Table 2 row.
+func (r Table2Row) Export() RowExport {
+	return RowExport{
+		Benchmark:       r.Benchmark,
+		SingleCycles:    r.SingleCycles,
+		DualNoneCycles:  r.DualNoneCycles,
+		DualLocalCycles: r.DualLocalCycles,
+		NonePct:         r.NonePct,
+		LocalPct:        r.LocalPct,
+		NoneDualPct:     100 * r.NoneStats.DualFraction(),
+		LocalDualPct:    100 * r.LocalStats.DualFraction(),
+		NoneReplays:     r.NoneStats.Replays,
+		LocalReplays:    r.LocalStats.Replays,
+		SingleIPC:       r.SingleStats.IPC(),
+		NoneIPC:         r.NoneStats.IPC(),
+		LocalIPC:        r.LocalStats.IPC(),
+		MispredictPct:   100 * r.LocalStats.MispredictRate(),
+		DCacheMissPct:   100 * r.LocalStats.DCache.MissRate(),
+	}
+}
+
+// WriteJSON emits the rows as an indented JSON array.
+func WriteJSON(w io.Writer, rows []Table2Row) error {
+	out := make([]RowExport, len(rows))
+	for i, r := range rows {
+		out[i] = r.Export()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteCSV emits the rows as CSV with a header line.
+func WriteCSV(w io.Writer, rows []Table2Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"benchmark", "single_cycles", "dual_none_cycles", "dual_local_cycles",
+		"none_pct", "local_pct", "none_dual_pct", "local_dual_pct",
+		"none_replays", "local_replays", "single_ipc", "none_ipc", "local_ipc",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+	d := func(v int64) string { return strconv.FormatInt(v, 10) }
+	for _, r := range rows {
+		e := r.Export()
+		rec := []string{
+			e.Benchmark, d(e.SingleCycles), d(e.DualNoneCycles), d(e.DualLocalCycles),
+			f(e.NonePct), f(e.LocalPct), f(e.NoneDualPct), f(e.LocalDualPct),
+			d(e.NoneReplays), d(e.LocalReplays), f(e.SingleIPC), f(e.NoneIPC), f(e.LocalIPC),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRows dispatches on a format name: "text", "json", or "csv".
+func WriteRows(w io.Writer, rows []Table2Row, format string) error {
+	switch format {
+	case "", "text":
+		_, err := io.WriteString(w, FormatTable2(rows))
+		return err
+	case "json":
+		return WriteJSON(w, rows)
+	case "csv":
+		return WriteCSV(w, rows)
+	}
+	return fmt.Errorf("experiment: unknown format %q (text, json, csv)", format)
+}

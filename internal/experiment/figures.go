@@ -1,0 +1,185 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"multicluster/internal/core"
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+	"multicluster/internal/partition"
+	"multicluster/internal/trace"
+)
+
+// scenario describes one of the §2.1 execution scenarios (Figures 2–5 plus
+// the single-distribution base case) as a three-instruction micro-program.
+type scenario struct {
+	title   string
+	comment string
+	instrs  []isa.Instruction
+}
+
+func regOp(op isa.Op, dst, s1, s2 isa.Reg) isa.Instruction {
+	return isa.Instruction{Op: op, Dst: dst, Src1: s1, Src2: s2, MemID: -1, BrID: -1}
+}
+
+func constOp(dst isa.Reg, imm int64) isa.Instruction {
+	return isa.Instruction{Op: isa.LDA, Dst: dst, Src1: isa.RegZero, Imm: imm, MemID: -1, BrID: -1}
+}
+
+// scenarios builds the five micro-programs under the evaluation's even/odd
+// register assignment (even → cluster 0, odd → cluster 1, SP global).
+func scenarios() []scenario {
+	r := func(n int) isa.Reg { return isa.IntReg(n) }
+	return []scenario{
+		{
+			title:   "scenario 1: all registers in one cluster (single distribution)",
+			comment: "r0 = r2 + r4, everything cluster 0",
+			instrs:  []isa.Instruction{constOp(r(2), 1), constOp(r(4), 2), regOp(isa.ADD, r(0), r(2), r(4))},
+		},
+		{
+			title:   "scenario 2 (Figure 2): source operand forwarded to the master",
+			comment: "r0 = r2 + r1: r1 lives in cluster 1, the slave forwards it",
+			instrs:  []isa.Instruction{constOp(r(2), 1), constOp(r(1), 2), regOp(isa.ADD, r(0), r(2), r(1))},
+		},
+		{
+			title:   "scenario 3 (Figure 3): result forwarded to the destination's cluster",
+			comment: "r1 = r0 + r2: sources cluster 0, destination cluster 1",
+			instrs:  []isa.Instruction{constOp(r(0), 1), constOp(r(2), 2), regOp(isa.ADD, r(1), r(0), r(2))},
+		},
+		{
+			title:   "scenario 4 (Figure 4): global destination",
+			comment: "sp = r0 + r2: both clusters receive a copy of the result",
+			instrs:  []isa.Instruction{constOp(r(0), 1), constOp(r(2), 2), regOp(isa.ADD, isa.RegSP, r(0), r(2))},
+		},
+		{
+			title:   "scenario 5 (Figure 5): operand forward and global destination",
+			comment: "sp = r1 + r0: the slave forwards r1, suspends, wakes for the result",
+			instrs:  []isa.Instruction{constOp(r(1), 1), constOp(r(0), 2), regOp(isa.ADD, isa.RegSP, r(1), r(0))},
+		},
+	}
+}
+
+// ScenarioTimelines reproduces Figures 2–5: it executes each scenario's
+// micro-program on the dual-cluster machine (perfect caches, so the
+// timings are the pure pipeline events) and renders the event times of the
+// dual-distributed add.
+func ScenarioTimelines() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Execution scenarios (Figures 2-5): event cycles for the final add")
+	cfg := core.DualCluster4Way()
+	cfg.ICache.MissLatency = 0
+	cfg.DCache.MissLatency = 0
+	for _, sc := range scenarios() {
+		entries := make([]trace.Entry, len(sc.instrs))
+		instrs := append([]isa.Instruction(nil), sc.instrs...)
+		for i := range instrs {
+			entries[i] = trace.Entry{Index: i, Instr: &instrs[i]}
+		}
+		tls, _, err := core.CollectTimeline(cfg, &trace.SliceReader{Entries: entries})
+		if err != nil {
+			fmt.Fprintf(&b, "  %s: ERROR %v\n", sc.title, err)
+			continue
+		}
+		tl := tls[len(tls)-1]
+		fmt.Fprintf(&b, "\n%s\n  %s\n", sc.title, sc.comment)
+		fmt.Fprintf(&b, "  distributed cycle %d; master (cluster %d) issued %d, result %d",
+			tl.Distributed, tl.MasterCluster, tl.MasterIssue, tl.Result)
+		if tl.Dual {
+			role := "receives the result"
+			if tl.OperandForward && tl.ResultForward {
+				role = "forwards an operand, suspends, wakes for the result"
+			} else if tl.OperandForward {
+				role = "forwards an operand"
+			}
+			fmt.Fprintf(&b, "; slave (cluster %d) issued %d (%s)", 1-tl.MasterCluster, tl.SlaveIssue, role)
+		}
+		fmt.Fprintf(&b, "; complete %d\n", tl.Done)
+	}
+	return b.String()
+}
+
+// Figure6Report reproduces the §3.5 walk-through: the block traversal order
+// and the live-range assignment order of the local scheduler on the
+// figure's control-flow graph.
+func Figure6Report() string {
+	var b strings.Builder
+	p := il.Figure6()
+	res := partition.Local{}.Partition(p)
+	m := partition.Measure(p, res)
+
+	fmt.Fprintln(&b, "Figure 6: local-scheduler walk-through")
+	fmt.Fprintln(&b, "  block traversal order (execution estimate, then static size):")
+	for i, blk := range partition.SortedBlocks(p) {
+		fmt.Fprintf(&b, "    %d. %-4s (estimate %d, %d instructions)\n", i+1, blk.Name, blk.EstExec, len(blk.Instrs))
+	}
+	fmt.Fprintln(&b, "  live-range assignment order (bottom-up within each block):")
+	for i, id := range res.Order {
+		fmt.Fprintf(&b, "    %d. %-3s -> cluster %d\n", i+1, p.Value(id).Name, res.Of(id))
+	}
+	fmt.Fprintf(&b, "  S stays a global register; resulting distribution: %s\n", m)
+	return b.String()
+}
+
+// FormatTimeline renders collected instruction timelines as a table, one
+// row per retired instruction — a textual pipeline diagram in the style of
+// the paper's scenario figures.
+func FormatTimeline(tls []core.InstrTimeline) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "  seq  instruction             dist  m.issue  s.issue  result  done  placement")
+	for _, tl := range tls {
+		slave := "      -"
+		place := fmt.Sprintf("cluster %d", tl.MasterCluster)
+		if tl.Dual {
+			slave = fmt.Sprintf("%7d", tl.SlaveIssue)
+			role := "result recv"
+			if tl.OperandForward && tl.ResultForward {
+				role = "op fwd + suspend"
+			} else if tl.OperandForward {
+				role = "op fwd"
+			}
+			place = fmt.Sprintf("master c%d, slave c%d (%s)", tl.MasterCluster, 1-tl.MasterCluster, role)
+		}
+		fmt.Fprintf(&b, "  %3d  %-22s  %4d  %7d  %s  %6d  %4d  %s\n",
+			tl.Seq, tl.Text, tl.Distributed, tl.MasterIssue, slave, tl.Result, tl.Done, place)
+	}
+	return b.String()
+}
+
+// FormatHotSpots renders the top-N static instructions of a profiled run:
+// execution count, mean issue delay, dual-distribution share, and
+// mispredict count, annotated with the disassembly and owning block.
+func FormatHotSpots(mp *isa.Program, stats core.Stats, n int) string {
+	type entry struct {
+		idx int
+		pc  core.PCStat
+	}
+	var es []entry
+	for idx, pc := range stats.Profile {
+		es = append(es, entry{idx, pc})
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].pc.Count != es[j].pc.Count {
+			return es[i].pc.Count > es[j].pc.Count
+		}
+		return es[i].idx < es[j].idx
+	})
+	if n > len(es) {
+		n = len(es)
+	}
+	var b strings.Builder
+	fmt.Fprintln(&b, "  count     delay  dual%  mispred  block  instruction")
+	for _, e := range es[:n] {
+		block := ""
+		if bi := mp.BlockOf(e.idx); bi != nil {
+			block = bi.Name
+		}
+		fmt.Fprintf(&b, "  %8d  %5.1f  %5.1f  %7d  %-6s %s\n",
+			e.pc.Count,
+			float64(e.pc.IssueDelaySum)/float64(e.pc.Count),
+			100*float64(e.pc.DualCount)/float64(e.pc.Count),
+			e.pc.Mispredicts, block, &mp.Instrs[e.idx])
+	}
+	return b.String()
+}

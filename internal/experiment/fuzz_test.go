@@ -1,0 +1,239 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"multicluster/internal/codegen"
+	"multicluster/internal/core"
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+	"multicluster/internal/partition"
+	"multicluster/internal/regalloc"
+	"multicluster/internal/trace"
+)
+
+// randomProgram builds a structurally-valid random IL program: a chain of
+// blocks with fall-throughs, conditional branches (taken target anywhere),
+// and back edges, over a random population of int and FP live ranges.
+func randomProgram(rng *rand.Rand) *il.Program {
+	b := il.NewBuilder(fmt.Sprintf("fuzz%d", rng.Int63()))
+	sp := b.GlobalValue("SP", il.KindInt)
+
+	nInt := 3 + rng.Intn(20)
+	nFP := rng.Intn(12)
+	ints := make([]int, nInt)
+	for i := range ints {
+		ints[i] = b.Int(fmt.Sprintf("i%d", i))
+	}
+	fps := make([]int, nFP)
+	for i := range fps {
+		fps[i] = b.FP(fmt.Sprintf("f%d", i))
+	}
+	ri := func() int { return ints[rng.Intn(len(ints))] }
+	rf := func() int { return fps[rng.Intn(len(fps))] }
+
+	nBlocks := 2 + rng.Intn(8)
+	names := make([]string, nBlocks)
+	for i := range names {
+		names[i] = fmt.Sprintf("b%d", i)
+	}
+
+	for bi := 0; bi < nBlocks; bi++ {
+		blk := b.Block(names[bi], int64(1+rng.Intn(100)))
+		// Seed every block with a definition so conditions are written
+		// somewhere, then add random work.
+		blk.Const(ri(), int64(rng.Intn(100)))
+		for n := rng.Intn(8); n > 0; n-- {
+			switch rng.Intn(8) {
+			case 0, 1, 2:
+				blk.Op(isa.ADD, ri(), ri(), ri())
+			case 3:
+				blk.Op(isa.MUL, ri(), ri(), ri())
+			case 4:
+				if nFP > 0 {
+					blk.Op(isa.FMUL, rf(), rf(), rf())
+				} else {
+					blk.OpImm(isa.SUB, ri(), ri(), 1)
+				}
+			case 5:
+				blk.Load(isa.LDW, ri(), sp, int64(rng.Intn(64)))
+			case 6:
+				blk.Store(isa.STW, sp, ri(), int64(rng.Intn(64)))
+			case 7:
+				if nFP > 0 {
+					blk.Load(isa.LDF, rf(), sp, int64(rng.Intn(64)))
+				} else {
+					blk.OpImm(isa.SLL, ri(), ri(), 2)
+				}
+			}
+		}
+		switch {
+		case bi == nBlocks-1:
+			blk.Ret(ri())
+		case rng.Intn(3) == 0:
+			blk.FallTo(names[bi+1])
+		default:
+			// The taken target may be any block (including a back edge);
+			// the fall-through must be the next block in layout.
+			target := names[rng.Intn(nBlocks)]
+			op := isa.BNE
+			if rng.Intn(2) == 0 {
+				op = isa.BEQ
+			}
+			blk.CondBr(op, ri(), target, names[bi+1])
+		}
+	}
+	return b.MustFinish()
+}
+
+// randomWalkDriver follows CFG edges uniformly at random and supplies
+// random (but seeded) addresses.
+type randomWalkDriver struct {
+	seed int64
+	rng  *rand.Rand
+}
+
+func (d *randomWalkDriver) Reset() { d.rng = rand.New(rand.NewSource(d.seed)) }
+
+func (d *randomWalkDriver) NextBlock(cur string, succs []string) (string, bool) {
+	if len(succs) == 0 {
+		return "", false
+	}
+	return succs[d.rng.Intn(len(succs))], true
+}
+
+func (d *randomWalkDriver) Addr(int) uint64 {
+	return 0x100000 + uint64(d.rng.Intn(1<<18))*8
+}
+
+func TestFuzzWholePipeline(t *testing.T) {
+	partitioners := []partition.Partitioner{
+		partition.Local{}, partition.Hash{}, partition.RoundRobin{}, partition.Affinity{},
+	}
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		prog := randomProgram(rng)
+		driver := &randomWalkDriver{seed: int64(seed) * 77}
+		trace.Profile(prog, driver, 3000)
+
+		// Native allocation plus every partitioner must colour, verify,
+		// lower, and simulate cleanly on both machines.
+		modes := []struct {
+			name string
+			part partition.Partitioner
+		}{{"native", nil}}
+		for _, pt := range partitioners {
+			modes = append(modes, struct {
+				name string
+				part partition.Partitioner
+			}{pt.Name(), pt})
+		}
+		for _, mode := range modes {
+			var pr *partition.Result
+			clustered := mode.part != nil
+			if clustered {
+				pr = mode.part.Partition(prog)
+				if err := pr.Validate(prog); err != nil {
+					t.Fatalf("seed %d %s: %v", seed, mode.name, err)
+				}
+			}
+			alloc, err := regalloc.Allocate(prog, pr, regalloc.Config{
+				Assignment:        isa.DefaultAssignment(),
+				Clustered:         clustered,
+				OtherClusterSpill: true,
+			})
+			if err != nil {
+				t.Fatalf("seed %d %s: allocate: %v", seed, mode.name, err)
+			}
+			if err := alloc.Verify(isa.DefaultAssignment(), clustered); err != nil {
+				t.Fatalf("seed %d %s: verify: %v", seed, mode.name, err)
+			}
+			mp, err := codegen.Lower(alloc)
+			if err != nil {
+				t.Fatalf("seed %d %s: lower: %v", seed, mode.name, err)
+			}
+			for _, cfg := range []core.Config{core.SingleCluster8Way(), core.DualCluster4Way()} {
+				cfg.MaxCycles = 2_000_000
+				gen, err := trace.NewGenerator(mp, driver, 3000)
+				if err != nil {
+					t.Fatalf("seed %d %s: %v", seed, mode.name, err)
+				}
+				p, err := core.New(cfg, gen)
+				if err != nil {
+					t.Fatalf("seed %d %s: %v", seed, mode.name, err)
+				}
+				stats, err := p.Run()
+				if err != nil {
+					t.Fatalf("seed %d %s (clusters=%d): %v", seed, mode.name, cfg.Clusters, err)
+				}
+				if stats.Stop != core.StopTraceEnd {
+					t.Fatalf("seed %d %s (clusters=%d): stuck: %v", seed, mode.name, cfg.Clusters, stats)
+				}
+				if stats.Instructions == 0 {
+					t.Fatalf("seed %d %s: nothing retired", seed, mode.name)
+				}
+			}
+		}
+	}
+}
+
+func TestFuzzSingleClusterInvariantToAllocation(t *testing.T) {
+	// On the single-cluster machine, register names are irrelevant: every
+	// allocation of the same program must produce identical cycle counts.
+	for seed := 0; seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(int64(1000 + seed)))
+		prog := randomProgram(rng)
+		driver := &randomWalkDriver{seed: int64(seed)}
+		trace.Profile(prog, driver, 3000)
+
+		var cycles []int64
+		for _, pt := range []partition.Partitioner{nil, partition.Local{}, partition.RoundRobin{}} {
+			var pr *partition.Result
+			clustered := pt != nil
+			if clustered {
+				pr = pt.Partition(prog)
+			}
+			alloc, err := regalloc.Allocate(prog, pr, regalloc.Config{
+				Assignment:        isa.DefaultAssignment(),
+				Clustered:         clustered,
+				OtherClusterSpill: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if alloc.Spilled > 0 {
+				continue // spill code changes the instruction stream; skip
+			}
+			mp, err := codegen.Lower(alloc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen, err := trace.NewGenerator(mp, driver, 3000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := core.SingleCluster8Way()
+			cfg.MaxCycles = 2_000_000
+			p, err := core.New(cfg, gen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats, err := p.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cycles = append(cycles, stats.Cycles)
+		}
+		for i := 1; i < len(cycles); i++ {
+			if cycles[i] != cycles[0] {
+				t.Fatalf("seed %d: single-cluster cycles differ across allocations: %v", seed, cycles)
+			}
+		}
+	}
+}

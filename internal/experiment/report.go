@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"multicluster/internal/cycletime"
+	"multicluster/internal/isa"
+)
+
+// FormatTable1 renders the configuration table of the paper (issue rules
+// and functional-unit latencies).
+func FormatTable1() string {
+	var b strings.Builder
+	s, d := isa.SingleClusterRules(), isa.DualClusterRules()
+	fmt.Fprintln(&b, "Table 1: instruction-issue rules and functional-unit latencies")
+	fmt.Fprintln(&b, "                          all  int-mul  int-other  fp-all  fp-div  fp-other  ld/st  ctrl")
+	fmt.Fprintf(&b, "  single, per cycle      %4d  %7d  %9d  %6d  %6d  %8d  %5d  %4d\n",
+		s.All, s.IntMul, s.IntOther, s.FPAll, s.FPDiv, s.FPOther, s.Mem, s.Ctrl)
+	fmt.Fprintf(&b, "  dual, per cluster      %4d  %7d  %9d  %6d  %6d  %8d  %5d  %4d\n",
+		d.All, d.IntMul, d.IntOther, d.FPAll, d.FPDiv, d.FPOther, d.Mem, d.Ctrl)
+	fmt.Fprintf(&b, "  latency (cycles)        -   %7d  %9d    -    %6s  %8d  %5s  %4d\n",
+		isa.MUL.Latency(), isa.ADD.Latency(), "8/16", isa.FADD.Latency(), "1*", isa.BR.Latency())
+	fmt.Fprintln(&b, "  * plus a single load-delay slot; the FP divider is not pipelined")
+	return b.String()
+}
+
+// FormatTable2 renders rows in the paper's layout: percentage speedup
+// ratios for the unscheduled ("none") and local-scheduler binaries.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 2: speedup ratios 100 - 100*(C_dual/C_single); negative = slowdown")
+	fmt.Fprintln(&b, "  benchmark      none    local")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-12s  %+5.0f    %+5.0f\n", r.Benchmark, r.NonePct, r.LocalPct)
+	}
+	return b.String()
+}
+
+// FormatTable2Detail adds the secondary statistics the paper's analysis
+// leans on: dual-distribution fraction, replays, mispredict and cache
+// rates, and issue disorder.
+func FormatTable2Detail(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Per-run detail (dual-cluster machine):")
+	fmt.Fprintln(&b, "  benchmark     binary  cycles      IPC    dual%%  replays  mispred%%  dmiss%%  disorder")
+	for _, r := range rows {
+		for _, c := range []struct {
+			name  string
+			stats interface {
+				IPC() float64
+				DualFraction() float64
+				MispredictRate() float64
+				MeanDisorder() float64
+			}
+			cycles  int64
+			replays int64
+			dmiss   float64
+		}{
+			{"single", r.SingleStats, r.SingleCycles, r.SingleStats.Replays, r.SingleStats.DCache.MissRate()},
+			{"none", r.NoneStats, r.DualNoneCycles, r.NoneStats.Replays, r.NoneStats.DCache.MissRate()},
+			{"local", r.LocalStats, r.DualLocalCycles, r.LocalStats.Replays, r.LocalStats.DCache.MissRate()},
+		} {
+			fmt.Fprintf(&b, "  %-12s  %-6s  %8d  %5.2f  %6.1f  %7d  %8.2f  %6.2f  %8.2f\n",
+				r.Benchmark, c.name, c.cycles, c.stats.IPC(), 100*c.stats.DualFraction(),
+				c.replays, 100*c.stats.MispredictRate(), 100*c.dmiss, c.stats.MeanDisorder())
+		}
+	}
+	return b.String()
+}
+
+// CycleTimeReport reproduces the §4.2 analysis: the worst-case slowdown
+// across the local-scheduler rows, the clock reduction needed to break
+// even, the Palacharla anchors, and the per-benchmark net run-time speedup
+// at both feature sizes.
+func CycleTimeReport(rows []Table2Row) string {
+	var b strings.Builder
+	worst := 1.0
+	for _, r := range rows {
+		if ratio := r.CycleRatio(true); ratio > worst {
+			worst = ratio
+		}
+	}
+	m35, m18 := cycletime.Process035(), cycletime.Process018()
+	fmt.Fprintln(&b, "Cycle-time analysis (Palacharla-style model, 4-issue cluster vs 8-issue single):")
+	fmt.Fprintf(&b, "  worst-case local-scheduler slowdown: %.0f%% more cycles (ratio %.2f)\n", 100*(worst-1), worst)
+	fmt.Fprintf(&b, "  clock-period reduction needed to break even: %.0f%%\n", 100*cycletime.RequiredClockReduction(worst))
+	fmt.Fprintf(&b, "  0.35um: 4-issue %.0f ps, 8-issue %.0f ps (+%.0f%%)\n",
+		m35.CycleTimePs(4), m35.CycleTimePs(8), 100*m35.WidthIncrease(4, 8))
+	fmt.Fprintf(&b, "  0.18um: 4-issue %.0f ps, 8-issue %.0f ps (+%.0f%%)\n",
+		m18.CycleTimePs(4), m18.CycleTimePs(8), 100*m18.WidthIncrease(4, 8))
+	if um := cycletime.CrossoverFeatureUm(worst, 4, 8, 0.10, 0.50); um > 0 {
+		fmt.Fprintf(&b, "  break-even feature size for the worst case: %.2f um\n", um)
+	}
+	fmt.Fprintln(&b, "  net run-time speedup of the dual-cluster machine (local scheduler):")
+	fmt.Fprintln(&b, "    benchmark      @0.35um   @0.18um")
+	for _, r := range rows {
+		ratio := r.CycleRatio(true)
+		fmt.Fprintf(&b, "    %-12s  %8.2fx  %8.2fx\n",
+			r.Benchmark, m35.NetSpeedup(ratio, 4, 8), m18.NetSpeedup(ratio, 4, 8))
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"multicluster/internal/core"
+	"multicluster/internal/isa"
+	"multicluster/internal/workload"
+)
+
+// FourWayOptions returns the four-way aggregate study the paper mentions
+// alongside its eight-way results (§4): a 4-issue single cluster against a
+// dual-cluster machine of two 2-issue clusters.
+func FourWayOptions() Options {
+	opts := DefaultOptions()
+	opts.Single = core.SingleCluster4Way()
+	opts.Dual = core.DualCluster2Way()
+	return opts
+}
+
+// WithAssignment returns the options with the dual-cluster machine (and
+// the clustered register allocator) using the given register-to-cluster
+// assignment.
+func (o Options) WithAssignment(a isa.Assignment) Options {
+	o.Dual.Assignment = a
+	return o
+}
+
+// AssignmentComparison reruns one benchmark's Table 2 row under both
+// register-to-cluster assignments — the analysis that led the authors to
+// even/odd (§4: "determined through the analysis of early simulation
+// results").
+type AssignmentComparison struct {
+	Benchmark string
+	EvenOdd   Table2Row
+	LowHigh   Table2Row
+}
+
+// CompareAssignments evaluates even/odd versus low/high for the named
+// benchmark.
+func CompareAssignments(name string, opts Options) (AssignmentComparison, error) {
+	cmp := AssignmentComparison{Benchmark: name}
+	b := workload.ByName(name)
+	if b == nil {
+		return cmp, fmt.Errorf("unknown benchmark %q", name)
+	}
+	var err error
+	cmp.EvenOdd, err = Table2Bench(b, opts.WithAssignment(isa.DefaultAssignment()))
+	if err != nil {
+		return cmp, fmt.Errorf("even/odd: %w", err)
+	}
+	cmp.LowHigh, err = Table2Bench(b, opts.WithAssignment(isa.LowHighAssignment()))
+	if err != nil {
+		return cmp, fmt.Errorf("low/high: %w", err)
+	}
+	return cmp, nil
+}
+
+// FormatAssignmentComparison renders the scheme comparison.
+func FormatAssignmentComparison(cmps []AssignmentComparison) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Register-to-cluster assignment comparison (speedup %, none / local):")
+	fmt.Fprintln(&b, "  benchmark      even-odd           low-high")
+	for _, c := range cmps {
+		fmt.Fprintf(&b, "  %-12s  %+5.0f / %+5.0f      %+5.0f / %+5.0f\n",
+			c.Benchmark, c.EvenOdd.NonePct, c.EvenOdd.LocalPct, c.LowHigh.NonePct, c.LowHigh.LocalPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,201 @@
+package il
+
+import (
+	"fmt"
+
+	"multicluster/internal/isa"
+)
+
+// Builder assembles an IL program incrementally. It is the API the workload
+// generators and the examples use to write programs by hand.
+type Builder struct {
+	prog   *Program
+	names  map[string]int
+	blocks map[string]*BlockBuilder
+	order  []*BlockBuilder
+}
+
+// NewBuilder returns a builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		prog:   &Program{Name: name},
+		names:  make(map[string]int),
+		blocks: make(map[string]*BlockBuilder),
+	}
+}
+
+// Value creates (or returns, if the name exists) a live range of the given
+// kind.
+func (b *Builder) Value(name string, kind Kind) int {
+	if id, ok := b.names[name]; ok {
+		return id
+	}
+	id := len(b.prog.Values)
+	b.prog.Values = append(b.prog.Values, Value{ID: id, Name: name, Kind: kind})
+	b.names[name] = id
+	return id
+}
+
+// GlobalValue creates a live range designated as a global-register
+// candidate (e.g. the stack or global pointer).
+func (b *Builder) GlobalValue(name string, kind Kind) int {
+	id := b.Value(name, kind)
+	b.prog.Values[id].GlobalCandidate = true
+	return id
+}
+
+// Int is shorthand for Value(name, KindInt).
+func (b *Builder) Int(name string) int { return b.Value(name, KindInt) }
+
+// FP is shorthand for Value(name, KindFP).
+func (b *Builder) FP(name string) int { return b.Value(name, KindFP) }
+
+// Block creates (or returns) the named block with the given profile
+// estimate. The first block created is the program entry.
+func (b *Builder) Block(name string, estExec int64) *BlockBuilder {
+	if bb, ok := b.blocks[name]; ok {
+		bb.blk.EstExec = estExec
+		return bb
+	}
+	blk := &Block{Name: name, EstExec: estExec}
+	bb := &BlockBuilder{b: b, blk: blk}
+	b.blocks[name] = bb
+	b.order = append(b.order, bb)
+	b.prog.Blocks = append(b.prog.Blocks, blk)
+	if b.prog.Entry == "" {
+		b.prog.Entry = name
+	}
+	return bb
+}
+
+// MemCount returns the number of memory operations added so far across all
+// blocks in layout order. Because the code generator numbers (non-spill)
+// memory operations in exactly that order, the value returned immediately
+// before adding a load or store is that operation's eventual MemID —
+// workload builders use it to attach address generators.
+func (b *Builder) MemCount() int {
+	n := 0
+	for _, bb := range b.order {
+		for i := range bb.blk.Instrs {
+			if bb.blk.Instrs[i].Op.Class().IsMem() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Finish validates and returns the program.
+func (b *Builder) Finish() (*Program, error) {
+	if err := b.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// MustFinish is Finish that panics on error, for tests and generators whose
+// programs are constants.
+func (b *Builder) MustFinish() *Program {
+	p, err := b.Finish()
+	if err != nil {
+		panic(fmt.Sprintf("il: MustFinish: %v", err))
+	}
+	return p
+}
+
+// BlockBuilder appends instructions to one basic block.
+type BlockBuilder struct {
+	b   *Builder
+	blk *Block
+}
+
+// Name returns the block's name.
+func (bb *BlockBuilder) Name() string { return bb.blk.Name }
+
+// Op appends a three-operand instruction dst = op(src1, src2).
+func (bb *BlockBuilder) Op(op isa.Op, dst, src1, src2 int) *BlockBuilder {
+	bb.blk.Instrs = append(bb.blk.Instrs, Instr{Op: op, Dst: dst, Src1: src1, Src2: src2})
+	return bb
+}
+
+// OpImm appends dst = op(src1, imm).
+func (bb *BlockBuilder) OpImm(op isa.Op, dst, src1 int, imm int64) *BlockBuilder {
+	bb.blk.Instrs = append(bb.blk.Instrs, Instr{Op: op, Dst: dst, Src1: src1, Src2: None, Imm: imm})
+	return bb
+}
+
+// Const appends dst = imm (an LDA off the zero register).
+func (bb *BlockBuilder) Const(dst int, imm int64) *BlockBuilder {
+	bb.blk.Instrs = append(bb.blk.Instrs, Instr{Op: isa.LDA, Dst: dst, Src1: None, Src2: None, Imm: imm})
+	return bb
+}
+
+// Load appends dst = mem[base + off]. Use LDF for floating-point dst.
+func (bb *BlockBuilder) Load(op isa.Op, dst, base int, off int64) *BlockBuilder {
+	bb.blk.Instrs = append(bb.blk.Instrs, Instr{Op: op, Dst: dst, Src1: base, Src2: None, Imm: off})
+	return bb
+}
+
+// Store appends mem[base + off] = data.
+func (bb *BlockBuilder) Store(op isa.Op, base, data int, off int64) *BlockBuilder {
+	bb.blk.Instrs = append(bb.blk.Instrs, Instr{Op: op, Dst: None, Src1: base, Src2: data, Imm: off})
+	return bb
+}
+
+// CondBr terminates the block with a conditional branch on cond: taken goes
+// to `taken`, fall-through to `fallthru`.
+func (bb *BlockBuilder) CondBr(op isa.Op, cond int, taken, fallthru string) {
+	if op != isa.BEQ && op != isa.BNE {
+		panic("il: CondBr requires BEQ or BNE")
+	}
+	bb.blk.Instrs = append(bb.blk.Instrs, Instr{Op: op, Dst: None, Src1: cond, Src2: None, Target: taken})
+	bb.blk.Succs = []string{fallthru, taken}
+}
+
+// Jump terminates the block with an unconditional branch.
+func (bb *BlockBuilder) Jump(target string) {
+	bb.blk.Instrs = append(bb.blk.Instrs, Instr{Op: isa.BR, Dst: None, Src1: None, Src2: None, Target: target})
+	bb.blk.Succs = []string{target}
+}
+
+// FallTo declares a fall-through successor without a terminator instruction.
+func (bb *BlockBuilder) FallTo(next string) {
+	bb.blk.Succs = []string{next}
+}
+
+// Ret terminates the block with a subroutine return reading the given live
+// range (conventionally the return-address value). Behaviour drivers choose
+// the dynamic continuation.
+func (bb *BlockBuilder) Ret(ra int) {
+	bb.blk.Instrs = append(bb.blk.Instrs, Instr{Op: isa.RET, Dst: None, Src1: ra, Src2: None})
+	bb.blk.Succs = nil
+}
+
+// Call terminates the block with a subroutine call to callee, writing the
+// return address into ra.
+func (bb *BlockBuilder) Call(ra int, callee string) {
+	bb.blk.Instrs = append(bb.blk.Instrs, Instr{Op: isa.CALL, Dst: ra, Src1: None, Src2: None, Target: callee})
+	bb.blk.Succs = []string{callee}
+}
+
+// RetTo terminates the block with a return whose possible dynamic
+// continuations are declared explicitly (behaviour drivers choose among
+// them).
+func (bb *BlockBuilder) RetTo(ra int, succs ...string) {
+	bb.blk.Instrs = append(bb.blk.Instrs, Instr{Op: isa.RET, Dst: None, Src1: ra, Src2: None})
+	bb.blk.Succs = succs
+}
+
+// Raw appends an arbitrary pre-built instruction. Intended for program
+// transformers (e.g. loop unrolling) that clone instructions wholesale;
+// hand-written programs should prefer the typed helpers above.
+func (bb *BlockBuilder) Raw(in Instr) *BlockBuilder {
+	bb.blk.Instrs = append(bb.blk.Instrs, in)
+	return bb
+}
+
+// SetSuccs replaces the block's declared successors. Like Raw, this exists
+// for program transformers; Finish still validates the result.
+func (bb *BlockBuilder) SetSuccs(succs ...string) {
+	bb.blk.Succs = append([]string(nil), succs...)
+}

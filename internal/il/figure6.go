@@ -1,0 +1,58 @@
+package il
+
+import "multicluster/internal/isa"
+
+// Figure6 returns the example control-flow graph of Figure 6 of the paper,
+// used by the local-scheduler tests and the scheduling example. The numbers
+// in parentheses in the figure are the dynamic-execution estimates of each
+// basic block; live range S (the stack pointer) is a global-register
+// candidate while all other live ranges are local-register candidates.
+//
+// The figure's three-address lines map one-to-one onto IL instructions,
+// except "G = [S] + E" (line 5), whose register-indexed address is split
+// into an address add and a load — the Alpha-style ISA has no indexed
+// loads. The integer divide of line 10 is rendered with SRL, which has the
+// same operand structure (the partitioner only observes operands).
+func Figure6() *Program {
+	b := NewBuilder("figure6")
+
+	S := b.GlobalValue("S", KindInt)
+	C := b.Int("C")
+	E := b.Int("E")
+	G := b.Int("G")
+	H := b.Int("H")
+	A := b.Int("A")
+	B := b.Int("B")
+	D := b.Int("D")
+	t5 := b.Int("t5") // address temp for line 5
+
+	bb1 := b.Block("bb1", 20)
+	bb1.Const(C, 0)  // 1: C = 0
+	bb1.Const(E, 16) // 2: E = 16
+	bb1.CondBr(isa.BNE, C, "bb3", "bb2")
+
+	bb2 := b.Block("bb2", 10)
+	bb2.Load(isa.LDW, G, S, 8) // 3: G = [S] + 8
+	bb2.Load(isa.LDW, H, S, 4) // 4: H = [S] + 4
+	bb2.Jump("bb4")
+
+	bb3 := b.Block("bb3", 10)
+	bb3.Op(isa.ADD, t5, S, E)   // 5a: t5 = S + E
+	bb3.Load(isa.LDW, G, t5, 0) // 5b: G = [t5]
+	bb3.Load(isa.LDW, H, S, 12) // 6: H = [S] + 12
+	bb3.Op(isa.ADD, S, H, E)    // 7: S = H + E
+	bb3.FallTo("bb4")
+
+	bb4 := b.Block("bb4", 100)
+	bb4.OpImm(isa.ADD, A, G, 10) // 8:  A = G + 10
+	bb4.Op(isa.MUL, B, A, A)     // 9:  B = A x A
+	bb4.Op(isa.SRL, G, B, H)     // 10: G = B / H
+	bb4.Op(isa.ADD, C, G, C)     // 11: C = G + C
+	bb4.CondBr(isa.BNE, C, "bb4", "bb5")
+
+	bb5 := b.Block("bb5", 20)
+	bb5.Op(isa.ADD, D, C, G) // 12: D = C + G
+	bb5.Ret(D)
+
+	return b.MustFinish()
+}

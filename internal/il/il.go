@@ -1,0 +1,291 @@
+// Package il defines the intermediate language of the static-scheduling
+// toolchain. IL instructions correspond one-to-one to machine instructions
+// but name live ranges rather than architectural registers (step 2 of the
+// paper's code-generation methodology, §3.1). Live-range partitioning
+// (internal/partition) assigns each live range to a cluster, register
+// allocation (internal/regalloc) maps live ranges to architectural
+// registers, and code generation (internal/codegen) lowers the result to an
+// isa.Program.
+package il
+
+import (
+	"fmt"
+
+	"multicluster/internal/isa"
+)
+
+// None marks an absent live-range operand.
+const None = -1
+
+// Kind is the value kind of a live range, determining which register file
+// it is allocated from.
+type Kind uint8
+
+const (
+	KindInt Kind = iota
+	KindFP
+)
+
+func (k Kind) String() string {
+	if k == KindFP {
+		return "fp"
+	}
+	return "int"
+}
+
+// Value is a live range: the unit of cluster partitioning and register
+// allocation. GlobalCandidate marks live ranges designated as candidates
+// for global registers (the paper designates the stack- and global-pointer
+// live ranges, §3.1 step 3).
+type Value struct {
+	ID              int
+	Name            string
+	Kind            Kind
+	GlobalCandidate bool
+}
+
+// Instr is an IL instruction. Dst, Src1, Src2 are live-range IDs or None.
+// Target names the taken-successor block for control flow.
+type Instr struct {
+	Op     isa.Op
+	Dst    int
+	Src1   int
+	Src2   int
+	Imm    int64
+	Target string
+
+	// spillPlus1 is slot+1 for allocator-inserted spill loads/stores and 0
+	// otherwise, keeping the zero value meaningful.
+	spillPlus1 int
+}
+
+// MarkSpill tags the instruction as allocator-inserted spill code accessing
+// the given spill slot.
+func (in *Instr) MarkSpill(slot int) { in.spillPlus1 = slot + 1 }
+
+// SpillInfo returns the spill slot and true when the instruction is
+// allocator-inserted spill code.
+func (in *Instr) SpillInfo() (slot int, ok bool) { return in.spillPlus1 - 1, in.spillPlus1 > 0 }
+
+// Uses returns the live ranges read by the instruction.
+func (in *Instr) Uses() []int {
+	var u []int
+	if in.Src1 != None {
+		u = append(u, in.Src1)
+	}
+	if in.Src2 != None {
+		u = append(u, in.Src2)
+	}
+	return u
+}
+
+// Def returns the live range written by the instruction, or None.
+func (in *Instr) Def() int { return in.Dst }
+
+// Operands returns every live range named by the instruction (sources and
+// destination). The paper's distribution rules depend on exactly this set.
+func (in *Instr) Operands() []int {
+	ops := in.Uses()
+	if in.Dst != None {
+		ops = append(ops, in.Dst)
+	}
+	return ops
+}
+
+// Block is a basic block of IL instructions. EstExec is the profile-derived
+// estimate of how many times the first instruction of the block executes;
+// the local scheduler sorts blocks by it (§3.5).
+type Block struct {
+	Name    string
+	Instrs  []Instr
+	EstExec int64
+
+	// Succs lists successor block names: for a block ending in a
+	// conditional branch, Succs[0] is the fall-through successor and
+	// Succs[1] the taken target; for an unconditional branch, Succs[0] is
+	// the target; for a return, Succs is empty.
+	Succs []string
+}
+
+// Terminator returns the final instruction if it is control flow, else nil.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := &b.Instrs[len(b.Instrs)-1]
+	if last.Op.IsControl() {
+		return last
+	}
+	return nil
+}
+
+// Program is an IL program: a named CFG over basic blocks plus the live
+// ranges its instructions name.
+type Program struct {
+	Name   string
+	Values []Value
+	Blocks []*Block
+	Entry  string
+
+	byName map[string]*Block
+}
+
+// Block returns the named block, or nil.
+func (p *Program) Block(name string) *Block {
+	if p.byName == nil {
+		p.byName = make(map[string]*Block, len(p.Blocks))
+		for _, b := range p.Blocks {
+			p.byName[b.Name] = b
+		}
+	}
+	return p.byName[name]
+}
+
+// Value returns the live range with the given ID.
+func (p *Program) Value(id int) *Value { return &p.Values[id] }
+
+// NumValues returns the number of live ranges in the program.
+func (p *Program) NumValues() int { return len(p.Values) }
+
+// Validate checks the structural invariants the rest of the toolchain
+// relies on: operand IDs in range with kinds consistent with opcodes,
+// declared successors exist, terminator targets appear among successors,
+// and the entry block exists.
+func (p *Program) Validate() error {
+	if p.Block(p.Entry) == nil {
+		return fmt.Errorf("il: program %s: entry block %q not found", p.Name, p.Entry)
+	}
+	for i, v := range p.Values {
+		if v.ID != i {
+			return fmt.Errorf("il: program %s: value %q has ID %d at index %d", p.Name, v.Name, v.ID, i)
+		}
+	}
+	for _, b := range p.Blocks {
+		for _, s := range b.Succs {
+			if p.Block(s) == nil {
+				return fmt.Errorf("il: %s.%s: successor %q not found", p.Name, b.Name, s)
+			}
+		}
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			for _, id := range in.Operands() {
+				if id < 0 || id >= len(p.Values) {
+					return fmt.Errorf("il: %s.%s[%d]: live range %d out of range", p.Name, b.Name, ii, id)
+				}
+			}
+			if in.Op.IsControl() && ii != len(b.Instrs)-1 {
+				return fmt.Errorf("il: %s.%s[%d]: control flow %s not at block end", p.Name, b.Name, ii, in.Op)
+			}
+			if err := p.checkKinds(b, ii, in); err != nil {
+				return err
+			}
+		}
+		if t := b.Terminator(); t != nil && t.Target != "" {
+			found := false
+			for _, s := range b.Succs {
+				if s == t.Target {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("il: %s.%s: branch target %q not among successors %v", p.Name, b.Name, t.Target, b.Succs)
+			}
+		}
+		if t := b.Terminator(); t != nil {
+			switch t.Op {
+			case isa.BEQ, isa.BNE:
+				if len(b.Succs) != 2 {
+					return fmt.Errorf("il: %s.%s: conditional branch needs 2 successors, has %d", p.Name, b.Name, len(b.Succs))
+				}
+			case isa.BR, isa.CALL:
+				if len(b.Succs) != 1 {
+					return fmt.Errorf("il: %s.%s: %s needs 1 successor, has %d", p.Name, b.Name, t.Op, len(b.Succs))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Program) checkKinds(b *Block, ii int, in *Instr) error {
+	wantFP := func(id int, fp bool, role string) error {
+		if id == None {
+			return nil
+		}
+		if (p.Values[id].Kind == KindFP) != fp {
+			return fmt.Errorf("il: %s.%s[%d] (%s): %s %q has kind %s", p.Name, b.Name, ii, in.Op, role, p.Values[id].Name, p.Values[id].Kind)
+		}
+		return nil
+	}
+	cls := in.Op.Class()
+	switch {
+	case cls == isa.ClassFPDiv || cls == isa.ClassFPOther:
+		// Converts cross the files; other FP ops are FP throughout.
+		switch in.Op {
+		case isa.CVTIF:
+			if err := wantFP(in.Dst, true, "dst"); err != nil {
+				return err
+			}
+			return wantFP(in.Src1, false, "src1")
+		case isa.CVTFI:
+			if err := wantFP(in.Dst, false, "dst"); err != nil {
+				return err
+			}
+			return wantFP(in.Src1, true, "src1")
+		}
+		for _, id := range in.Operands() {
+			if err := wantFP(id, true, "operand"); err != nil {
+				return err
+			}
+		}
+	case in.Op == isa.LDF:
+		if err := wantFP(in.Dst, true, "dst"); err != nil {
+			return err
+		}
+		return wantFP(in.Src1, false, "address")
+	case in.Op == isa.STF:
+		if err := wantFP(in.Src2, true, "data"); err != nil {
+			return err
+		}
+		return wantFP(in.Src1, false, "address")
+	case cls == isa.ClassIntMul || cls == isa.ClassIntOther || in.Op == isa.LDW || in.Op == isa.STW:
+		for _, id := range in.Operands() {
+			if err := wantFP(id, false, "operand"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// StaticInstrCount returns the total number of IL instructions.
+func (p *Program) StaticInstrCount() int {
+	n := 0
+	for _, b := range p.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+func (p *Program) String() string {
+	s := fmt.Sprintf("program %s (entry %s, %d values, %d blocks)\n", p.Name, p.Entry, len(p.Values), len(p.Blocks))
+	for _, b := range p.Blocks {
+		s += fmt.Sprintf("%s (est %d, succs %v):\n", b.Name, b.EstExec, b.Succs)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			s += fmt.Sprintf("  %s", in.Op)
+			if in.Dst != None {
+				s += " " + p.Values[in.Dst].Name
+			}
+			for _, u := range in.Uses() {
+				s += " " + p.Values[u].Name
+			}
+			if in.Target != "" {
+				s += " ->" + in.Target
+			}
+			s += "\n"
+		}
+	}
+	return s
+}

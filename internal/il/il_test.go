@@ -1,0 +1,269 @@
+package il
+
+import (
+	"strings"
+	"testing"
+
+	"multicluster/internal/isa"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder("p")
+	x := b.Int("x")
+	y := b.Int("y")
+	z := b.Int("z")
+	if x == y || y == z {
+		t.Fatal("distinct names must get distinct live ranges")
+	}
+	if again := b.Int("x"); again != x {
+		t.Fatal("same name must return the same live range")
+	}
+	sp := b.GlobalValue("SP", KindInt)
+	bb := b.Block("entry", 1)
+	bb.Const(x, 1)
+	bb.Const(y, 2)
+	bb.Op(isa.ADD, z, x, y)
+	bb.Store(isa.STW, sp, z, 0)
+	bb.Ret(z)
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != "entry" {
+		t.Errorf("entry = %q, want first block", p.Entry)
+	}
+	if !p.Value(sp).GlobalCandidate {
+		t.Error("SP must be a global candidate")
+	}
+	if p.Value(x).GlobalCandidate {
+		t.Error("x must not be a global candidate")
+	}
+	if n := p.StaticInstrCount(); n != 5 {
+		t.Errorf("StaticInstrCount = %d, want 5", n)
+	}
+}
+
+func TestValidateCatchesBadSuccessor(t *testing.T) {
+	b := NewBuilder("p")
+	x := b.Int("x")
+	bb := b.Block("entry", 1)
+	bb.Const(x, 1)
+	bb.Jump("nowhere")
+	if _, err := b.Finish(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("expected missing-successor error, got %v", err)
+	}
+}
+
+func TestValidateCatchesMidBlockControl(t *testing.T) {
+	b := NewBuilder("p")
+	x := b.Int("x")
+	bb := b.Block("entry", 1)
+	bb.Jump("entry")
+	bb.blk.Instrs = append(bb.blk.Instrs, Instr{Op: isa.ADD, Dst: x, Src1: x, Src2: x})
+	if _, err := b.Finish(); err == nil || !strings.Contains(err.Error(), "not at block end") {
+		t.Fatalf("expected mid-block control error, got %v", err)
+	}
+}
+
+func TestValidateCatchesKindMismatch(t *testing.T) {
+	b := NewBuilder("p")
+	x := b.Int("x")
+	f := b.FP("f")
+	bb := b.Block("entry", 1)
+	bb.Op(isa.FADD, x, f, f) // integer dst for FP op
+	bb.Ret(x)
+	if _, err := b.Finish(); err == nil || !strings.Contains(err.Error(), "kind") {
+		t.Fatalf("expected kind error, got %v", err)
+	}
+}
+
+func TestValidateAcceptsConverts(t *testing.T) {
+	b := NewBuilder("p")
+	x := b.Int("x")
+	f := b.FP("f")
+	g := b.FP("g")
+	bb := b.Block("entry", 1)
+	bb.Const(x, 3)
+	bb.OpImm(isa.CVTIF, f, x, 0)
+	bb.Op(isa.FMUL, g, f, f)
+	bb.OpImm(isa.CVTFI, x, g, 0)
+	bb.Ret(x)
+	if _, err := b.Finish(); err != nil {
+		t.Fatalf("converts rejected: %v", err)
+	}
+}
+
+func TestCondBrSuccessorOrder(t *testing.T) {
+	b := NewBuilder("p")
+	x := b.Int("x")
+	e := b.Block("entry", 1)
+	e.Const(x, 0)
+	e.CondBr(isa.BNE, x, "taken", "fall")
+	tb := b.Block("taken", 1)
+	tb.Ret(x)
+	fb := b.Block("fall", 1)
+	fb.Ret(x)
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := p.Block("entry")
+	if blk.Succs[0] != "fall" || blk.Succs[1] != "taken" {
+		t.Errorf("Succs = %v, want [fall taken]", blk.Succs)
+	}
+	if term := blk.Terminator(); term == nil || term.Target != "taken" {
+		t.Errorf("terminator target = %v", term)
+	}
+}
+
+func TestOperandsAndUses(t *testing.T) {
+	in := Instr{Op: isa.ADD, Dst: 3, Src1: 1, Src2: 2}
+	if got := in.Uses(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Uses = %v", got)
+	}
+	if got := in.Operands(); len(got) != 3 || got[2] != 3 {
+		t.Errorf("Operands = %v", got)
+	}
+	st := Instr{Op: isa.STW, Dst: None, Src1: 5, Src2: 6}
+	if got := st.Operands(); len(got) != 2 {
+		t.Errorf("store Operands = %v, want 2 sources only", got)
+	}
+}
+
+func TestFigure6Structure(t *testing.T) {
+	p := Figure6()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Five blocks with the paper's execution estimates.
+	wantEst := map[string]int64{"bb1": 20, "bb2": 10, "bb3": 10, "bb4": 100, "bb5": 20}
+	if len(p.Blocks) != len(wantEst) {
+		t.Fatalf("blocks = %d, want %d", len(p.Blocks), len(wantEst))
+	}
+	for name, est := range wantEst {
+		blk := p.Block(name)
+		if blk == nil {
+			t.Fatalf("missing block %s", name)
+		}
+		if blk.EstExec != est {
+			t.Errorf("%s estimate = %d, want %d", name, blk.EstExec, est)
+		}
+	}
+	// S is the only global candidate.
+	var globals []string
+	for _, v := range p.Values {
+		if v.GlobalCandidate {
+			globals = append(globals, v.Name)
+		}
+	}
+	if len(globals) != 1 || globals[0] != "S" {
+		t.Errorf("global candidates = %v, want [S]", globals)
+	}
+	// bb4 loops to itself and exits to bb5.
+	bb4 := p.Block("bb4")
+	if len(bb4.Succs) != 2 || bb4.Succs[1] != "bb4" || bb4.Succs[0] != "bb5" {
+		t.Errorf("bb4 succs = %v, want [bb5 bb4]", bb4.Succs)
+	}
+}
+
+func TestProgramStringMentionsValues(t *testing.T) {
+	p := Figure6()
+	s := p.String()
+	for _, name := range []string{"bb4", "G", "H", "S"} {
+		if !strings.Contains(s, name) {
+			t.Errorf("String() missing %q", name)
+		}
+	}
+}
+
+func TestCallAndRetToValidate(t *testing.T) {
+	b := NewBuilder("callret")
+	ra := b.Int("ra")
+	x := b.Int("x")
+	e := b.Block("entry", 1)
+	e.Const(x, 1)
+	e.Call(ra, "fn")
+	fn := b.Block("fn", 1)
+	fn.OpImm(isa.ADD, x, x, 1)
+	fn.RetTo(ra, "after")
+	after := b.Block("after", 1)
+	after.Ret(x)
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := p.Block("entry")
+	if term := entry.Terminator(); term == nil || term.Op != isa.CALL || term.Dst != ra {
+		t.Errorf("call terminator = %+v", entry.Terminator())
+	}
+	if succs := p.Block("fn").Succs; len(succs) != 1 || succs[0] != "after" {
+		t.Errorf("RetTo successors = %v", succs)
+	}
+}
+
+func TestCallToMissingBlockRejected(t *testing.T) {
+	b := NewBuilder("badcall")
+	ra := b.Int("ra")
+	e := b.Block("entry", 1)
+	e.Call(ra, "nowhere")
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("call to missing block accepted")
+	}
+}
+
+func TestRawAndSetSuccs(t *testing.T) {
+	b := NewBuilder("raw")
+	x := b.Int("x")
+	e := b.Block("entry", 1)
+	e.Raw(Instr{Op: isa.LDA, Dst: x, Src1: None, Src2: None, Imm: 5})
+	e.Raw(Instr{Op: isa.BR, Dst: None, Src1: None, Src2: None, Target: "exit"})
+	e.SetSuccs("exit")
+	ex := b.Block("exit", 1)
+	ex.Ret(x)
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Block("entry").Succs; len(got) != 1 || got[0] != "exit" {
+		t.Errorf("SetSuccs result %v", got)
+	}
+}
+
+func TestSpillMarking(t *testing.T) {
+	var in Instr
+	if _, ok := in.SpillInfo(); ok {
+		t.Fatal("zero-value instruction must not be spill code")
+	}
+	in.MarkSpill(0)
+	if slot, ok := in.SpillInfo(); !ok || slot != 0 {
+		t.Fatalf("SpillInfo = %d,%v after MarkSpill(0)", slot, ok)
+	}
+	in.MarkSpill(7)
+	if slot, _ := in.SpillInfo(); slot != 7 {
+		t.Fatalf("slot = %d, want 7", slot)
+	}
+}
+
+func TestMemCountOrdering(t *testing.T) {
+	b := NewBuilder("mc")
+	sp := b.GlobalValue("SP", KindInt)
+	x := b.Int("x")
+	e := b.Block("entry", 1)
+	if got := b.MemCount(); got != 0 {
+		t.Fatalf("MemCount before any op = %d", got)
+	}
+	e.Load(isa.LDW, x, sp, 0)
+	if got := b.MemCount(); got != 1 {
+		t.Fatalf("MemCount after one load = %d", got)
+	}
+	second := b.Block("second", 1)
+	second.Store(isa.STW, sp, x, 8)
+	if got := b.MemCount(); got != 2 {
+		t.Fatalf("MemCount across blocks = %d", got)
+	}
+	e.FallTo("second")
+	second.Ret(x)
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}

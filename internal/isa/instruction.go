@@ -1,0 +1,200 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instruction is one machine instruction of the simulated ISA. Operand
+// conventions:
+//
+//   - Register operate: Dst = op(Src1, Src2) or Dst = op(Src1, Imm) when
+//     Src2 is RegNone.
+//   - Loads: Dst = mem[Src1 + Imm].
+//   - Stores: mem[Src1 + Imm] = Src2.
+//   - Conditional branches: test Src1 against zero; Target is the index of
+//     the target instruction within the program.
+//   - CALL writes the return address to Dst (conventionally RegRA).
+//
+// MemID and BrID are static identifiers assigned by the code generator so
+// that behaviour drivers can attach address and outcome streams to
+// individual memory and branch instructions.
+type Instruction struct {
+	Op     Op
+	Dst    Reg
+	Src1   Reg
+	Src2   Reg
+	Imm    int64
+	Target int // static instruction index for direct control flow
+	MemID  int // static memory-operation id, -1 if not a memory op
+	BrID   int // static conditional-branch id, -1 if not a conditional branch
+
+	// spillPlus1 is slot+1 for spill-code memory operations, whose
+	// addresses are statically known (SpillBase + 8*slot), and 0 otherwise.
+	spillPlus1 int
+}
+
+// SpillBase is the virtual address of spill slot 0; slot s occupies the
+// eight bytes at SpillBase + 8*s.
+const SpillBase = 0x7f00_0000
+
+// MarkSpill tags the instruction as spill code accessing the given slot.
+func (in *Instruction) MarkSpill(slot int) { in.spillPlus1 = slot + 1 }
+
+// SpillInfo returns the spill slot and true for spill-code memory
+// operations.
+func (in *Instruction) SpillInfo() (slot int, ok bool) { return in.spillPlus1 - 1, in.spillPlus1 > 0 }
+
+// SpillAddr returns the address of a spill slot.
+func SpillAddr(slot int) uint64 { return SpillBase + 8*uint64(slot) }
+
+// Sources returns the architectural source registers of the instruction,
+// excluding RegNone and hardwired zero registers (which never create
+// dependences or cluster constraints).
+func (in *Instruction) Sources() []Reg {
+	var srcs []Reg
+	if in.Src1 != RegNone && !in.Src1.IsZero() {
+		srcs = append(srcs, in.Src1)
+	}
+	if in.Src2 != RegNone && !in.Src2.IsZero() {
+		srcs = append(srcs, in.Src2)
+	}
+	return srcs
+}
+
+// Dest returns the architectural destination register, or RegNone when the
+// instruction does not write a register (stores, branches) or writes a
+// hardwired zero register.
+func (in *Instruction) Dest() Reg {
+	if in.Dst == RegNone || in.Dst.IsZero() {
+		return RegNone
+	}
+	return in.Dst
+}
+
+func (in *Instruction) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s", in.Op)
+	switch in.Op.Class() {
+	case ClassLoad:
+		fmt.Fprintf(&b, "%s, %d(%s)", in.Dst, in.Imm, in.Src1)
+	case ClassStore:
+		fmt.Fprintf(&b, "%s, %d(%s)", in.Src2, in.Imm, in.Src1)
+	case ClassControl:
+		switch in.Op {
+		case BEQ, BNE, BR:
+			if in.Src1 != RegNone {
+				fmt.Fprintf(&b, "%s, @%d", in.Src1, in.Target)
+			} else {
+				fmt.Fprintf(&b, "@%d", in.Target)
+			}
+		case CALL:
+			fmt.Fprintf(&b, "%s, @%d", in.Dst, in.Target)
+		case JMP, RET:
+			fmt.Fprintf(&b, "(%s)", in.Src1)
+		}
+	default:
+		if in.Src2 != RegNone {
+			fmt.Fprintf(&b, "%s, %s, %s", in.Dst, in.Src1, in.Src2)
+		} else if in.Src1 != RegNone {
+			fmt.Fprintf(&b, "%s, %s, #%d", in.Dst, in.Src1, in.Imm)
+		} else {
+			fmt.Fprintf(&b, "%s, #%d", in.Dst, in.Imm)
+		}
+	}
+	return b.String()
+}
+
+// BlockInfo records the half-open instruction index range [Start, End) of a
+// basic block within a Program, for diagnostics and per-block statistics.
+type BlockInfo struct {
+	Name  string
+	Start int
+	End   int
+}
+
+// Program is a machine-code program: a flat instruction array with basic
+// block boundaries. Instruction i occupies the four bytes starting at
+// PCOf(i); the instruction cache indexes these addresses.
+type Program struct {
+	Instrs []Instruction
+	Blocks []BlockInfo
+
+	// NumMemOps and NumBranches give the number of distinct MemID and BrID
+	// values assigned; behaviour drivers size their streams from these.
+	NumMemOps   int
+	NumBranches int
+}
+
+// TextBase is the address of instruction 0, matching a typical text-segment
+// base so that instruction addresses do not alias low data addresses.
+const TextBase = 0x12000_0000
+
+// PCOf returns the byte address of instruction index i.
+func PCOf(i int) uint64 { return TextBase + uint64(i)*4 }
+
+// BlockOf returns the basic block containing instruction index i, or nil.
+func (p *Program) BlockOf(i int) *BlockInfo {
+	for bi := range p.Blocks {
+		b := &p.Blocks[bi]
+		if i >= b.Start && i < b.End {
+			return b
+		}
+	}
+	return nil
+}
+
+// Validate checks structural invariants of the program: branch targets in
+// range, contiguous non-overlapping blocks, and well-formed operands. It
+// returns the first violation found.
+func (p *Program) Validate() error {
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		switch in.Op {
+		case BEQ, BNE, BR, CALL:
+			if in.Target < 0 || in.Target >= len(p.Instrs) {
+				return fmt.Errorf("instr %d (%s): branch target %d out of range [0,%d)", i, in, in.Target, len(p.Instrs))
+			}
+		}
+		if in.Op.Class().IsMem() && in.MemID < 0 {
+			return fmt.Errorf("instr %d (%s): memory op without MemID", i, in)
+		}
+		if in.Op.IsCondBranch() && in.BrID < 0 {
+			return fmt.Errorf("instr %d (%s): conditional branch without BrID", i, in)
+		}
+		if in.MemID >= p.NumMemOps {
+			return fmt.Errorf("instr %d (%s): MemID %d >= NumMemOps %d", i, in, in.MemID, p.NumMemOps)
+		}
+		if in.BrID >= p.NumBranches {
+			return fmt.Errorf("instr %d (%s): BrID %d >= NumBranches %d", i, in, in.BrID, p.NumBranches)
+		}
+	}
+	prevEnd := 0
+	for bi, b := range p.Blocks {
+		if b.Start != prevEnd {
+			return fmt.Errorf("block %d (%s): starts at %d, want %d (blocks must tile the program)", bi, b.Name, b.Start, prevEnd)
+		}
+		if b.End < b.Start || b.End > len(p.Instrs) {
+			return fmt.Errorf("block %d (%s): bad range [%d,%d)", bi, b.Name, b.Start, b.End)
+		}
+		prevEnd = b.End
+	}
+	if len(p.Blocks) > 0 && prevEnd != len(p.Instrs) {
+		return fmt.Errorf("blocks end at %d, program has %d instructions", prevEnd, len(p.Instrs))
+	}
+	return nil
+}
+
+// Disassemble renders the program as annotated assembly text.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	bi := 0
+	for i := range p.Instrs {
+		for bi < len(p.Blocks) && p.Blocks[bi].Start == i {
+			fmt.Fprintf(&b, "%s:\n", p.Blocks[bi].Name)
+			bi++
+		}
+		fmt.Fprintf(&b, "  %4d: %s\n", i, &p.Instrs[i])
+	}
+	return b.String()
+}

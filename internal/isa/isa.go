@@ -1,0 +1,180 @@
+// Package isa defines the Alpha-like RISC instruction set architecture used
+// throughout the multicluster simulator: opcodes, instruction classes,
+// architectural registers, the assignment of architectural registers to
+// clusters, functional-unit latencies, and the per-cycle issue rules of
+// Table 1 of the paper.
+//
+// The ISA is deliberately small but covers every class the paper's
+// evaluation distinguishes: integer multiply, other integer, floating-point
+// divide, other floating point, loads, stores, and control flow.
+package isa
+
+import "fmt"
+
+// Class identifies one of the instruction classes the issue rules of the
+// paper's Table 1 distinguish.
+type Class uint8
+
+// Instruction classes, in the column order of Table 1.
+const (
+	ClassIntMul   Class = iota // integer multiply (6-cycle, pipelined)
+	ClassIntOther              // all other integer operations (1-cycle)
+	ClassFPDiv                 // floating-point divide (8/16-cycle, not pipelined)
+	ClassFPOther               // all other floating point (3-cycle, pipelined)
+	ClassLoad                  // memory loads (1-cycle + single load-delay slot)
+	ClassStore                 // memory stores (1-cycle)
+	ClassControl               // branches, jumps, calls, returns (1-cycle)
+
+	NumClasses = 7
+)
+
+var classNames = [NumClasses]string{
+	"int-mul", "int-other", "fp-div", "fp-other", "load", "store", "control",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// IsFP reports whether operands of this class live in the floating-point
+// register file.
+func (c Class) IsFP() bool { return c == ClassFPDiv || c == ClassFPOther }
+
+// IsMem reports whether the class accesses the data cache.
+func (c Class) IsMem() bool { return c == ClassLoad || c == ClassStore }
+
+// Op is an opcode of the simulated instruction set.
+type Op uint8
+
+// Opcodes. The set is Alpha-flavoured: three-operand register instructions,
+// loads and stores with base+displacement addressing, and compare-and-branch
+// control flow.
+const (
+	// Integer operate.
+	ADD Op = iota
+	SUB
+	AND
+	OR
+	XOR
+	SLL   // shift left logical
+	SRL   // shift right logical
+	CMPLT // set dst to 1 if src1 < src2
+	CMPEQ // set dst to 1 if src1 == src2
+	MOV   // register move
+	LDA   // load address / load immediate: dst = src1 + imm
+	MUL   // integer multiply
+
+	// Floating point operate.
+	FADD
+	FSUB
+	FMUL
+	FCMP // fp compare, integer result register in FP file
+	FMOV
+	CVTIF // convert int->fp (reads int reg, writes fp reg)
+	CVTFI // convert fp->int
+	FDIV  // 32-bit fp divide (8-cycle, not pipelined)
+	FDIVD // 64-bit fp divide (16-cycle, not pipelined)
+
+	// Memory.
+	LDW // load word into integer register
+	LDF // load into floating-point register
+	STW // store integer register
+	STF // store floating-point register
+
+	// Control flow.
+	BEQ  // branch if src1 == 0 (conditional, predicted)
+	BNE  // branch if src1 != 0 (conditional, predicted)
+	BR   // unconditional direct branch (100% predictable)
+	JMP  // indirect jump (assumed 100% predictable per the paper)
+	CALL // subroutine call, writes return address (assumed predictable)
+	RET  // subroutine return (assumed predictable)
+
+	NumOps = 31
+)
+
+var opInfo = [NumOps]struct {
+	name  string
+	class Class
+}{
+	ADD:   {"add", ClassIntOther},
+	SUB:   {"sub", ClassIntOther},
+	AND:   {"and", ClassIntOther},
+	OR:    {"or", ClassIntOther},
+	XOR:   {"xor", ClassIntOther},
+	SLL:   {"sll", ClassIntOther},
+	SRL:   {"srl", ClassIntOther},
+	CMPLT: {"cmplt", ClassIntOther},
+	CMPEQ: {"cmpeq", ClassIntOther},
+	MOV:   {"mov", ClassIntOther},
+	LDA:   {"lda", ClassIntOther},
+	MUL:   {"mul", ClassIntMul},
+	FADD:  {"fadd", ClassFPOther},
+	FSUB:  {"fsub", ClassFPOther},
+	FMUL:  {"fmul", ClassFPOther},
+	FCMP:  {"fcmp", ClassFPOther},
+	FMOV:  {"fmov", ClassFPOther},
+	CVTIF: {"cvtif", ClassFPOther},
+	CVTFI: {"cvtfi", ClassFPOther},
+	FDIV:  {"fdiv", ClassFPDiv},
+	FDIVD: {"fdivd", ClassFPDiv},
+	LDW:   {"ldw", ClassLoad},
+	LDF:   {"ldf", ClassLoad},
+	STW:   {"stw", ClassStore},
+	STF:   {"stf", ClassStore},
+	BEQ:   {"beq", ClassControl},
+	BNE:   {"bne", ClassControl},
+	BR:    {"br", ClassControl},
+	JMP:   {"jmp", ClassControl},
+	CALL:  {"call", ClassControl},
+	RET:   {"ret", ClassControl},
+}
+
+func (o Op) String() string {
+	if int(o) < len(opInfo) {
+		return opInfo[o].name
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Class returns the instruction class of the opcode.
+func (o Op) Class() Class { return opInfo[o].class }
+
+// IsCondBranch reports whether the opcode is a conditional branch, i.e. the
+// only control flow the branch predictor must predict (the paper assumes all
+// other control flow is 100% predictable).
+func (o Op) IsCondBranch() bool { return o == BEQ || o == BNE }
+
+// IsControl reports whether the opcode redirects the fetch stream.
+func (o Op) IsControl() bool { return o.Class() == ClassControl }
+
+// Latency returns the functional-unit latency in cycles (Table 1, row 3).
+// All units are fully pipelined except the floating-point divider.
+func (o Op) Latency() int {
+	switch o.Class() {
+	case ClassIntMul:
+		return 6
+	case ClassIntOther:
+		return 1
+	case ClassFPDiv:
+		if o == FDIVD {
+			return 16
+		}
+		return 8
+	case ClassFPOther:
+		return 3
+	case ClassLoad:
+		return 1 // plus the single load-delay slot, modelled by the core
+	case ClassStore:
+		return 1
+	case ClassControl:
+		return 1
+	}
+	return 1
+}
+
+// Pipelined reports whether the functional unit for the opcode is fully
+// pipelined. Only the floating-point divider is not.
+func (o Op) Pipelined() bool { return o.Class() != ClassFPDiv }

@@ -1,0 +1,341 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClasses(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want Class
+	}{
+		{ADD, ClassIntOther}, {SUB, ClassIntOther}, {MUL, ClassIntMul},
+		{LDA, ClassIntOther}, {CMPLT, ClassIntOther},
+		{FADD, ClassFPOther}, {FMUL, ClassFPOther}, {FDIV, ClassFPDiv},
+		{FDIVD, ClassFPDiv}, {CVTIF, ClassFPOther},
+		{LDW, ClassLoad}, {LDF, ClassLoad}, {STW, ClassStore}, {STF, ClassStore},
+		{BEQ, ClassControl}, {BNE, ClassControl}, {BR, ClassControl},
+		{JMP, ClassControl}, {CALL, ClassControl}, {RET, ClassControl},
+	}
+	for _, c := range cases {
+		if got := c.op.Class(); got != c.want {
+			t.Errorf("%s.Class() = %s, want %s", c.op, got, c.want)
+		}
+	}
+}
+
+func TestLatenciesMatchTable1(t *testing.T) {
+	// Table 1 row 3: int-mul 6, other int 1, fp divide 8/16, other fp 3,
+	// loads & stores 1 (single load-delay slot modelled in the core), ctrl 1.
+	if got := MUL.Latency(); got != 6 {
+		t.Errorf("MUL latency = %d, want 6", got)
+	}
+	if got := ADD.Latency(); got != 1 {
+		t.Errorf("ADD latency = %d, want 1", got)
+	}
+	if got := FDIV.Latency(); got != 8 {
+		t.Errorf("FDIV latency = %d, want 8", got)
+	}
+	if got := FDIVD.Latency(); got != 16 {
+		t.Errorf("FDIVD latency = %d, want 16", got)
+	}
+	if got := FADD.Latency(); got != 3 {
+		t.Errorf("FADD latency = %d, want 3", got)
+	}
+	for _, op := range []Op{LDW, STW, BEQ, BR} {
+		if got := op.Latency(); got != 1 {
+			t.Errorf("%s latency = %d, want 1", op, got)
+		}
+	}
+}
+
+func TestOnlyDividerUnpipelined(t *testing.T) {
+	for op := Op(0); op < NumOps; op++ {
+		want := op.Class() != ClassFPDiv
+		if got := op.Pipelined(); got != want {
+			t.Errorf("%s.Pipelined() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestEveryOpHasNameAndClass(t *testing.T) {
+	seen := map[string]Op{}
+	for op := Op(0); op < NumOps; op++ {
+		name := op.String()
+		if name == "" || name[0] == 'O' && name[1] == 'p' {
+			t.Errorf("op %d has no name", op)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("ops %d and %d share the name %q", prev, op, name)
+		}
+		seen[name] = op
+		if op.Class() >= NumClasses {
+			t.Errorf("%s has invalid class %d", op, op.Class())
+		}
+	}
+}
+
+func TestRegFileEncoding(t *testing.T) {
+	if r := IntReg(5); r.IsFP() || r.Index() != 5 || r.String() != "r5" {
+		t.Errorf("IntReg(5) = %v (fp=%v idx=%d)", r, r.IsFP(), r.Index())
+	}
+	if r := FPReg(7); !r.IsFP() || r.Index() != 7 || r.String() != "f7" {
+		t.Errorf("FPReg(7) = %v (fp=%v idx=%d)", r, r.IsFP(), r.Index())
+	}
+	if !RegZero.IsZero() || !FPReg(31).IsZero() {
+		t.Error("r31/f31 must be hardwired zero")
+	}
+	if IntReg(30) != RegSP || IntReg(29) != RegGP || IntReg(26) != RegRA {
+		t.Error("conventional register roles misencoded")
+	}
+	if RegNone.String() != "-" {
+		t.Errorf("RegNone prints as %q", RegNone.String())
+	}
+}
+
+func TestDefaultAssignment(t *testing.T) {
+	a := DefaultAssignment()
+	if !a.IsGlobal(RegSP) || !a.IsGlobal(RegGP) {
+		t.Fatal("SP and GP must be global in the default assignment")
+	}
+	if !a.IsGlobal(RegZero) || !a.IsGlobal(FPReg(31)) {
+		t.Fatal("zero registers are readable everywhere and must be global")
+	}
+	// Even registers live in cluster 0, odd in cluster 1.
+	for n := 0; n < NumIntRegs; n++ {
+		r := IntReg(n)
+		if a.IsGlobal(r) {
+			continue
+		}
+		if got, want := a.Home(r), n&1; got != want {
+			t.Errorf("Home(r%d) = %d, want %d", n, got, want)
+		}
+		if !a.In(r, n&1) || a.In(r, 1-(n&1)) {
+			t.Errorf("In(r%d) inconsistent with parity", n)
+		}
+	}
+	for _, g := range a.Globals() {
+		if !a.In(g, 0) || !a.In(g, 1) {
+			t.Errorf("global %s must be in both clusters", g)
+		}
+	}
+}
+
+func TestHomePanicsOnGlobal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Home(SP) should panic for a global register")
+		}
+	}()
+	DefaultAssignment().Home(RegSP)
+}
+
+func TestAssignmentPartitionProperty(t *testing.T) {
+	// Property: every register is in cluster 0, cluster 1, or both — never
+	// neither — and locals are in exactly one.
+	a := DefaultAssignment()
+	f := func(n uint8) bool {
+		r := RegFromOrdinal(int(n) % NumRegs)
+		in0, in1 := a.In(r, 0), a.In(r, 1)
+		if !in0 && !in1 {
+			return false
+		}
+		if a.IsGlobal(r) {
+			return in0 && in1
+		}
+		return in0 != in1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalRegs(t *testing.T) {
+	a := DefaultAssignment()
+	for c := 0; c < 2; c++ {
+		for _, fp := range []bool{false, true} {
+			for _, r := range a.LocalRegs(c, fp) {
+				if r.IsFP() != fp {
+					t.Errorf("LocalRegs(%d,%v) returned %s of wrong file", c, fp, r)
+				}
+				if a.IsGlobal(r) || a.Home(r) != c {
+					t.Errorf("LocalRegs(%d,%v) returned non-local %s", c, fp, r)
+				}
+			}
+		}
+	}
+	// Integer cluster 0 locals: even registers 0..28 minus none global even
+	// except SP(30). 0,2,...,28 = 15 registers.
+	if got := len(a.LocalRegs(0, false)); got != 15 {
+		t.Errorf("cluster 0 integer locals = %d, want 15", got)
+	}
+	// Cluster 1: odd 1..27 minus GP(29) is odd, RA(26) is even... odd regs
+	// 1..31 are 16, minus GP(29) and f-zero does not apply, minus r31? r31
+	// is even? no: 31 is odd and is the zero register (global). So 16-2=14.
+	if got := len(a.LocalRegs(1, false)); got != 14 {
+		t.Errorf("cluster 1 integer locals = %d, want 14", got)
+	}
+}
+
+func TestIssueRulesTable1(t *testing.T) {
+	s := SingleClusterRules()
+	d := DualClusterRules()
+	if s.All != 8 || d.All != 4 {
+		t.Fatalf("total issue width: single %d dual %d, want 8 and 4", s.All, d.All)
+	}
+	if s.FPAll != 4 || d.FPAll != 2 || s.Mem != 4 || d.Mem != 2 || s.Ctrl != 4 || d.Ctrl != 2 {
+		t.Errorf("class limits do not match Table 1: single %+v dual %+v", s, d)
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Per-cluster dual rules are exactly the single rules halved.
+	if s.Scale(2) != d {
+		t.Errorf("SingleClusterRules().Scale(2) = %+v, want %+v", s.Scale(2), d)
+	}
+}
+
+func TestIssueRulesScaleFloorsAtOne(t *testing.T) {
+	r := TwoWayDualRules().Scale(4)
+	if err := r.Validate(); err != nil {
+		t.Errorf("scaled rules invalid: %v", err)
+	}
+	if r.FPDiv != 1 || r.All != 1 {
+		t.Errorf("scaling must floor at one, got %+v", r)
+	}
+}
+
+func TestInstructionStringForms(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: ADD, Dst: IntReg(2), Src1: IntReg(0), Src2: IntReg(1)}, "add   r2, r0, r1"},
+		{Instruction{Op: LDA, Dst: IntReg(4), Src1: RegZero, Imm: 16}, "lda   r4, r31, #16"},
+		{Instruction{Op: LDW, Dst: IntReg(6), Src1: RegSP, Imm: 8}, "ldw   r6, 8(r30)"},
+		{Instruction{Op: STW, Src1: RegSP, Src2: IntReg(6), Imm: -4, Dst: RegNone}, "stw   r6, -4(r30)"},
+		{Instruction{Op: BNE, Src1: IntReg(3), Target: 12, Dst: RegNone, Src2: RegNone}, "bne   r3, @12"},
+		{Instruction{Op: RET, Src1: RegRA, Dst: RegNone, Src2: RegNone}, "ret   (r26)"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSourcesAndDestFilterZeroRegs(t *testing.T) {
+	in := Instruction{Op: ADD, Dst: RegZero, Src1: RegZero, Src2: IntReg(3)}
+	if d := in.Dest(); d != RegNone {
+		t.Errorf("Dest() = %v, want RegNone for zero-register destination", d)
+	}
+	srcs := in.Sources()
+	if len(srcs) != 1 || srcs[0] != IntReg(3) {
+		t.Errorf("Sources() = %v, want [r3]", srcs)
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	p := &Program{
+		Instrs: []Instruction{
+			{Op: ADD, Dst: IntReg(2), Src1: IntReg(0), Src2: IntReg(1), MemID: -1, BrID: -1},
+			{Op: BNE, Src1: IntReg(2), Target: 0, Dst: RegNone, Src2: RegNone, MemID: -1, BrID: 0},
+		},
+		Blocks:      []BlockInfo{{Name: "b0", Start: 0, End: 2}},
+		NumBranches: 1,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+	bad := *p
+	bad.Instrs = append([]Instruction(nil), p.Instrs...)
+	bad.Instrs[1].Target = 99
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range branch target accepted")
+	}
+	bad2 := *p
+	bad2.Blocks = []BlockInfo{{Name: "b0", Start: 0, End: 1}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("non-tiling blocks accepted")
+	}
+}
+
+func TestPCOfMonotonic(t *testing.T) {
+	prev := uint64(0)
+	for i := 0; i < 100; i++ {
+		pc := PCOf(i)
+		if i > 0 && pc != prev+4 {
+			t.Fatalf("PCOf(%d) = %#x, want %#x", i, pc, prev+4)
+		}
+		prev = pc
+	}
+}
+
+func TestDisassembleContainsBlocks(t *testing.T) {
+	p := &Program{
+		Instrs: []Instruction{
+			{Op: ADD, Dst: IntReg(2), Src1: IntReg(0), Src2: IntReg(1), MemID: -1, BrID: -1},
+		},
+		Blocks: []BlockInfo{{Name: "entry", Start: 0, End: 1}},
+	}
+	d := p.Disassemble()
+	if want := "entry:"; !containsLine(d, want) {
+		t.Errorf("disassembly missing %q:\n%s", want, d)
+	}
+}
+
+func containsLine(s, sub string) bool {
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != '\n' {
+			i++
+		}
+		line := s[:i]
+		for len(line) > 0 && (line[0] == ' ' || line[0] == '\t') {
+			line = line[1:]
+		}
+		if len(line) >= len(sub) && line[:len(sub)] == sub {
+			return true
+		}
+		if i == len(s) {
+			break
+		}
+		s = s[i+1:]
+	}
+	return false
+}
+
+func TestLowHighAssignment(t *testing.T) {
+	a := LowHighAssignment()
+	if a.Scheme() != SchemeLowHigh {
+		t.Fatal("scheme not recorded")
+	}
+	if got := a.Home(IntReg(3)); got != 0 {
+		t.Errorf("r3 home = %d, want 0 under low/high", got)
+	}
+	if got := a.Home(IntReg(20)); got != 1 {
+		t.Errorf("r20 home = %d, want 1 under low/high", got)
+	}
+	if !a.IsGlobal(RegSP) || !a.IsGlobal(RegGP) {
+		t.Error("standard globals missing")
+	}
+	if got := a.Home(FPReg(3)); got != 0 {
+		t.Errorf("f3 home = %d, want 0 under low/high", got)
+	}
+	// Both schemes partition the same local registers, just differently.
+	e := DefaultAssignment()
+	for c := 0; c < 2; c++ {
+		if len(a.LocalRegs(0, false))+len(a.LocalRegs(1, false)) !=
+			len(e.LocalRegs(0, false))+len(e.LocalRegs(1, false)) {
+			t.Fatal("schemes disagree on the number of local registers")
+		}
+		_ = c
+	}
+	if SchemeEvenOdd.String() == SchemeLowHigh.String() {
+		t.Error("scheme names collide")
+	}
+}

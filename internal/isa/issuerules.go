@@ -1,0 +1,105 @@
+package isa
+
+import "fmt"
+
+// IssueRules gives the per-cycle issue limits of one cluster (or of the
+// whole single-cluster processor), reproducing Table 1 of the paper. All is
+// the total number of instructions issued per cycle; the remaining fields
+// cap individual classes. The floating-point limits are hierarchical: FPAll
+// caps divides and other floating point together, while FPDiv and FPOther
+// cap each kind separately. Mem caps loads and stores together.
+type IssueRules struct {
+	All      int
+	IntMul   int
+	IntOther int
+	FPAll    int
+	FPDiv    int
+	FPOther  int
+	Mem      int
+	Ctrl     int
+}
+
+// SingleClusterRules returns row 1 of Table 1: the eight-way single-cluster
+// processor.
+func SingleClusterRules() IssueRules {
+	return IssueRules{All: 8, IntMul: 8, IntOther: 8, FPAll: 4, FPDiv: 4, FPOther: 4, Mem: 4, Ctrl: 4}
+}
+
+// DualClusterRules returns row 2 of Table 1: the per-cluster limits of the
+// dual-cluster processor (each cluster issues at most four per cycle).
+func DualClusterRules() IssueRules {
+	return IssueRules{All: 4, IntMul: 4, IntOther: 4, FPAll: 2, FPDiv: 2, FPOther: 2, Mem: 2, Ctrl: 2}
+}
+
+// FourWaySingleRules returns the four-way single-cluster configuration used
+// by the paper's four-way/eight-way comparison and by the Palacharla
+// cycle-time anchors.
+func FourWaySingleRules() IssueRules {
+	return IssueRules{All: 4, IntMul: 4, IntOther: 4, FPAll: 2, FPDiv: 2, FPOther: 2, Mem: 2, Ctrl: 2}
+}
+
+// TwoWayDualRules returns the per-cluster limits for a dual-cluster
+// processor whose aggregate width is four.
+func TwoWayDualRules() IssueRules {
+	return IssueRules{All: 2, IntMul: 2, IntOther: 2, FPAll: 1, FPDiv: 1, FPOther: 1, Mem: 1, Ctrl: 1}
+}
+
+// Scale returns the rules divided by n (per-cluster limits for an n-way
+// partition of this configuration), with every limit kept at least one.
+func (r IssueRules) Scale(n int) IssueRules {
+	d := func(v int) int {
+		v /= n
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return IssueRules{
+		All: d(r.All), IntMul: d(r.IntMul), IntOther: d(r.IntOther),
+		FPAll: d(r.FPAll), FPDiv: d(r.FPDiv), FPOther: d(r.FPOther),
+		Mem: d(r.Mem), Ctrl: d(r.Ctrl),
+	}
+}
+
+// ClassLimit returns the per-cycle cap for a single class (not counting the
+// shared All and FPAll caps, which the issue logic enforces separately).
+func (r IssueRules) ClassLimit(c Class) int {
+	switch c {
+	case ClassIntMul:
+		return r.IntMul
+	case ClassIntOther:
+		return r.IntOther
+	case ClassFPDiv:
+		return r.FPDiv
+	case ClassFPOther:
+		return r.FPOther
+	case ClassLoad, ClassStore:
+		return r.Mem
+	case ClassControl:
+		return r.Ctrl
+	}
+	return 0
+}
+
+// Validate reports whether the rules are self-consistent.
+func (r IssueRules) Validate() error {
+	if r.All <= 0 {
+		return fmt.Errorf("isa: issue rules: All must be positive, got %d", r.All)
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		if r.ClassLimit(c) <= 0 {
+			return fmt.Errorf("isa: issue rules: class %s has non-positive limit", c)
+		}
+	}
+	if r.FPDiv > r.FPAll || r.FPOther > r.FPAll {
+		// Permitted but suspicious: the hierarchical FP cap would dominate.
+		// Not an error; Table 1 has FPDiv == FPOther == FPAll.
+		_ = r
+	}
+	return nil
+}
+
+func (r IssueRules) String() string {
+	return fmt.Sprintf("all=%d int-mul=%d int-other=%d fp=%d fp-div=%d fp-other=%d mem=%d ctrl=%d",
+		r.All, r.IntMul, r.IntOther, r.FPAll, r.FPDiv, r.FPOther, r.Mem, r.Ctrl)
+}

@@ -1,0 +1,204 @@
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. The zero value is RegNone (no
+// operand), so zero-valued Instructions have no spurious operands. Values
+// 1..32 encode the integer registers r0..r31; values 33..64 encode the
+// floating-point registers f0..f31.
+type Reg uint8
+
+// Architectural register file parameters.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+	NumRegs    = NumIntRegs + NumFPRegs
+
+	// RegNone marks an unused operand slot; it is the zero value of Reg.
+	RegNone Reg = 0
+)
+
+// Conventional register roles, following the Alpha calling standard the
+// paper's toolchain inherited: r29 is the global pointer, r30 the stack
+// pointer, r26 the return-address register, r31/f31 read as zero.
+var (
+	RegRA   = IntReg(26)
+	RegGP   = IntReg(29)
+	RegSP   = IntReg(30)
+	RegZero = IntReg(31)
+	FPZero  = FPReg(31)
+)
+
+// IntReg returns the integer register rn.
+func IntReg(n int) Reg { return Reg(n + 1) }
+
+// FPReg returns the floating-point register fn.
+func FPReg(n int) Reg { return Reg(NumIntRegs + n + 1) }
+
+// IsFP reports whether r is a floating-point register.
+func (r Reg) IsFP() bool { return r > NumIntRegs }
+
+// Valid reports whether r names an actual register (not RegNone).
+func (r Reg) Valid() bool { return r != RegNone && r <= NumRegs }
+
+// Index returns the register number within its file (0..31).
+func (r Reg) Index() int {
+	if r.IsFP() {
+		return int(r) - NumIntRegs - 1
+	}
+	return int(r) - 1
+}
+
+// Ordinal returns a dense index in [0, NumRegs) across both files, suitable
+// for array indexing. It must not be called on RegNone.
+func (r Reg) Ordinal() int {
+	if !r.Valid() {
+		panic("isa: Ordinal of invalid register")
+	}
+	return int(r) - 1
+}
+
+// RegFromOrdinal is the inverse of Ordinal.
+func RegFromOrdinal(n int) Reg { return Reg(n + 1) }
+
+// IsZero reports whether r is a hardwired zero register, which is never
+// renamed and never creates dependences.
+func (r Reg) IsZero() bool { return r == RegZero || r == FPZero }
+
+func (r Reg) String() string {
+	switch {
+	case r == RegNone:
+		return "-"
+	case r.IsFP():
+		return fmt.Sprintf("f%d", r.Index())
+	default:
+		return fmt.Sprintf("r%d", r.Index())
+	}
+}
+
+// AssignmentScheme selects how local registers map to clusters.
+type AssignmentScheme uint8
+
+const (
+	// SchemeEvenOdd assigns even-numbered registers to cluster 0 and
+	// odd-numbered to cluster 1 — the scheme the paper's evaluation settled
+	// on after analysing early simulation results (§4).
+	SchemeEvenOdd AssignmentScheme = iota
+	// SchemeLowHigh assigns the lower half of each file to cluster 0 and
+	// the upper half to cluster 1 — the natural alternative the even/odd
+	// choice was measured against. Compilers concentrate usage in the low
+	// registers, so this scheme tends to overload cluster 0.
+	SchemeLowHigh
+)
+
+func (s AssignmentScheme) String() string {
+	if s == SchemeLowHigh {
+		return "low-high"
+	}
+	return "even-odd"
+}
+
+// Assignment records the static assignment of architectural registers to
+// clusters for a dual-cluster processor. Every architectural register is
+// either local to exactly one cluster or global (assigned to both clusters,
+// with one physical copy per cluster). The paper's evaluation assigns
+// even-numbered registers to cluster 0 and odd-numbered registers to
+// cluster 1, and designates the stack- and global-pointer registers global.
+type Assignment struct {
+	scheme AssignmentScheme
+	global [NumRegs + 1]bool
+}
+
+// NewAssignment returns an even/odd assignment with the given registers
+// designated global.
+func NewAssignment(globals ...Reg) Assignment {
+	return NewAssignmentScheme(SchemeEvenOdd, globals...)
+}
+
+// NewAssignmentScheme returns an assignment under the given local-register
+// scheme with the given registers designated global.
+func NewAssignmentScheme(scheme AssignmentScheme, globals ...Reg) Assignment {
+	a := Assignment{scheme: scheme}
+	for _, r := range globals {
+		if r.Valid() {
+			a.global[r] = true
+		}
+	}
+	return a
+}
+
+// LowHighAssignment returns the low/high-split alternative with the
+// standard globals — the scheme the paper's even/odd choice was evaluated
+// against.
+func LowHighAssignment() Assignment {
+	return NewAssignmentScheme(SchemeLowHigh, RegSP, RegGP, RegZero, FPZero)
+}
+
+// Scheme returns the local-register mapping scheme.
+func (a Assignment) Scheme() AssignmentScheme { return a.scheme }
+
+// DefaultAssignment returns the assignment used throughout the paper's
+// evaluation: SP and GP global, everything else local by parity. The
+// hardwired zero registers are also treated as global since they are
+// readable everywhere without renaming.
+func DefaultAssignment() Assignment {
+	return NewAssignment(RegSP, RegGP, RegZero, FPZero)
+}
+
+// IsGlobal reports whether r is assigned to both clusters.
+func (a Assignment) IsGlobal(r Reg) bool {
+	return r.Valid() && (a.global[r] || r.IsZero())
+}
+
+// Home returns the cluster a local register is assigned to. It must not be
+// called for global registers.
+func (a Assignment) Home(r Reg) int {
+	if a.IsGlobal(r) {
+		panic("isa: Home called on global register " + r.String())
+	}
+	if a.scheme == SchemeLowHigh {
+		if r.Index() < NumIntRegs/2 {
+			return 0
+		}
+		return 1
+	}
+	return r.Index() & 1
+}
+
+// In reports whether register r is readable and writable within cluster c.
+func (a Assignment) In(r Reg, c int) bool {
+	if !r.Valid() {
+		return false
+	}
+	if a.IsGlobal(r) {
+		return true
+	}
+	return a.Home(r) == c
+}
+
+// Globals returns the registers designated global, in ascending order.
+func (a Assignment) Globals() []Reg {
+	var gs []Reg
+	for r := Reg(1); r <= NumRegs; r++ {
+		if a.global[r] {
+			gs = append(gs, r)
+		}
+	}
+	return gs
+}
+
+// LocalRegs returns the local registers of cluster c within the given file
+// (fp=false for integer, true for floating point), excluding zero registers.
+func (a Assignment) LocalRegs(c int, fp bool) []Reg {
+	var rs []Reg
+	for n := 0; n < NumIntRegs; n++ {
+		r := IntReg(n)
+		if fp {
+			r = FPReg(n)
+		}
+		if !a.IsGlobal(r) && a.Home(r) == c {
+			rs = append(rs, r)
+		}
+	}
+	return rs
+}

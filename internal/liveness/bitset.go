@@ -1,0 +1,74 @@
+// Package liveness computes live-variable dataflow over IL programs and
+// builds the interference graph used by the register allocator (step 5 of
+// the paper's methodology) and by the spill heuristics.
+package liveness
+
+import "math/bits"
+
+// BitSet is a dense set of live-range IDs.
+type BitSet struct {
+	words []uint64
+}
+
+// NewBitSet returns a set sized for IDs in [0, n).
+func NewBitSet(n int) *BitSet {
+	return &BitSet{words: make([]uint64, (n+63)/64)}
+}
+
+// Add inserts id.
+func (s *BitSet) Add(id int) { s.words[id/64] |= 1 << (uint(id) % 64) }
+
+// Remove deletes id.
+func (s *BitSet) Remove(id int) { s.words[id/64] &^= 1 << (uint(id) % 64) }
+
+// Has reports membership.
+func (s *BitSet) Has(id int) bool {
+	w := id / 64
+	return w < len(s.words) && s.words[w]&(1<<(uint(id)%64)) != 0
+}
+
+// UnionWith adds every element of t to s and reports whether s changed.
+func (s *BitSet) UnionWith(t *BitSet) bool {
+	changed := false
+	for i, w := range t.words {
+		if nw := s.words[i] | w; nw != s.words[i] {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Copy returns an independent copy of s.
+func (s *BitSet) Copy() *BitSet {
+	c := &BitSet{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Count returns the number of elements.
+func (s *BitSet) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ForEach calls f for every element in ascending order.
+func (s *BitSet) ForEach(f func(id int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Elements returns the members in ascending order.
+func (s *BitSet) Elements() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(id int) { out = append(out, id) })
+	return out
+}

@@ -1,0 +1,149 @@
+package liveness
+
+import (
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+)
+
+// Info holds the result of live-variable analysis for one IL program.
+type Info struct {
+	Prog    *il.Program
+	LiveIn  map[string]*BitSet
+	LiveOut map[string]*BitSet
+}
+
+// Analyze runs backward live-variable dataflow to a fixed point.
+func Analyze(p *il.Program) *Info {
+	n := p.NumValues()
+	info := &Info{
+		Prog:    p,
+		LiveIn:  make(map[string]*BitSet, len(p.Blocks)),
+		LiveOut: make(map[string]*BitSet, len(p.Blocks)),
+	}
+	use := make(map[string]*BitSet, len(p.Blocks))
+	def := make(map[string]*BitSet, len(p.Blocks))
+	for _, b := range p.Blocks {
+		u, d := NewBitSet(n), NewBitSet(n)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			for _, s := range in.Uses() {
+				if !d.Has(s) {
+					u.Add(s)
+				}
+			}
+			if in.Dst != il.None {
+				d.Add(in.Dst)
+			}
+		}
+		use[b.Name], def[b.Name] = u, d
+		info.LiveIn[b.Name] = NewBitSet(n)
+		info.LiveOut[b.Name] = NewBitSet(n)
+	}
+	for changed := true; changed; {
+		changed = false
+		// Iterate in reverse layout order: converges quickly for mostly
+		// forward-flowing CFGs.
+		for bi := len(p.Blocks) - 1; bi >= 0; bi-- {
+			b := p.Blocks[bi]
+			out := info.LiveOut[b.Name]
+			for _, s := range b.Succs {
+				if out.UnionWith(info.LiveIn[s]) {
+					changed = true
+				}
+			}
+			// in = use ∪ (out − def)
+			in := use[b.Name].Copy()
+			out.ForEach(func(id int) {
+				if !def[b.Name].Has(id) {
+					in.Add(id)
+				}
+			})
+			if info.LiveIn[b.Name].UnionWith(in) {
+				changed = true
+			}
+		}
+	}
+	return info
+}
+
+// LiveAcross reports whether live range id is live across (into or out of)
+// the named block boundary.
+func (info *Info) LiveAcross(id int, block string) bool {
+	return info.LiveIn[block].Has(id) || info.LiveOut[block].Has(id)
+}
+
+// Graph is an interference graph over live ranges: an undirected graph with
+// one node per live range and an edge wherever two live ranges are
+// simultaneously live.
+type Graph struct {
+	n   int
+	adj []*BitSet
+}
+
+// NewGraph returns an empty interference graph over n live ranges.
+func NewGraph(n int) *Graph {
+	g := &Graph{n: n, adj: make([]*BitSet, n)}
+	for i := range g.adj {
+		g.adj[i] = NewBitSet(n)
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the undirected edge (a, b). Self-edges are ignored.
+func (g *Graph) AddEdge(a, b int) {
+	if a == b {
+		return
+	}
+	g.adj[a].Add(b)
+	g.adj[b].Add(a)
+}
+
+// Interferes reports whether a and b share an edge.
+func (g *Graph) Interferes(a, b int) bool { return g.adj[a].Has(b) }
+
+// Degree returns the number of neighbours of a.
+func (g *Graph) Degree(a int) int { return g.adj[a].Count() }
+
+// Neighbors calls f for every neighbour of a.
+func (g *Graph) Neighbors(a int, f func(b int)) { g.adj[a].ForEach(f) }
+
+// Interference builds the interference graph. At every definition d the
+// graph gains edges between d and every live range live immediately after
+// the instruction; for register moves the source is exempted, which lets
+// the allocator assign both ends of a copy the same register. Live ranges
+// live into the program entry (program inputs, e.g. the initial stack
+// pointer) interfere pairwise.
+func (info *Info) Interference() *Graph {
+	p := info.Prog
+	g := NewGraph(p.NumValues())
+	for _, b := range p.Blocks {
+		live := info.LiveOut[b.Name].Copy()
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := &b.Instrs[i]
+			if d := in.Dst; d != il.None {
+				live.ForEach(func(x int) {
+					if isMove(in.Op) && x == in.Src1 {
+						return
+					}
+					g.AddEdge(d, x)
+				})
+				live.Remove(d)
+			}
+			for _, s := range in.Uses() {
+				live.Add(s)
+			}
+		}
+	}
+	entryLive := info.LiveIn[p.Entry].Elements()
+	for i, a := range entryLive {
+		for _, b := range entryLive[i+1:] {
+			g.AddEdge(a, b)
+		}
+	}
+	return g
+}
+
+func isMove(op isa.Op) bool { return op == isa.MOV || op == isa.FMOV }

@@ -1,0 +1,234 @@
+package liveness
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+)
+
+func TestBitSetBasics(t *testing.T) {
+	s := NewBitSet(130)
+	for _, id := range []int{0, 63, 64, 129} {
+		if s.Has(id) {
+			t.Errorf("fresh set has %d", id)
+		}
+		s.Add(id)
+		if !s.Has(id) {
+			t.Errorf("Add(%d) not visible", id)
+		}
+	}
+	if got := s.Count(); got != 4 {
+		t.Errorf("Count = %d, want 4", got)
+	}
+	if got := s.Elements(); len(got) != 4 || got[0] != 0 || got[3] != 129 {
+		t.Errorf("Elements = %v", got)
+	}
+	s.Remove(64)
+	if s.Has(64) || s.Count() != 3 {
+		t.Error("Remove failed")
+	}
+	c := s.Copy()
+	c.Add(10)
+	if s.Has(10) {
+		t.Error("Copy is not independent")
+	}
+}
+
+func TestBitSetUnionProperty(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := NewBitSet(256), NewBitSet(256)
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		u := a.Copy()
+		u.UnionWith(b)
+		for _, x := range xs {
+			if !u.Has(int(x)) {
+				return false
+			}
+		}
+		for _, y := range ys {
+			if !u.Has(int(y)) {
+				return false
+			}
+		}
+		// Union adds nothing else.
+		n := 0
+		seen := map[int]bool{}
+		for _, x := range xs {
+			if !seen[int(x)] {
+				seen[int(x)] = true
+				n++
+			}
+		}
+		for _, y := range ys {
+			if !seen[int(y)] {
+				seen[int(y)] = true
+				n++
+			}
+		}
+		return u.Count() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// straightLine builds: entry: x=1; y=2; z=x+y; ret z
+func straightLine() *il.Program {
+	b := il.NewBuilder("straight")
+	x, y, z := b.Int("x"), b.Int("y"), b.Int("z")
+	bb := b.Block("entry", 1)
+	bb.Const(x, 1)
+	bb.Const(y, 2)
+	bb.Op(isa.ADD, z, x, y)
+	bb.Ret(z)
+	return b.MustFinish()
+}
+
+func TestLivenessStraightLine(t *testing.T) {
+	p := straightLine()
+	info := Analyze(p)
+	if got := info.LiveIn["entry"].Count(); got != 0 {
+		t.Errorf("live-in of entry = %d values, want 0", got)
+	}
+	if got := info.LiveOut["entry"].Count(); got != 0 {
+		t.Errorf("live-out of exit block = %d values, want 0", got)
+	}
+}
+
+// loopProgram builds a loop where acc is live around the back edge.
+func loopProgram() (*il.Program, map[string]int) {
+	b := il.NewBuilder("loop")
+	acc, i, tmp := b.Int("acc"), b.Int("i"), b.Int("tmp")
+	e := b.Block("entry", 1)
+	e.Const(acc, 0)
+	e.Const(i, 10)
+	e.FallTo("loop")
+	l := b.Block("loop", 10)
+	l.Op(isa.ADD, acc, acc, i)
+	l.OpImm(isa.SUB, i, i, 1)
+	l.OpImm(isa.CMPLT, tmp, i, 0)
+	l.CondBr(isa.BEQ, tmp, "loop", "done")
+	d := b.Block("done", 1)
+	d.Ret(acc)
+	ids := map[string]int{"acc": acc, "i": i, "tmp": tmp}
+	return b.MustFinish(), ids
+}
+
+func TestLivenessLoop(t *testing.T) {
+	p, ids := loopProgram()
+	info := Analyze(p)
+	for _, name := range []string{"acc", "i"} {
+		if !info.LiveIn["loop"].Has(ids[name]) {
+			t.Errorf("%s must be live into the loop", name)
+		}
+		if !info.LiveOut["loop"].Has(ids[name]) {
+			t.Errorf("%s must be live out of the loop (back edge)", name)
+		}
+	}
+	if !info.LiveIn["done"].Has(ids["acc"]) {
+		t.Error("acc must be live into done")
+	}
+	if info.LiveIn["done"].Has(ids["i"]) {
+		t.Error("i must be dead in done")
+	}
+	if info.LiveIn["loop"].Has(ids["tmp"]) {
+		t.Error("tmp is defined before use inside the loop; must not be live-in")
+	}
+}
+
+func TestInterferenceLoop(t *testing.T) {
+	p, ids := loopProgram()
+	g := Analyze(p).Interference()
+	if !g.Interferes(ids["acc"], ids["i"]) {
+		t.Error("acc and i are simultaneously live and must interfere")
+	}
+	if !g.Interferes(ids["tmp"], ids["acc"]) {
+		t.Error("tmp is live at the branch while acc is live; must interfere")
+	}
+	if g.Interferes(ids["acc"], ids["acc"]) {
+		t.Error("self-interference must not exist")
+	}
+}
+
+func TestInterferenceSymmetric(t *testing.T) {
+	p := il.Figure6()
+	g := Analyze(p).Interference()
+	for a := 0; a < g.N(); a++ {
+		g.Neighbors(a, func(b int) {
+			if !g.Interferes(b, a) {
+				t.Errorf("edge (%d,%d) not symmetric", a, b)
+			}
+		})
+	}
+}
+
+func TestMoveDoesNotInterfereWithSource(t *testing.T) {
+	b := il.NewBuilder("mv")
+	x, y := b.Int("x"), b.Int("y")
+	bb := b.Block("entry", 1)
+	bb.Const(x, 1)
+	bb.OpImm(isa.MOV, y, x, 0)
+	bb.Ret(y)
+	p := b.MustFinish()
+	g := Analyze(p).Interference()
+	if g.Interferes(x, y) {
+		t.Error("move source and destination should not interfere (coalescable)")
+	}
+}
+
+func TestEntryLiveInsInterfere(t *testing.T) {
+	// Two program inputs used but never defined must interfere so the
+	// allocator cannot give them one register.
+	b := il.NewBuilder("params")
+	pp, q, z := b.Int("p"), b.Int("q"), b.Int("z")
+	bb := b.Block("entry", 1)
+	bb.Op(isa.ADD, z, pp, q)
+	bb.Ret(z)
+	p := b.MustFinish()
+	g := Analyze(p).Interference()
+	if !g.Interferes(pp, q) {
+		t.Error("program inputs must interfere pairwise")
+	}
+}
+
+func TestFigure6LivenessSanity(t *testing.T) {
+	p := il.Figure6()
+	info := Analyze(p)
+	find := func(name string) int {
+		for _, v := range p.Values {
+			if v.Name == name {
+				return v.ID
+			}
+		}
+		t.Fatalf("no value %s", name)
+		return -1
+	}
+	// H is defined in bb2/bb3 and used in bb4: live into bb4 and across its
+	// back edge.
+	if !info.LiveIn["bb4"].Has(find("H")) || !info.LiveOut["bb4"].Has(find("H")) {
+		t.Error("H must be live in and out of bb4")
+	}
+	// D is defined in bb5 and dies there.
+	if info.LiveIn["bb5"].Has(find("D")) {
+		t.Error("D must not be live into bb5")
+	}
+	// E is used in bb3 but not beyond bb3.
+	if info.LiveOut["bb3"].Has(find("E")) {
+		t.Error("E must be dead out of bb3")
+	}
+}
+
+func BenchmarkAnalyzeAndInterference(b *testing.B) {
+	p := il.Figure6()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(p).Interference()
+	}
+}

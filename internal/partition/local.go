@@ -1,0 +1,181 @@
+package partition
+
+import (
+	"sort"
+
+	"multicluster/internal/il"
+)
+
+// DefaultWindow is the compile-time imbalance constant of §3.5: the
+// instruction distribution is considered unbalanced in the vicinity of an
+// instruction when one cluster has received more than this many
+// instructions beyond the other by the time the instruction is distributed.
+const DefaultWindow = 4
+
+// Local implements the paper's local scheduler (§3.5). Basic blocks are
+// visited in descending order of profiled execution estimate (ties broken
+// by static instruction count); within each block the instructions are
+// traversed bottom-up, and the first time an instruction writing an
+// unassigned live range is encountered, the live range is assigned:
+//
+//   - to the under-subscribed cluster, when the estimated run-time
+//     instruction distribution around the writing instruction is unbalanced
+//     by more than Window instructions; or
+//   - to the cluster preferred by the majority of the instructions that
+//     read or write the live range, where an instruction prefers the
+//     cluster that lets it be distributed to one cluster only.
+type Local struct {
+	// Window is the imbalance threshold; zero means DefaultWindow.
+	Window int
+}
+
+func (Local) Name() string { return "local" }
+
+func (l Local) window() int {
+	if l.Window > 0 {
+		return l.Window
+	}
+	return DefaultWindow
+}
+
+// Partition runs the local scheduler on p.
+func (l Local) Partition(p *il.Program) *Result {
+	r := newResult(p)
+	// Weighted running totals of instructions distributed to each cluster
+	// across the whole program; used only to break ties deterministically
+	// in favour of the globally under-subscribed cluster.
+	var weighted [NumClusters]int64
+
+	for _, b := range sortedBlocks(p) {
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := &b.Instrs[i]
+			d := in.Dst
+			if d == il.None || r.Cluster[d] != Unassigned {
+				continue
+			}
+			c := l.chooseCluster(p, b, i, d, r, &weighted)
+			r.assign(d, c)
+			weighted[c] += b.EstExec
+		}
+	}
+	r.finish()
+	return r
+}
+
+// chooseCluster implements the per-live-range decision of §3.5.
+func (l Local) chooseCluster(p *il.Program, b *il.Block, idx, id int, r *Result, weighted *[NumClusters]int64) int {
+	n0, n1 := blockDistribution(b, idx, r)
+	if diff := n0 - n1; diff > l.window() {
+		return 1 // cluster 0 over-subscribed
+	} else if -diff > l.window() {
+		return 0
+	}
+
+	// Balanced: poll every instruction that reads or writes the live range
+	// for its preferred cluster.
+	votes := [NumClusters]int{}
+	for _, blk := range p.Blocks {
+		for j := range blk.Instrs {
+			jn := &blk.Instrs[j]
+			if !names(jn, id) {
+				continue
+			}
+			f0 := feasible(jn, 0, id, r)
+			f1 := feasible(jn, 1, id, r)
+			switch {
+			case f0 && !f1:
+				votes[0]++
+			case f1 && !f0:
+				votes[1]++
+			}
+		}
+	}
+	switch {
+	case votes[0] > votes[1]:
+		return 0
+	case votes[1] > votes[0]:
+		return 1
+	}
+	// No preference either way: feed the globally under-subscribed cluster.
+	if weighted[1] < weighted[0] {
+		return 1
+	}
+	return 0
+}
+
+// blockDistribution estimates, with current assignment knowledge, how many
+// of the instructions in the vicinity of index idx will be distributed to
+// each cluster at run time. The vicinity is the whole block except idx
+// itself: at run time the instructions "preceding" a hot block's
+// instruction include the previous iteration of the same block, so the
+// steady-state window wraps around. A dual-distributed instruction counts
+// toward both clusters; instructions whose operands are entirely
+// unassigned or global contribute to neither count.
+func blockDistribution(b *il.Block, idx int, r *Result) (n0, n1 int) {
+	for i := range b.Instrs {
+		if i == idx {
+			continue
+		}
+		d0, d1 := instrDistribution(&b.Instrs[i], r)
+		if d0 {
+			n0++
+		}
+		if d1 {
+			n1++
+		}
+	}
+	return
+}
+
+// instrDistribution predicts the cluster(s) an instruction will be
+// distributed to under the current partial assignment. Per §2.1 an
+// instruction is distributed to both clusters when its named registers span
+// clusters or its destination is global; otherwise it goes to the single
+// cluster its local registers live in.
+func instrDistribution(in *il.Instr, r *Result) (c0, c1 bool) {
+	for _, u := range in.Uses() {
+		switch r.Cluster[u] {
+		case 0:
+			c0 = true
+		case 1:
+			c1 = true
+		}
+	}
+	switch {
+	case in.Dst == il.None:
+	case r.Cluster[in.Dst] == Global:
+		// Global destination forces dual distribution.
+		c0, c1 = true, true
+	case r.Cluster[in.Dst] == 0:
+		c0 = true
+	case r.Cluster[in.Dst] == 1:
+		c1 = true
+	}
+	return
+}
+
+// sortedBlocks returns the blocks in local-scheduler visiting order:
+// descending execution estimate, then descending static instruction count,
+// then layout order for determinism.
+func sortedBlocks(p *il.Program) []*il.Block {
+	layout := make(map[*il.Block]int, len(p.Blocks))
+	for i, b := range p.Blocks {
+		layout[b] = i
+	}
+	blocks := append([]*il.Block(nil), p.Blocks...)
+	sort.SliceStable(blocks, func(i, j int) bool {
+		a, b := blocks[i], blocks[j]
+		if a.EstExec != b.EstExec {
+			return a.EstExec > b.EstExec
+		}
+		if len(a.Instrs) != len(b.Instrs) {
+			return len(a.Instrs) > len(b.Instrs)
+		}
+		return layout[a] < layout[b]
+	})
+	return blocks
+}
+
+// SortedBlocks exposes the local scheduler's block visiting order for
+// reports and diagnostics.
+func SortedBlocks(p *il.Program) []*il.Block { return sortedBlocks(p) }

@@ -1,0 +1,83 @@
+package partition
+
+import (
+	"fmt"
+
+	"multicluster/internal/il"
+)
+
+// Metrics summarizes the static quality of a partitioning: how the
+// profile-weighted instruction distribution splits across clusters and what
+// fraction of the dynamic instruction stream is expected to be
+// dual-distributed. These are exactly the two competing objectives of §3
+// (balance the distribution; minimize dual distribution).
+type Metrics struct {
+	// Weighted number of dynamic instructions distributed to each cluster
+	// (dual-distributed instructions count toward both).
+	Distributed [NumClusters]int64
+	// Weighted number of dynamic instructions distributed to both clusters.
+	Dual int64
+	// Weighted total dynamic instructions.
+	Total int64
+}
+
+// Measure computes static partitioning metrics for the result r over
+// program p, weighting each block by its profile estimate.
+func Measure(p *il.Program, r *Result) Metrics {
+	var m Metrics
+	for _, b := range p.Blocks {
+		w := b.EstExec
+		if w <= 0 {
+			w = 1
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			m.Total += w
+			d0, d1 := instrDistribution(in, r)
+			if !d0 && !d1 {
+				// Operand-free instruction (e.g. unconditional branch):
+				// distributed to one cluster; charge neither for balance
+				// purposes but count it in the total.
+				continue
+			}
+			if d0 {
+				m.Distributed[0] += w
+			}
+			if d1 {
+				m.Distributed[1] += w
+			}
+			if d0 && d1 {
+				m.Dual += w
+			}
+		}
+	}
+	return m
+}
+
+// DualFraction returns the fraction of the weighted dynamic stream expected
+// to be dual-distributed.
+func (m Metrics) DualFraction() float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return float64(m.Dual) / float64(m.Total)
+}
+
+// Imbalance returns |w0-w1| / (w0+w1), the normalized distribution
+// imbalance; zero is perfectly balanced.
+func (m Metrics) Imbalance() float64 {
+	w0, w1 := m.Distributed[0], m.Distributed[1]
+	if w0+w1 == 0 {
+		return 0
+	}
+	d := w0 - w1
+	if d < 0 {
+		d = -d
+	}
+	return float64(d) / float64(w0+w1)
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("dist=[%d %d] dual=%.1f%% imbalance=%.1f%%",
+		m.Distributed[0], m.Distributed[1], 100*m.DualFraction(), 100*m.Imbalance())
+}

@@ -1,0 +1,223 @@
+// Package partition implements live-range partitioning: assigning each live
+// range of an IL program to one of the two clusters (or to a global
+// register) so that, at run time, the distribution of instructions across
+// clusters is balanced and the number of dual-distributed instructions is
+// minimized (step 4 of the paper's methodology, §3.5).
+//
+// The package provides the paper's "local scheduler" plus simpler baseline
+// partitioners used for ablation studies.
+package partition
+
+import (
+	"fmt"
+
+	"multicluster/internal/il"
+)
+
+// Cluster assignment values in a Result.
+const (
+	// Global marks a live range assigned to a global register (both
+	// clusters hold a physical copy).
+	Global = -1
+	// Unassigned appears only transiently inside partitioners.
+	Unassigned = -2
+
+	// NumClusters is fixed at two, matching the paper's evaluation.
+	NumClusters = 2
+)
+
+// Result maps every live range of a program to a cluster (0 or 1) or to
+// Global.
+type Result struct {
+	// Cluster[id] is the assignment for live range id.
+	Cluster []int
+	// Order records the live ranges in the order the partitioner assigned
+	// them (global candidates excluded); diagnostic, used by tests that
+	// check the paper's Figure 6 walk-through.
+	Order []int
+}
+
+// Of returns the assignment of live range id.
+func (r *Result) Of(id int) int { return r.Cluster[id] }
+
+// Validate checks that every live range is assigned and that global
+// candidates are exactly the Global entries.
+func (r *Result) Validate(p *il.Program) error {
+	if len(r.Cluster) != p.NumValues() {
+		return fmt.Errorf("partition: result covers %d of %d live ranges", len(r.Cluster), p.NumValues())
+	}
+	for id, c := range r.Cluster {
+		v := p.Value(id)
+		switch {
+		case v.GlobalCandidate && c != Global:
+			return fmt.Errorf("partition: global candidate %q assigned to cluster %d", v.Name, c)
+		case !v.GlobalCandidate && c != 0 && c != 1:
+			return fmt.Errorf("partition: local candidate %q has assignment %d", v.Name, c)
+		}
+	}
+	return nil
+}
+
+// Counts returns how many local live ranges were assigned to each cluster.
+func (r *Result) Counts() (c0, c1 int) {
+	for _, c := range r.Cluster {
+		switch c {
+		case 0:
+			c0++
+		case 1:
+			c1++
+		}
+	}
+	return
+}
+
+// Partitioner assigns the live ranges of a program to clusters.
+type Partitioner interface {
+	// Name identifies the partitioner in reports and benchmarks.
+	Name() string
+	// Partition computes a cluster assignment for p.
+	Partition(p *il.Program) *Result
+}
+
+// newResult returns a Result with global candidates pre-assigned and all
+// other live ranges Unassigned.
+func newResult(p *il.Program) *Result {
+	r := &Result{Cluster: make([]int, p.NumValues())}
+	for id := range r.Cluster {
+		if p.Value(id).GlobalCandidate {
+			r.Cluster[id] = Global
+		} else {
+			r.Cluster[id] = Unassigned
+		}
+	}
+	return r
+}
+
+// assign records an assignment and its order.
+func (r *Result) assign(id, cluster int) {
+	r.Cluster[id] = cluster
+	r.Order = append(r.Order, id)
+}
+
+// finish assigns any still-unassigned live ranges (e.g. values never
+// written, such as program inputs used read-only) round-robin to keep the
+// result total.
+func (r *Result) finish() {
+	next := 0
+	for id, c := range r.Cluster {
+		if c == Unassigned {
+			r.assign(id, next)
+			next = 1 - next
+		}
+	}
+}
+
+// Hash assigns local live ranges by ID parity: the cheapest conceivable
+// static partitioning, used as an ablation baseline.
+type Hash struct{}
+
+func (Hash) Name() string { return "hash" }
+
+func (Hash) Partition(p *il.Program) *Result {
+	r := newResult(p)
+	for id, c := range r.Cluster {
+		if c == Unassigned {
+			r.assign(id, id&1)
+		}
+	}
+	return r
+}
+
+// RoundRobin alternates clusters in first-definition order: balances
+// live-range counts while ignoring both dual-distribution cost and
+// run-time weights.
+type RoundRobin struct{}
+
+func (RoundRobin) Name() string { return "round-robin" }
+
+func (RoundRobin) Partition(p *il.Program) *Result {
+	r := newResult(p)
+	next := 0
+	for _, b := range p.Blocks {
+		for i := range b.Instrs {
+			if d := b.Instrs[i].Dst; d != il.None && r.Cluster[d] == Unassigned {
+				r.assign(d, next)
+				next = 1 - next
+			}
+		}
+	}
+	r.finish()
+	return r
+}
+
+// Affinity is a greedy baseline that assigns each live range to the cluster
+// preferred by the instructions naming it (minimizing dual distribution)
+// with no balance consideration at all — the opposite failure mode from
+// RoundRobin. It tends to collapse whole dependence webs onto one cluster.
+type Affinity struct{}
+
+func (Affinity) Name() string { return "affinity" }
+
+func (Affinity) Partition(p *il.Program) *Result {
+	r := newResult(p)
+	for _, b := range p.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			d := in.Dst
+			if d == il.None || r.Cluster[d] != Unassigned {
+				continue
+			}
+			votes := [NumClusters]int{}
+			for _, blk := range p.Blocks {
+				for j := range blk.Instrs {
+					jn := &blk.Instrs[j]
+					if !names(jn, d) {
+						continue
+					}
+					for c := 0; c < NumClusters; c++ {
+						if feasible(jn, c, d, r) {
+							votes[c]++
+						}
+					}
+				}
+			}
+			if votes[0] >= votes[1] {
+				r.assign(d, 0)
+			} else {
+				r.assign(d, 1)
+			}
+		}
+	}
+	r.finish()
+	return r
+}
+
+// names reports whether instruction in names live range id.
+func names(in *il.Instr, id int) bool {
+	if in.Dst == id {
+		return true
+	}
+	for _, u := range in.Uses() {
+		if u == id {
+			return true
+		}
+	}
+	return false
+}
+
+// feasible reports whether assigning live range id to cluster c would still
+// allow instruction in to be distributed to the single cluster c: every
+// other operand must be global, unassigned, or already in c.
+func feasible(in *il.Instr, c, id int, r *Result) bool {
+	for _, op := range in.Operands() {
+		if op == id {
+			continue
+		}
+		switch r.Cluster[op] {
+		case Global, Unassigned, c:
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,250 @@
+package partition
+
+import (
+	"testing"
+
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+)
+
+func valueID(t *testing.T, p *il.Program, name string) int {
+	t.Helper()
+	for _, v := range p.Values {
+		if v.Name == name {
+			return v.ID
+		}
+	}
+	t.Fatalf("no value named %q", name)
+	return -1
+}
+
+func TestFigure6TraversalOrder(t *testing.T) {
+	// §3.5: for the control flow graph of Figure 6, the basic blocks are
+	// traversed in the order 4, 1, 5, 3, 2 (sorted by execution estimate,
+	// ties broken by static instruction count).
+	p := il.Figure6()
+	blocks := sortedBlocks(p)
+	var got []string
+	for _, b := range blocks {
+		got = append(got, b.Name)
+	}
+	want := []string{"bb4", "bb1", "bb5", "bb3", "bb2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("traversal order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFigure6AssignmentOrder(t *testing.T) {
+	// Bottom-up traversal of the blocks in order 4,1,5,3,2 assigns live
+	// ranges the first time a writing instruction is encountered. With our
+	// encoding (line 5 split into an address temp t5 + load) the order is:
+	// C, G, B, A (bb4); E (bb1; C already done); D (bb5); H, t5 (bb3; S is
+	// a global candidate and is skipped); nothing new in bb2.
+	p := il.Figure6()
+	r := Local{}.Partition(p)
+	if err := r.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"C", "G", "B", "A", "E", "D", "H", "t5"}
+	if len(r.Order) != len(want) {
+		t.Fatalf("assignment order has %d entries, want %d: %v", len(r.Order), len(want), names2(p, r.Order))
+	}
+	for i, id := range r.Order {
+		if p.Value(id).Name != want[i] {
+			t.Fatalf("assignment order = %v, want %v", names2(p, r.Order), want)
+		}
+	}
+	// S stays a global candidate.
+	if r.Of(valueID(t, p, "S")) != Global {
+		t.Error("S must be assigned to a global register")
+	}
+}
+
+func names2(p *il.Program, ids []int) []string {
+	var out []string
+	for _, id := range ids {
+		out = append(out, p.Value(id).Name)
+	}
+	return out
+}
+
+func TestLocalIsDeterministic(t *testing.T) {
+	p := il.Figure6()
+	a := Local{}.Partition(p)
+	b := Local{}.Partition(p)
+	for id := range a.Cluster {
+		if a.Cluster[id] != b.Cluster[id] {
+			t.Fatalf("nondeterministic assignment for %s", p.Value(id).Name)
+		}
+	}
+}
+
+func TestAllPartitionersProduceValidResults(t *testing.T) {
+	p := il.Figure6()
+	for _, pt := range []Partitioner{Local{}, Hash{}, RoundRobin{}, Affinity{}} {
+		r := pt.Partition(p)
+		if err := r.Validate(p); err != nil {
+			t.Errorf("%s: %v", pt.Name(), err)
+		}
+	}
+}
+
+func TestHotChainGetsSplitForBalance(t *testing.T) {
+	// Two independent dependence chains executed in a hot loop: a balanced
+	// partitioner must put them on different clusters. Affinity-only
+	// partitioning is free to collapse them onto one.
+	b := il.NewBuilder("chains")
+	a0, a1, a2 := b.Int("a0"), b.Int("a1"), b.Int("a2")
+	c0, c1v, c2 := b.Int("c0"), b.Int("c1"), b.Int("c2")
+	cond := b.Int("cond")
+	e := b.Block("entry", 1)
+	e.Const(a0, 1)
+	e.Const(c0, 2)
+	e.FallTo("loop")
+	l := b.Block("loop", 1000)
+	l.OpImm(isa.ADD, a1, a0, 1)
+	l.OpImm(isa.ADD, a2, a1, 2)
+	l.Op(isa.ADD, a0, a2, a1)
+	l.OpImm(isa.ADD, c1v, c0, 1)
+	l.OpImm(isa.ADD, c2, c1v, 2)
+	l.Op(isa.ADD, c0, c2, c1v)
+	l.OpImm(isa.CMPLT, cond, a0, 100)
+	l.CondBr(isa.BNE, cond, "loop", "done")
+	d := b.Block("done", 1)
+	d.Ret(a0)
+	p := b.MustFinish()
+
+	r := Local{Window: 2}.Partition(p)
+	m := Measure(p, r)
+	if m.Imbalance() > 0.5 {
+		t.Errorf("local scheduler left imbalance %.2f (dist %v); expected the chains spread across clusters", m.Imbalance(), m.Distributed)
+	}
+}
+
+func TestLocalMinimizesDualDistributionOnSingleChain(t *testing.T) {
+	// One dependence chain: every value should land in one cluster so no
+	// instruction is dual-distributed (the loop is balanced only in the
+	// degenerate sense, so affinity voting should keep the chain together).
+	b := il.NewBuilder("chain")
+	v := make([]int, 5)
+	for i := range v {
+		v[i] = b.Int(string(rune('a' + i)))
+	}
+	e := b.Block("entry", 1)
+	e.Const(v[0], 1)
+	for i := 1; i < len(v); i++ {
+		e.OpImm(isa.ADD, v[i], v[i-1], int64(i))
+	}
+	e.Ret(v[len(v)-1])
+	p := b.MustFinish()
+
+	// A window wider than the block keeps the balance term quiet, so the
+	// affinity vote alone decides — and must keep the chain together.
+	r := Local{Window: 16}.Partition(p)
+	m := Measure(p, r)
+	if m.Dual != 0 {
+		t.Errorf("single chain produced %d dual-distributed weighted instructions (assignments %v)", m.Dual, r.Cluster)
+	}
+	// With the default window the balance term is allowed to split the
+	// chain, but never to more than a couple of transfers.
+	rd := Local{}.Partition(p)
+	if md := Measure(p, rd); md.Dual > 2 {
+		t.Errorf("default window split a single chain %d times", md.Dual)
+	}
+}
+
+func TestGlobalDestinationForcesDualInMetrics(t *testing.T) {
+	b := il.NewBuilder("g")
+	sp := b.GlobalValue("SP", il.KindInt)
+	x := b.Int("x")
+	e := b.Block("entry", 1)
+	e.Const(x, 8)
+	e.OpImm(isa.ADD, sp, sp, -16) // writes a global register: dual
+	e.Store(isa.STW, sp, x, 0)
+	e.Ret(x)
+	p := b.MustFinish()
+	r := Local{}.Partition(p)
+	m := Measure(p, r)
+	if m.Dual == 0 {
+		t.Error("an instruction writing a global register must be counted dual-distributed")
+	}
+}
+
+func TestWindowControlsBalanceSensitivity(t *testing.T) {
+	// With a huge window the scheduler never sees imbalance and falls back
+	// to affinity voting everywhere; with a tiny window it corrects early.
+	p := il.Figure6()
+	loose := Local{Window: 1 << 20}.Partition(p)
+	tight := Local{Window: 1}.Partition(p)
+	if err := loose.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := tight.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	mt := Measure(p, tight)
+	ml := Measure(p, loose)
+	if mt.Imbalance() > ml.Imbalance()+1e-9 && ml.Dual < mt.Dual {
+		t.Errorf("tight window should not be strictly worse on both axes: tight %v loose %v", mt, ml)
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	b := il.NewBuilder("m")
+	x, y, z := b.Int("x"), b.Int("y"), b.Int("z")
+	e := b.Block("entry", 10)
+	e.Const(x, 1)          // cluster of x only
+	e.Const(y, 2)          // cluster of y only
+	e.Op(isa.ADD, z, x, y) // spans x,y clusters if split
+	e.Ret(z)
+	p := b.MustFinish()
+	r := newResult(p)
+	r.assign(x, 0)
+	r.assign(y, 1)
+	r.assign(z, 0)
+	m := Measure(p, r)
+	if m.Total != 40 { // 4 instructions × weight 10
+		t.Errorf("Total = %d, want 40", m.Total)
+	}
+	if m.Dual != 10 { // only the add spans clusters
+		t.Errorf("Dual = %d, want 10", m.Dual)
+	}
+	if m.Distributed[0] != 30 || m.Distributed[1] != 20 {
+		// x const (10) + add (10) + ret z (10) on cluster 0; y const + add on 1.
+		t.Errorf("Distributed = %v, want [30 20]", m.Distributed)
+	}
+}
+
+func TestRoundRobinBalancesCounts(t *testing.T) {
+	p := il.Figure6()
+	r := RoundRobin{}.Partition(p)
+	c0, c1 := r.Counts()
+	if d := c0 - c1; d < -1 || d > 1 {
+		t.Errorf("round-robin counts %d vs %d; want within 1", c0, c1)
+	}
+}
+
+func TestFinishAssignsReadOnlyInputs(t *testing.T) {
+	// A value that is only ever read (program input) still needs a cluster.
+	b := il.NewBuilder("ro")
+	in := b.Int("input")
+	out := b.Int("out")
+	e := b.Block("entry", 1)
+	e.OpImm(isa.ADD, out, in, 1)
+	e.Ret(out)
+	p := b.MustFinish()
+	r := Local{}.Partition(p)
+	if c := r.Of(in); c != 0 && c != 1 {
+		t.Errorf("read-only input assigned %d", c)
+	}
+}
+
+func BenchmarkLocalPartitioner(b *testing.B) {
+	p := il.Figure6()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Local{}.Partition(p)
+	}
+}

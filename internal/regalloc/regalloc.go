@@ -1,0 +1,365 @@
+// Package regalloc allocates the live ranges of an IL program to
+// architectural registers using Briggs-style optimistic graph colouring
+// (§3.4 of the paper): the colouring phase is separated from the spilling
+// phase, nodes that fail to simplify are pushed optimistically, and spills
+// rewrite the program with short-lived temporaries before the allocator
+// iterates.
+//
+// Two modes are supported. In clustered mode the allowed register set of
+// each live range is restricted to the registers of the cluster chosen by
+// the partitioner (even registers belong to cluster 0, odd to cluster 1);
+// spilling "first to a local register in the other cluster" falls out of
+// retrying the colouring with the relaxed set before resorting to memory.
+// In native mode (cluster-oblivious, modelling the standard system
+// compiler) any allocatable register of the right file may be used; the
+// cluster of each live range then *emerges* from the parity of whatever
+// register it received — exactly how the paper's "no rescheduling" binaries
+// behave on the dual-cluster machine.
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+	"multicluster/internal/liveness"
+	"multicluster/internal/partition"
+)
+
+// Config controls one allocation.
+type Config struct {
+	// Assignment maps architectural registers to clusters and designates
+	// the global registers. The zero value is unusable; use
+	// isa.DefaultAssignment().
+	Assignment isa.Assignment
+	// Clustered enforces the partitioner's cluster choice on the allowed
+	// register set of every local live range.
+	Clustered bool
+	// OtherClusterSpill allows a clustered allocation to retry an
+	// uncolourable live range with the other cluster's registers before
+	// spilling it to memory (§3.4). Ignored in native mode.
+	OtherClusterSpill bool
+	// MaxIterations bounds the spill-and-retry loop; zero means 16.
+	MaxIterations int
+}
+
+// Result is a completed allocation. Prog is a rewritten copy of the input
+// program (spill code inserted); RegOf and Cluster cover Prog's live
+// ranges, including allocator-created spill temporaries.
+type Result struct {
+	Prog    *il.Program
+	RegOf   []isa.Reg
+	Cluster []int // partition.Global or a cluster number, per live range
+	// NumSlots is the number of spill slots used.
+	NumSlots int
+	// Spilled counts live ranges spilled to memory; Demoted counts live
+	// ranges recoloured into the other cluster instead of memory.
+	Spilled, Demoted int
+	// Iterations is the number of colouring rounds run.
+	Iterations int
+}
+
+// Allocate colours the live ranges of p. The partitioning part must cover
+// p's values; in native mode it may be nil.
+func Allocate(p *il.Program, part *partition.Result, cfg Config) (*Result, error) {
+	if cfg.MaxIterations == 0 {
+		cfg.MaxIterations = 16
+	}
+	if cfg.Clustered && part == nil {
+		return nil, fmt.Errorf("regalloc: clustered allocation requires a partitioning")
+	}
+	st := &state{cfg: cfg, prog: cloneProgram(p)}
+	st.initClusters(part)
+	for round := 0; ; round++ {
+		if round >= cfg.MaxIterations {
+			return nil, fmt.Errorf("regalloc: no colouring after %d rounds (%d values)", round, st.prog.NumValues())
+		}
+		spilled := st.colour()
+		if len(spilled) == 0 {
+			return st.result(round + 1)
+		}
+		st.rewrite(spilled)
+	}
+}
+
+type state struct {
+	cfg  Config
+	prog *il.Program
+
+	cluster    []int       // per value
+	noSpill    []bool      // spill temps and terminator-defined values
+	regOf      []isa.Reg   // per value, RegNone until coloured
+	demoted    []bool      // recoloured into the other cluster
+	slotOf     map[int]int // original spilled value -> slot
+	numDemoted int
+}
+
+func (st *state) initClusters(part *partition.Result) {
+	n := st.prog.NumValues()
+	st.cluster = make([]int, n)
+	st.noSpill = make([]bool, n)
+	st.demoted = make([]bool, n)
+	st.slotOf = make(map[int]int)
+	for id := 0; id < n; id++ {
+		v := st.prog.Value(id)
+		switch {
+		case v.GlobalCandidate:
+			st.cluster[id] = partition.Global
+		case st.cfg.Clustered:
+			st.cluster[id] = part.Of(id)
+		default:
+			st.cluster[id] = partition.Unassigned // derived from register later
+		}
+	}
+	// Values defined by block terminators cannot have a store inserted
+	// after their definition, so exempt them from spilling.
+	for _, b := range st.prog.Blocks {
+		if t := b.Terminator(); t != nil && t.Dst != il.None {
+			st.noSpill[t.Dst] = true
+		}
+	}
+}
+
+// allowed returns the registers value id may be coloured with.
+func (st *state) allowed(id int) []isa.Reg {
+	v := st.prog.Value(id)
+	fp := v.Kind == il.KindFP
+	a := st.cfg.Assignment
+	if v.GlobalCandidate {
+		var gs []isa.Reg
+		for _, g := range a.Globals() {
+			if g.IsFP() == fp && !g.IsZero() {
+				gs = append(gs, g)
+			}
+		}
+		return gs
+	}
+	if st.cfg.Clustered {
+		return a.LocalRegs(st.cluster[id], fp)
+	}
+	// Native mode: any local register of the file, in ascending register
+	// order rotated by the live range's creation (≈ first-definition)
+	// order. A cluster-oblivious system compiler hands consecutive
+	// temporaries to consecutively-defined values, so the registers named
+	// by one instruction routinely straddle the even/odd cluster
+	// assignment — exactly why the paper's unscheduled binaries
+	// dual-distribute so much of their instruction stream.
+	regs := append([]isa.Reg(nil), a.LocalRegs(0, fp)...)
+	regs = append(regs, a.LocalRegs(1, fp)...)
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	rot := id % len(regs)
+	return append(regs[rot:len(regs):len(regs)], regs[:rot]...)
+}
+
+// conflicts reports whether values a and b compete for registers (their
+// allowed sets can intersect). Cheap approximation by file and cluster.
+func (st *state) conflicts(a, b int) bool {
+	va, vb := st.prog.Value(a), st.prog.Value(b)
+	if (va.Kind == il.KindFP) != (vb.Kind == il.KindFP) {
+		return false
+	}
+	if va.GlobalCandidate != vb.GlobalCandidate {
+		return false
+	}
+	if st.cfg.Clustered && !va.GlobalCandidate {
+		return st.cluster[a] == st.cluster[b]
+	}
+	return true
+}
+
+// colour runs one Briggs round: simplify, optimistic push, select. It
+// returns the values that must be spilled to memory (after any
+// other-cluster demotion).
+func (st *state) colour() []int {
+	n := st.prog.NumValues()
+	info := liveness.Analyze(st.prog)
+	g := info.Interference()
+	st.regOf = make([]isa.Reg, n)
+
+	cost := st.spillCosts()
+	effDeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		g.Neighbors(v, func(u int) {
+			if st.conflicts(v, u) {
+				effDeg[v]++
+			}
+		})
+	}
+
+	removed := make([]bool, n)
+	stack := make([]int, 0, n)
+	remaining := n
+	for remaining > 0 {
+		// Simplify: remove any node with effective degree below its colour
+		// count, lowest ID first for determinism.
+		progress := false
+		for v := 0; v < n; v++ {
+			if removed[v] {
+				continue
+			}
+			if effDeg[v] < len(st.allowed(v)) {
+				st.push(v, g, removed, effDeg, &stack)
+				remaining--
+				progress = true
+			}
+		}
+		if progress {
+			continue
+		}
+		// Blocked: optimistically push the cheapest spill candidate.
+		best, bestScore := -1, 0.0
+		for v := 0; v < n; v++ {
+			if removed[v] {
+				continue
+			}
+			score := cost[v] / float64(effDeg[v]+1)
+			if st.noSpill[v] {
+				score = 1e18 // effectively never chosen while alternatives exist
+			}
+			if best == -1 || score < bestScore {
+				best, bestScore = v, score
+			}
+		}
+		st.push(best, g, removed, effDeg, &stack)
+		remaining--
+	}
+
+	// Select in reverse push order.
+	var spills []int
+	for i := len(stack) - 1; i >= 0; i-- {
+		v := stack[i]
+		if r := st.pickReg(v, g, st.allowed(v)); r != isa.RegNone {
+			st.regOf[v] = r
+			continue
+		}
+		// Uncolourable with its own cluster's registers: try the other
+		// cluster (spill "first to a local register in the other cluster").
+		if st.cfg.Clustered && st.cfg.OtherClusterSpill && !st.prog.Value(v).GlobalCandidate {
+			other := 1 - st.cluster[v]
+			alt := st.cfg.Assignment.LocalRegs(other, st.prog.Value(v).Kind == il.KindFP)
+			if r := st.pickRegRelaxed(v, g, alt); r != isa.RegNone {
+				st.regOf[v] = r
+				st.cluster[v] = other
+				if !st.demoted[v] {
+					st.demoted[v] = true
+					st.numDemoted++
+				}
+				continue
+			}
+		}
+		spills = append(spills, v)
+	}
+	return spills
+}
+
+func (st *state) push(v int, g *liveness.Graph, removed []bool, effDeg []int, stack *[]int) {
+	removed[v] = true
+	*stack = append(*stack, v)
+	g.Neighbors(v, func(u int) {
+		if !removed[u] && st.conflicts(v, u) {
+			effDeg[u]--
+		}
+	})
+}
+
+// pickReg returns the first register in allowed not taken by an
+// already-coloured interfering neighbour.
+func (st *state) pickReg(v int, g *liveness.Graph, allowed []isa.Reg) isa.Reg {
+	taken := map[isa.Reg]bool{}
+	g.Neighbors(v, func(u int) {
+		if r := st.regOf[u]; r != isa.RegNone {
+			taken[r] = true
+		}
+	})
+	for _, r := range allowed {
+		if !taken[r] {
+			return r
+		}
+	}
+	return isa.RegNone
+}
+
+// pickRegRelaxed is pickReg for a candidate set outside v's nominal
+// cluster; interference with *any* coloured neighbour of the same file
+// still disqualifies a register.
+func (st *state) pickRegRelaxed(v int, g *liveness.Graph, allowed []isa.Reg) isa.Reg {
+	return st.pickReg(v, g, allowed)
+}
+
+// spillCosts estimates the dynamic access count of each live range,
+// weighting each reference by its block's execution estimate.
+func (st *state) spillCosts() []float64 {
+	cost := make([]float64, st.prog.NumValues())
+	for _, b := range st.prog.Blocks {
+		w := float64(b.EstExec)
+		if w <= 0 {
+			w = 1
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			for _, id := range in.Operands() {
+				cost[id] += w
+			}
+		}
+	}
+	return cost
+}
+
+func (st *state) result(iters int) (*Result, error) {
+	// Native mode: derive each value's cluster from its register parity,
+	// matching the hardware's even/odd interpretation.
+	for id := range st.cluster {
+		if st.cluster[id] == partition.Unassigned {
+			r := st.regOf[id]
+			if r == isa.RegNone {
+				return nil, fmt.Errorf("regalloc: value %q left uncoloured", st.prog.Value(id).Name)
+			}
+			st.cluster[id] = r.Index() & 1
+		}
+	}
+	return &Result{
+		Prog:       st.prog,
+		RegOf:      st.regOf,
+		Cluster:    st.cluster,
+		NumSlots:   len(st.slotOf),
+		Spilled:    len(st.slotOf),
+		Demoted:    st.numDemoted,
+		Iterations: iters,
+	}, nil
+}
+
+// Verify checks that the allocation respects interference: no two
+// simultaneously-live values share a register, kinds match files, and
+// clustered locals received registers of their cluster.
+func (r *Result) Verify(a isa.Assignment, clustered bool) error {
+	info := liveness.Analyze(r.Prog)
+	g := info.Interference()
+	for v := 0; v < g.N(); v++ {
+		rv := r.RegOf[v]
+		if rv == isa.RegNone {
+			return fmt.Errorf("regalloc: value %q has no register", r.Prog.Value(v).Name)
+		}
+		if (r.Prog.Value(v).Kind == il.KindFP) != rv.IsFP() {
+			return fmt.Errorf("regalloc: value %q (%v) got register %v of wrong file", r.Prog.Value(v).Name, r.Prog.Value(v).Kind, rv)
+		}
+		if clustered && !r.Prog.Value(v).GlobalCandidate {
+			if a.IsGlobal(rv) {
+				return fmt.Errorf("regalloc: local value %q got global register %v", r.Prog.Value(v).Name, rv)
+			}
+			if a.Home(rv) != r.Cluster[v] {
+				return fmt.Errorf("regalloc: value %q in cluster %d got register %v of cluster %d", r.Prog.Value(v).Name, r.Cluster[v], rv, a.Home(rv))
+			}
+		}
+		var err error
+		g.Neighbors(v, func(u int) {
+			if err == nil && u > v && r.RegOf[u] == rv {
+				err = fmt.Errorf("regalloc: interfering values %q and %q share %v", r.Prog.Value(v).Name, r.Prog.Value(u).Name, rv)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

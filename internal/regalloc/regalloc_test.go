@@ -1,0 +1,262 @@
+package regalloc
+
+import (
+	"fmt"
+	"testing"
+
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+	"multicluster/internal/partition"
+)
+
+func defaultCfg(clustered bool) Config {
+	return Config{
+		Assignment:        isa.DefaultAssignment(),
+		Clustered:         clustered,
+		OtherClusterSpill: true,
+	}
+}
+
+func TestAllocateFigure6Native(t *testing.T) {
+	p := il.Figure6()
+	res, err := Allocate(p, nil, defaultCfg(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(isa.DefaultAssignment(), false); err != nil {
+		t.Fatal(err)
+	}
+	if res.Spilled != 0 {
+		t.Errorf("figure 6 needs no spills, got %d", res.Spilled)
+	}
+	// The global candidate S must land in a designated global register.
+	for id, v := range res.Prog.Values {
+		if v.GlobalCandidate {
+			if r := res.RegOf[id]; !isa.DefaultAssignment().IsGlobal(r) {
+				t.Errorf("global candidate %s got local register %v", v.Name, r)
+			}
+		}
+	}
+}
+
+func TestAllocateFigure6Clustered(t *testing.T) {
+	p := il.Figure6()
+	part := partition.Local{}.Partition(p)
+	res, err := Allocate(p, part, defaultCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(isa.DefaultAssignment(), true); err != nil {
+		t.Fatal(err)
+	}
+	// Every local live range's register parity must match its cluster.
+	a := isa.DefaultAssignment()
+	for id := range res.Prog.Values {
+		if res.Prog.Values[id].GlobalCandidate {
+			continue
+		}
+		r := res.RegOf[id]
+		if a.Home(r) != res.Cluster[id] {
+			t.Errorf("value %s: cluster %d but register %v (cluster %d)", res.Prog.Values[id].Name, res.Cluster[id], r, a.Home(r))
+		}
+	}
+}
+
+func TestInputProgramNotMutated(t *testing.T) {
+	p := highPressureProgram(40)
+	before := p.StaticInstrCount()
+	if _, err := Allocate(p, nil, defaultCfg(false)); err != nil {
+		t.Fatal(err)
+	}
+	if p.StaticInstrCount() != before {
+		t.Error("Allocate mutated its input program")
+	}
+}
+
+// highPressureProgram builds a block with n simultaneously-live integer
+// values, forcing spills once n exceeds the allocatable register count.
+func highPressureProgram(n int) *il.Program {
+	b := il.NewBuilder(fmt.Sprintf("pressure%d", n))
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = b.Int(fmt.Sprintf("v%d", i))
+	}
+	sum := b.Int("sum")
+	e := b.Block("entry", 100)
+	for i, id := range ids {
+		e.Const(id, int64(i))
+	}
+	// Use all values after all definitions so they are simultaneously live.
+	e.Op(isa.ADD, sum, ids[0], ids[1])
+	for i := 2; i < n; i++ {
+		e.Op(isa.ADD, sum, sum, ids[i])
+	}
+	e.Ret(sum)
+	return b.MustFinish()
+}
+
+func TestSpillingUnderPressureNative(t *testing.T) {
+	// 29 allocatable integer registers in native mode (32 minus SP, GP,
+	// r31); 40 simultaneously-live values must spill, and the resulting
+	// allocation must still verify.
+	p := highPressureProgram(40)
+	res, err := Allocate(p, nil, defaultCfg(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spilled == 0 {
+		t.Fatal("expected spills with 40 simultaneously-live values")
+	}
+	if err := res.Verify(isa.DefaultAssignment(), false); err != nil {
+		t.Fatal(err)
+	}
+	if res.NumSlots != res.Spilled {
+		t.Errorf("NumSlots %d != Spilled %d", res.NumSlots, res.Spilled)
+	}
+	// Spill code must be marked with slots.
+	spillOps := 0
+	for _, blk := range res.Prog.Blocks {
+		for i := range blk.Instrs {
+			if slot, ok := blk.Instrs[i].SpillInfo(); ok {
+				if slot < 0 || slot >= res.NumSlots {
+					t.Errorf("spill op references slot %d of %d", slot, res.NumSlots)
+				}
+				spillOps++
+			}
+		}
+	}
+	if spillOps == 0 {
+		t.Error("no spill instructions inserted")
+	}
+}
+
+func TestOtherClusterSpillPreferredOverMemory(t *testing.T) {
+	// 20 simultaneously-live values all partitioned into cluster 0, which
+	// has only 15 local integer registers: with OtherClusterSpill the
+	// overflow should be demoted to cluster 1's registers, not spilled.
+	p := highPressureProgram(20)
+	part := &partition.Result{Cluster: make([]int, p.NumValues())}
+	for i := range part.Cluster {
+		part.Cluster[i] = 0
+	}
+	res, err := Allocate(p, part, defaultCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Demoted == 0 {
+		t.Error("expected demotions into the other cluster")
+	}
+	if res.Spilled != 0 {
+		t.Errorf("expected no memory spills (cluster 1 has room), got %d", res.Spilled)
+	}
+}
+
+func TestMemorySpillWhenBothClustersFull(t *testing.T) {
+	p := highPressureProgram(40)
+	part := partition.RoundRobin{}.Partition(p)
+	res, err := Allocate(p, part, defaultCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spilled == 0 {
+		t.Error("40 live values cannot fit in 29 registers; expected spills")
+	}
+	if err := res.Verify(isa.DefaultAssignment(), true); err != nil {
+		// Demoted values legitimately sit in the "wrong" cluster; Verify
+		// in clustered mode accounts for that via res.Cluster updates.
+		t.Fatal(err)
+	}
+}
+
+func TestWithoutOtherClusterSpillGoesToMemory(t *testing.T) {
+	p := highPressureProgram(20)
+	part := &partition.Result{Cluster: make([]int, p.NumValues())}
+	cfg := defaultCfg(true)
+	cfg.OtherClusterSpill = false
+	res, err := Allocate(p, part, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spilled == 0 {
+		t.Error("without other-cluster spilling, overflow must go to memory")
+	}
+	if res.Demoted != 0 {
+		t.Errorf("demotions disabled but Demoted = %d", res.Demoted)
+	}
+}
+
+func TestClusteredRequiresPartitioning(t *testing.T) {
+	if _, err := Allocate(il.Figure6(), nil, defaultCfg(true)); err == nil {
+		t.Fatal("clustered allocation without a partitioning must fail")
+	}
+}
+
+func TestFPAllocation(t *testing.T) {
+	b := il.NewBuilder("fp")
+	x := b.Int("x")
+	f1, f2, f3 := b.FP("f1"), b.FP("f2"), b.FP("f3")
+	e := b.Block("entry", 1)
+	e.Const(x, 3)
+	e.OpImm(isa.CVTIF, f1, x, 0)
+	e.Op(isa.FMUL, f2, f1, f1)
+	e.Op(isa.FADD, f3, f2, f1)
+	e.OpImm(isa.CVTFI, x, f3, 0)
+	e.Ret(x)
+	p := b.MustFinish()
+	part := partition.Local{}.Partition(p)
+	res, err := Allocate(p, part, defaultCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(isa.DefaultAssignment(), true); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{f1, f2, f3} {
+		if !res.RegOf[id].IsFP() {
+			t.Errorf("FP value got integer register %v", res.RegOf[id])
+		}
+	}
+	if res.RegOf[x].IsFP() {
+		t.Errorf("int value got FP register %v", res.RegOf[x])
+	}
+}
+
+func TestRewrittenProgramStillValidates(t *testing.T) {
+	p := highPressureProgram(45)
+	res, err := Allocate(p, nil, defaultCfg(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Prog.Validate(); err != nil {
+		t.Fatalf("rewritten program invalid: %v", err)
+	}
+}
+
+func TestDeterministicAllocation(t *testing.T) {
+	p := il.Figure6()
+	part := partition.Local{}.Partition(p)
+	a, err := Allocate(p, part, defaultCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Allocate(p, part, defaultCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range a.RegOf {
+		if a.RegOf[id] != b2.RegOf[id] {
+			t.Fatalf("nondeterministic register for value %d: %v vs %v", id, a.RegOf[id], b2.RegOf[id])
+		}
+	}
+}
+
+func BenchmarkAllocateClustered(b *testing.B) {
+	p := il.Figure6()
+	part := partition.Local{}.Partition(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Allocate(p, part, defaultCfg(true)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package regalloc
+
+import (
+	"fmt"
+
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+	"multicluster/internal/partition"
+)
+
+// cloneProgram deep-copies an IL program so spill rewriting never mutates
+// the caller's input.
+func cloneProgram(p *il.Program) *il.Program {
+	cp := &il.Program{
+		Name:   p.Name,
+		Entry:  p.Entry,
+		Values: append([]il.Value(nil), p.Values...),
+	}
+	for _, b := range p.Blocks {
+		nb := &il.Block{
+			Name:    b.Name,
+			EstExec: b.EstExec,
+			Instrs:  append([]il.Instr(nil), b.Instrs...),
+			Succs:   append([]string(nil), b.Succs...),
+		}
+		cp.Blocks = append(cp.Blocks, nb)
+	}
+	return cp
+}
+
+// rewrite implements the spill phase: every value in spilled gets a stack
+// slot; each use is preceded by a reload into a fresh temporary and each
+// definition is followed by a store from a fresh temporary. The
+// temporaries have minimal live ranges, keeping the next colouring round
+// strictly easier, and inherit the spilled value's cluster so clustered
+// allocations stay consistent.
+func (st *state) rewrite(spilled []int) {
+	slot := make(map[int]int, len(spilled))
+	for _, v := range spilled {
+		if st.noSpill[v] {
+			panic(fmt.Sprintf("regalloc: attempted to spill no-spill value %q", st.prog.Value(v).Name))
+		}
+		s := len(st.slotOf)
+		st.slotOf[v] = s
+		slot[v] = s
+	}
+
+	for _, b := range st.prog.Blocks {
+		out := make([]il.Instr, 0, len(b.Instrs))
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+
+			// Reload spilled sources.
+			reloadTemp := map[int]int{}
+			for _, src := range []*int{&in.Src1, &in.Src2} {
+				v := *src
+				if v == il.None {
+					continue
+				}
+				s, isSpilled := slot[v]
+				if !isSpilled {
+					continue
+				}
+				t, dup := reloadTemp[v]
+				if !dup {
+					t = st.newTemp(v)
+					reloadTemp[v] = t
+					ld := il.Instr{Op: loadOp(st.prog.Value(t).Kind), Dst: t, Src1: il.None, Src2: il.None}
+					ld.MarkSpill(s)
+					out = append(out, ld)
+				}
+				*src = t
+			}
+
+			// Redirect a spilled definition through a temporary + store.
+			if v := in.Dst; v != il.None {
+				if s, isSpilled := slot[v]; isSpilled {
+					t := st.newTemp(v)
+					in.Dst = t
+					out = append(out, in)
+					str := il.Instr{Op: storeOp(st.prog.Value(t).Kind), Dst: il.None, Src1: il.None, Src2: t}
+					str.MarkSpill(s)
+					out = append(out, str)
+					continue
+				}
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+}
+
+// newTemp creates a fresh spill temporary mirroring value v's kind and
+// cluster, exempt from future spilling.
+func (st *state) newTemp(v int) int {
+	id := len(st.prog.Values)
+	val := il.Value{
+		ID:   id,
+		Name: fmt.Sprintf("%s.s%d", st.prog.Value(v).Name, id),
+		Kind: st.prog.Value(v).Kind,
+	}
+	st.prog.Values = append(st.prog.Values, val)
+	cl := st.cluster[v]
+	if cl == partition.Global {
+		// A spilled global candidate should not occur (globals are few and
+		// get dedicated registers), but keep the invariant total.
+		cl = 0
+	}
+	st.cluster = append(st.cluster, cl)
+	st.noSpill = append(st.noSpill, true)
+	st.demoted = append(st.demoted, false)
+	return id
+}
+
+func loadOp(k il.Kind) isa.Op {
+	if k == il.KindFP {
+		return isa.LDF
+	}
+	return isa.LDW
+}
+
+func storeOp(k il.Kind) isa.Op {
+	if k == il.KindFP {
+		return isa.STF
+	}
+	return isa.STW
+}

@@ -1,0 +1,179 @@
+// Package sched implements the post-pass code scheduler of the paper's
+// methodology (§3.1 step 6: "the machine-level instructions ... are
+// arranged into a code schedule"). After register allocation, the
+// instructions of each basic block are reordered by latency-weighted
+// critical path — long-latency producers (loads, multiplies, divides) are
+// hoisted so their consumers stall less — while preserving every register
+// dependence (true, anti, and output, computed on the allocated
+// registers), the relative order of memory operations (which also keeps
+// the static MemID numbering identical across schedules), and the block
+// terminator.
+package sched
+
+import (
+	"sort"
+
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+	"multicluster/internal/regalloc"
+)
+
+// PostPass returns a copy of the allocation whose program has been
+// list-scheduled block by block. The register assignment and cluster maps
+// are shared with the input (scheduling never changes them).
+func PostPass(alloc *regalloc.Result) *regalloc.Result {
+	out := *alloc
+	prog := &il.Program{
+		Name:   alloc.Prog.Name,
+		Entry:  alloc.Prog.Entry,
+		Values: alloc.Prog.Values,
+	}
+	for _, b := range alloc.Prog.Blocks {
+		nb := &il.Block{
+			Name:    b.Name,
+			EstExec: b.EstExec,
+			Succs:   append([]string(nil), b.Succs...),
+			Instrs:  scheduleBlock(b, alloc),
+		}
+		prog.Blocks = append(prog.Blocks, nb)
+	}
+	out.Prog = prog
+	return &out
+}
+
+// dep edges carry the cycles the successor must wait after the predecessor
+// issues.
+type node struct {
+	instr    il.Instr
+	origPos  int
+	succs    []int
+	lat      []int
+	nPreds   int
+	priority int // critical-path height to the block end
+}
+
+// scheduleBlock list-schedules one block's instructions.
+func scheduleBlock(b *il.Block, alloc *regalloc.Result) []il.Instr {
+	n := len(b.Instrs)
+	if n <= 2 {
+		return append([]il.Instr(nil), b.Instrs...)
+	}
+	body := n
+	hasTerm := b.Terminator() != nil
+	if hasTerm {
+		body = n - 1
+	}
+
+	nodes := make([]node, body)
+	for i := 0; i < body; i++ {
+		nodes[i] = node{instr: b.Instrs[i], origPos: i}
+	}
+	addEdge := func(from, to, lat int) {
+		nodes[from].succs = append(nodes[from].succs, to)
+		nodes[from].lat = append(nodes[from].lat, lat)
+		nodes[to].nPreds++
+	}
+
+	// Register dependences over the allocated registers.
+	regOf := func(id int) isa.Reg {
+		if id == il.None {
+			return isa.RegNone
+		}
+		return alloc.RegOf[id]
+	}
+	lastWrite := map[isa.Reg]int{}
+	lastReads := map[isa.Reg][]int{}
+	lastMem := -1
+	for i := 0; i < body; i++ {
+		in := &b.Instrs[i]
+		for _, u := range in.Uses() {
+			r := regOf(u)
+			if !r.Valid() || r.IsZero() {
+				continue
+			}
+			if w, ok := lastWrite[r]; ok {
+				addEdge(w, i, schedLatency(b.Instrs[w].Op)) // true dependence
+			}
+			lastReads[r] = append(lastReads[r], i)
+		}
+		if d := in.Dst; d != il.None {
+			r := regOf(d)
+			if r.Valid() && !r.IsZero() {
+				if w, ok := lastWrite[r]; ok {
+					addEdge(w, i, 1) // output dependence
+				}
+				for _, rd := range lastReads[r] {
+					if rd != i {
+						addEdge(rd, i, 1) // anti dependence
+					}
+				}
+				lastWrite[r] = i
+				delete(lastReads, r)
+			}
+		}
+		// Memory operations keep their relative order (conservative
+		// aliasing, and it pins the MemID numbering).
+		if in.Op.Class().IsMem() {
+			if lastMem >= 0 {
+				addEdge(lastMem, i, 1)
+			}
+			lastMem = i
+		}
+	}
+
+	// Critical-path priorities, computed bottom-up in original order
+	// (edges always point forward).
+	for i := body - 1; i >= 0; i-- {
+		p := schedLatency(nodes[i].instr.Op)
+		for k, s := range nodes[i].succs {
+			if h := nodes[i].lat[k] + nodes[s].priority; h > p {
+				p = h
+			}
+		}
+		nodes[i].priority = p
+	}
+
+	// Greedy list scheduling: repeatedly emit the ready instruction with
+	// the greatest critical-path height, breaking ties by original order
+	// (stable and deterministic).
+	ready := make([]int, 0, body)
+	for i := range nodes {
+		if nodes[i].nPreds == 0 {
+			ready = append(ready, i)
+		}
+	}
+	out := make([]il.Instr, 0, n)
+	for len(ready) > 0 {
+		sort.Slice(ready, func(a, c int) bool {
+			na, nc := &nodes[ready[a]], &nodes[ready[c]]
+			if na.priority != nc.priority {
+				return na.priority > nc.priority
+			}
+			return na.origPos < nc.origPos
+		})
+		pick := ready[0]
+		ready = ready[1:]
+		out = append(out, nodes[pick].instr)
+		for _, s := range nodes[pick].succs {
+			nodes[s].nPreds--
+			if nodes[s].nPreds == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if hasTerm {
+		out = append(out, b.Instrs[n-1])
+	}
+	return out
+}
+
+// schedLatency is the latency the scheduler plans for: the functional-unit
+// latency plus the load-delay slot for loads (the compile-time view; cache
+// misses are not predictable statically).
+func schedLatency(op isa.Op) int {
+	l := op.Latency()
+	if op.Class() == isa.ClassLoad {
+		l++
+	}
+	return l
+}

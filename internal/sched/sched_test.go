@@ -1,0 +1,270 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"multicluster/internal/codegen"
+	"multicluster/internal/core"
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+	"multicluster/internal/partition"
+	"multicluster/internal/regalloc"
+	"multicluster/internal/trace"
+	"multicluster/internal/workload"
+)
+
+func allocate(t *testing.T, p *il.Program) *regalloc.Result {
+	t.Helper()
+	alloc, err := regalloc.Allocate(p, nil, regalloc.Config{Assignment: isa.DefaultAssignment()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return alloc
+}
+
+func TestHoistsLongLatencyProducer(t *testing.T) {
+	// Original order computes cheap adds first and the load last, with the
+	// load's consumer right behind it; the scheduler should hoist the load
+	// to the top of the block.
+	b := il.NewBuilder("hoist")
+	sp := b.GlobalValue("SP", il.KindInt)
+	a1, a2, x, y := b.Int("a1"), b.Int("a2"), b.Int("x"), b.Int("y")
+	e := b.Block("entry", 1)
+	e.Const(a1, 1) // independent filler
+	e.Const(a2, 2) // independent filler
+	e.Load(isa.LDW, x, sp, 0)
+	e.Op(isa.ADD, y, x, x)
+	e.Ret(y)
+	p := b.MustFinish()
+	alloc := allocate(t, p)
+	out := PostPass(alloc)
+	if err := out.Prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := out.Prog.Block("entry").Instrs
+	if got[0].Op != isa.LDW {
+		t.Errorf("first scheduled instruction is %v, want the load hoisted", got[0].Op)
+	}
+	if got[len(got)-1].Op != isa.RET {
+		t.Error("terminator must stay last")
+	}
+}
+
+// depPairs returns every (earlier, later) ordering constraint of a block
+// over allocated registers and memory ops.
+func depPairs(b *il.Block, alloc *regalloc.Result) [][2]int {
+	regOf := func(id int) isa.Reg {
+		if id == il.None {
+			return isa.RegNone
+		}
+		return alloc.RegOf[id]
+	}
+	var pairs [][2]int
+	for i := 0; i < len(b.Instrs); i++ {
+		for j := i + 1; j < len(b.Instrs); j++ {
+			a, c := &b.Instrs[i], &b.Instrs[j]
+			conflict := false
+			if a.Op.Class().IsMem() && c.Op.Class().IsMem() {
+				conflict = true
+			}
+			if d := a.Dst; d != il.None {
+				r := regOf(d)
+				for _, u := range c.Uses() {
+					if regOf(u) == r && !r.IsZero() {
+						conflict = true
+					}
+				}
+				if c.Dst != il.None && regOf(c.Dst) == r && !r.IsZero() {
+					conflict = true
+				}
+			}
+			if d := c.Dst; d != il.None {
+				r := regOf(d)
+				for _, u := range a.Uses() {
+					if regOf(u) == r && !r.IsZero() {
+						conflict = true
+					}
+				}
+			}
+			if conflict {
+				pairs = append(pairs, [2]int{i, j})
+			}
+		}
+	}
+	return pairs
+}
+
+// key identifies an instruction by content for position lookup.
+func positions(instrs []il.Instr) map[il.Instr][]int {
+	m := map[il.Instr][]int{}
+	for i, in := range instrs {
+		m[in] = append(m[in], i)
+	}
+	return m
+}
+
+func TestPreservesDependencesOnWorkloads(t *testing.T) {
+	for _, w := range workload.All() {
+		trace.Profile(w.Program, w.NewDriver(1), 20_000)
+		part := partition.Local{}.Partition(w.Program)
+		alloc, err := regalloc.Allocate(w.Program, part, regalloc.Config{
+			Assignment: isa.DefaultAssignment(), Clustered: true, OtherClusterSpill: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := PostPass(alloc)
+		if err := out.Prog.Validate(); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		for bi, b := range alloc.Prog.Blocks {
+			nb := out.Prog.Blocks[bi]
+			if len(nb.Instrs) != len(b.Instrs) {
+				t.Fatalf("%s.%s: instruction count changed", w.Name, b.Name)
+			}
+			pos := positions(nb.Instrs)
+			// Consume positions for duplicate instructions in order.
+			taken := map[il.Instr]int{}
+			at := func(in il.Instr) int {
+				k := taken[in]
+				taken[in]++
+				return pos[in][k]
+			}
+			newPos := make([]int, len(b.Instrs))
+			for i, in := range b.Instrs {
+				newPos[i] = at(in)
+			}
+			for _, pr := range depPairs(b, alloc) {
+				if newPos[pr[0]] >= newPos[pr[1]] {
+					t.Fatalf("%s.%s: dependence %d→%d violated (now %d, %d):\n  %v\n  %v",
+						w.Name, b.Name, pr[0], pr[1], newPos[pr[0]], newPos[pr[1]],
+						b.Instrs[pr[0]], b.Instrs[pr[1]])
+				}
+			}
+			// Memory ops keep their exact relative order.
+			var before, after []isa.Op
+			for _, in := range b.Instrs {
+				if in.Op.Class().IsMem() {
+					before = append(before, in.Op)
+				}
+			}
+			for _, in := range nb.Instrs {
+				if in.Op.Class().IsMem() {
+					after = append(after, in.Op)
+				}
+			}
+			for i := range before {
+				if before[i] != after[i] {
+					t.Fatalf("%s.%s: memory order changed", w.Name, b.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestSchedulingIsDeterministicAndIdempotentish(t *testing.T) {
+	w := workload.ByName("doduc")
+	trace.Profile(w.Program, w.NewDriver(1), 10_000)
+	alloc := allocate(t, w.Program)
+	a := PostPass(alloc)
+	b := PostPass(alloc)
+	for bi := range a.Prog.Blocks {
+		for i := range a.Prog.Blocks[bi].Instrs {
+			if a.Prog.Blocks[bi].Instrs[i] != b.Prog.Blocks[bi].Instrs[i] {
+				t.Fatal("nondeterministic schedule")
+			}
+		}
+	}
+}
+
+func TestScheduledBinarySimulates(t *testing.T) {
+	w := workload.ByName("tomcatv")
+	trace.Profile(w.Program, w.NewDriver(3), 20_000)
+	part := partition.Local{}.Partition(w.Program)
+	alloc, err := regalloc.Allocate(w.Program, part, regalloc.Config{
+		Assignment: isa.DefaultAssignment(), Clustered: true, OtherClusterSpill: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(a *regalloc.Result) core.Stats {
+		mp, err := codegen.Lower(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := trace.NewGenerator(mp, w.NewDriver(3), 20_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DualCluster4Way()
+		cfg.MaxCycles = 5_000_000
+		p, err := core.New(cfg, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := p.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	base := run(alloc)
+	scheduled := run(PostPass(alloc))
+	if scheduled.Instructions != base.Instructions {
+		t.Fatalf("scheduled binary retired %d, base %d", scheduled.Instructions, base.Instructions)
+	}
+	// An out-of-order machine is fairly schedule-tolerant; just require the
+	// schedule not to be pathological.
+	if float64(scheduled.Cycles) > 1.15*float64(base.Cycles) {
+		t.Errorf("scheduling hurt badly: %d vs %d cycles", scheduled.Cycles, base.Cycles)
+	}
+}
+
+func TestRandomBlocksPreserveSemantics(t *testing.T) {
+	// Random straight-line blocks: the scheduled block must contain the
+	// same multiset of instructions with all register dependences intact.
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := il.NewBuilder("rand")
+		vals := make([]int, 8)
+		for i := range vals {
+			vals[i] = b.Int(string(rune('a' + i)))
+		}
+		sp := b.GlobalValue("SP", il.KindInt)
+		e := b.Block("entry", 1)
+		for i := 0; i < 20; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				e.Const(vals[rng.Intn(8)], int64(i))
+			case 1:
+				e.Op(isa.ADD, vals[rng.Intn(8)], vals[rng.Intn(8)], vals[rng.Intn(8)])
+			case 2:
+				e.Load(isa.LDW, vals[rng.Intn(8)], sp, int64(8*i))
+			case 3:
+				e.Op(isa.MUL, vals[rng.Intn(8)], vals[rng.Intn(8)], vals[rng.Intn(8)])
+			}
+		}
+		e.Ret(vals[0])
+		p := b.MustFinish()
+		alloc := allocate(t, p)
+		out := PostPass(alloc)
+		blk, nblk := alloc.Prog.Block("entry"), out.Prog.Block("entry")
+		pos := positions(nblk.Instrs)
+		taken := map[il.Instr]int{}
+		newPos := make([]int, len(blk.Instrs))
+		for i, in := range blk.Instrs {
+			k := taken[in]
+			taken[in]++
+			if k >= len(pos[in]) {
+				t.Fatalf("seed %d: instruction %v lost", seed, in)
+			}
+			newPos[i] = pos[in][k]
+		}
+		for _, pr := range depPairs(blk, alloc) {
+			if newPos[pr[0]] >= newPos[pr[1]] {
+				t.Fatalf("seed %d: dependence violated", seed)
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package trace
+
+// ScriptDriver replays a fixed block path and a fixed per-memory-op address
+// sequence; useful for tests and for the microbenchmark programs whose
+// behaviour is fully known in advance.
+type ScriptDriver struct {
+	// Path is the block sequence after the entry block. When the path is
+	// exhausted the run ends.
+	Path []string
+	// Addrs maps a static memory-op ID to its address sequence; each
+	// dynamic execution consumes one element. When a sequence is exhausted
+	// its last element repeats; a missing entry yields address 0x1000.
+	Addrs map[int][]uint64
+
+	pos     int
+	addrPos map[int]int
+}
+
+// Reset implements Driver.
+func (d *ScriptDriver) Reset() {
+	d.pos = 0
+	d.addrPos = make(map[int]int, len(d.Addrs))
+}
+
+// NextBlock implements Driver.
+func (d *ScriptDriver) NextBlock(cur string, succs []string) (string, bool) {
+	if d.pos >= len(d.Path) {
+		return "", false
+	}
+	next := d.Path[d.pos]
+	d.pos++
+	return next, true
+}
+
+// Addr implements Driver.
+func (d *ScriptDriver) Addr(memID int) uint64 {
+	seq := d.Addrs[memID]
+	if len(seq) == 0 {
+		return 0x1000
+	}
+	i := d.addrPos[memID]
+	if i >= len(seq) {
+		i = len(seq) - 1
+	} else {
+		d.addrPos[memID] = i + 1
+	}
+	return seq[i]
+}
+
+// SliceReader replays a pre-materialized entry slice; useful in tests.
+type SliceReader struct {
+	Entries []Entry
+	pos     int
+}
+
+// Next implements Reader.
+func (r *SliceReader) Next() (Entry, bool) {
+	if r.pos >= len(r.Entries) {
+		return Entry{}, false
+	}
+	e := r.Entries[r.pos]
+	r.pos++
+	return e, true
+}
+
+// Collect materializes up to max entries from a reader.
+func Collect(r Reader, max int) []Entry {
+	var out []Entry
+	for max <= 0 || len(out) < max {
+		e, ok := r.Next()
+		if !ok {
+			break
+		}
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"multicluster/internal/isa"
+)
+
+// Binary trace format: traces are expensive to regenerate for long runs
+// and replaying a recorded trace guarantees every machine configuration
+// sees the identical dynamic stream. The encoding is a small varint
+// format:
+//
+//	header:  magic "MCTR" | version (uvarint) | program instruction count (uvarint)
+//	entry:   index-delta (varint, relative to previous index)
+//	         flags (1 byte: bit0 taken, bit1 has-address)
+//	         address (uvarint, present when bit1 set)
+//
+// Sequential code emits index deltas of +1, so typical entries cost two
+// bytes. The static program is NOT stored; the reader re-binds entries to
+// the program it is given and validates the instruction count.
+
+const (
+	traceMagic   = "MCTR"
+	traceVersion = 1
+
+	flagTaken   = 1 << 0
+	flagHasAddr = 1 << 1
+)
+
+// ErrTraceFormat reports a malformed or mismatched trace stream.
+var ErrTraceFormat = errors.New("trace: bad trace stream")
+
+// Writer encodes entries to an io.Writer.
+type Writer struct {
+	w       *bufio.Writer
+	prev    int64
+	count   int64
+	started bool
+	nInstrs int
+}
+
+// NewWriter starts a trace for the given program on w.
+func NewWriter(w io.Writer, prog *isa.Program) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return nil, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for _, v := range []uint64{traceVersion, uint64(len(prog.Instrs))} {
+		n := binary.PutUvarint(buf[:], v)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return nil, err
+		}
+	}
+	return &Writer{w: bw, nInstrs: len(prog.Instrs)}, nil
+}
+
+// Write appends one entry.
+func (tw *Writer) Write(e Entry) error {
+	if e.Index < 0 || e.Index >= tw.nInstrs {
+		return fmt.Errorf("%w: entry index %d out of program range %d", ErrTraceFormat, e.Index, tw.nInstrs)
+	}
+	var buf [2*binary.MaxVarintLen64 + 1]byte
+	n := binary.PutVarint(buf[:], int64(e.Index)-tw.prev)
+	tw.prev = int64(e.Index)
+
+	flags := byte(0)
+	if e.Taken {
+		flags |= flagTaken
+	}
+	hasAddr := e.Instr != nil && e.Instr.Op.Class().IsMem()
+	if hasAddr {
+		flags |= flagHasAddr
+	}
+	buf[n] = flags
+	n++
+	if hasAddr {
+		n += binary.PutUvarint(buf[n:], e.Addr)
+	}
+	if _, err := tw.w.Write(buf[:n]); err != nil {
+		return err
+	}
+	tw.count++
+	return nil
+}
+
+// Count returns the number of entries written.
+func (tw *Writer) Count() int64 { return tw.count }
+
+// Flush completes the trace.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Record materializes up to max entries from a reader into w.
+func Record(w io.Writer, prog *isa.Program, r Reader, max int64) (int64, error) {
+	tw, err := NewWriter(w, prog)
+	if err != nil {
+		return 0, err
+	}
+	for max <= 0 || tw.Count() < max {
+		e, ok := r.Next()
+		if !ok {
+			break
+		}
+		if err := tw.Write(e); err != nil {
+			return tw.Count(), err
+		}
+	}
+	return tw.Count(), tw.Flush()
+}
+
+// FileReader decodes a recorded trace, re-binding entries to prog. It
+// implements Reader.
+type FileReader struct {
+	r    *bufio.Reader
+	prog *isa.Program
+	prev int64
+	err  error
+}
+
+// NewFileReader validates the header and prepares to stream entries.
+func NewFileReader(r io.Reader, prog *isa.Program) (*FileReader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != traceMagic {
+		return nil, fmt.Errorf("%w: missing magic", ErrTraceFormat)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil || version != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrTraceFormat, version)
+	}
+	nInstrs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrTraceFormat)
+	}
+	if int(nInstrs) != len(prog.Instrs) {
+		return nil, fmt.Errorf("%w: trace recorded against a %d-instruction program, got %d", ErrTraceFormat, nInstrs, len(prog.Instrs))
+	}
+	return &FileReader{r: br, prog: prog}, nil
+}
+
+// Next implements Reader.
+func (fr *FileReader) Next() (Entry, bool) {
+	if fr.err != nil {
+		return Entry{}, false
+	}
+	delta, err := binary.ReadVarint(fr.r)
+	if err != nil {
+		if err != io.EOF {
+			fr.err = err
+		}
+		return Entry{}, false
+	}
+	idx := fr.prev + delta
+	if idx < 0 || idx >= int64(len(fr.prog.Instrs)) {
+		fr.err = fmt.Errorf("%w: index %d out of range", ErrTraceFormat, idx)
+		return Entry{}, false
+	}
+	fr.prev = idx
+	flags, err := fr.r.ReadByte()
+	if err != nil {
+		fr.err = fmt.Errorf("%w: truncated entry", ErrTraceFormat)
+		return Entry{}, false
+	}
+	e := Entry{Index: int(idx), Instr: &fr.prog.Instrs[idx], Taken: flags&flagTaken != 0}
+	if flags&flagHasAddr != 0 {
+		addr, err := binary.ReadUvarint(fr.r)
+		if err != nil {
+			fr.err = fmt.Errorf("%w: truncated address", ErrTraceFormat)
+			return Entry{}, false
+		}
+		e.Addr = addr
+	}
+	return e, true
+}
+
+// Err returns the first decoding error, if any, once Next has returned
+// false.
+func (fr *FileReader) Err() error { return fr.err }

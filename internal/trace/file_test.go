@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"multicluster/internal/codegen"
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+	"multicluster/internal/regalloc"
+)
+
+func roundTrip(t *testing.T, prog *isa.Program, entries []Entry) []Entry {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := Record(&buf, prog, &SliceReader{Entries: entries}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(entries)) {
+		t.Fatalf("recorded %d of %d entries", n, len(entries))
+	}
+	fr, err := NewFileReader(&buf, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Collect(fr, 0)
+	if fr.Err() != nil {
+		t.Fatal(fr.Err())
+	}
+	return got
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	mp := lowerFigure6(t)
+	d := &ScriptDriver{
+		Path:  []string{"bb2", "bb4", "bb4", "bb5"},
+		Addrs: map[int][]uint64{0: {0x2000}, 1: {0x2008}},
+	}
+	g, err := NewGenerator(mp, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Collect(g, 0)
+	got := roundTrip(t, mp, want)
+	if len(got) != len(want) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Index != want[i].Index || got[i].Taken != want[i].Taken || got[i].Addr != want[i].Addr {
+			t.Fatalf("entry %d: got %+v, want %+v", i, got[i], want[i])
+		}
+		if got[i].Instr != &mp.Instrs[want[i].Index] {
+			t.Fatalf("entry %d: instruction not re-bound to the program", i)
+		}
+	}
+}
+
+func TestTraceCompactness(t *testing.T) {
+	// Sequential straight-line code must cost ~2 bytes per entry.
+	mp := lowerFigure6(t)
+	g, err := NewGenerator(mp, &ScriptDriver{Path: []string{"bb2", "bb4", "bb5"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := Collect(g, 0)
+	var buf bytes.Buffer
+	if _, err := Record(&buf, mp, &SliceReader{Entries: entries}, 0); err != nil {
+		t.Fatal(err)
+	}
+	perEntry := float64(buf.Len()) / float64(len(entries))
+	if perEntry > 4 {
+		t.Errorf("%.1f bytes per entry; the varint encoding should be ≤ 4 here", perEntry)
+	}
+}
+
+func TestTraceRejectsWrongProgram(t *testing.T) {
+	mp := lowerFigure6(t)
+	g, err := NewGenerator(mp, &ScriptDriver{Path: []string{"bb2", "bb4", "bb5"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Record(&buf, mp, g, 0); err != nil {
+		t.Fatal(err)
+	}
+	other := &isa.Program{Instrs: make([]isa.Instruction, 3)}
+	if _, err := NewFileReader(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("trace accepted against a different program")
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	mp := lowerFigure6(t)
+	if _, err := NewFileReader(strings.NewReader("not a trace"), mp); err == nil {
+		t.Fatal("garbage header accepted")
+	}
+	if _, err := NewFileReader(strings.NewReader(""), mp); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestTraceTruncationSurfacesError(t *testing.T) {
+	mp := lowerFigure6(t)
+	g, err := NewGenerator(mp, &ScriptDriver{Path: []string{"bb2", "bb4", "bb5"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Record(&buf, mp, g, 0); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-1]
+	fr, err := NewFileReader(bytes.NewReader(cut), mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Collect(fr, 0)
+	if fr.Err() == nil {
+		t.Fatal("truncated trace read without error")
+	}
+}
+
+func TestWriterRejectsOutOfRangeIndex(t *testing.T) {
+	mp := lowerFigure6(t)
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf, mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Write(Entry{Index: len(mp.Instrs) + 5}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestRecordHonoursMax(t *testing.T) {
+	mp := lowerFigure6(t)
+	path := make([]string, 100)
+	path[0] = "bb2"
+	for i := 1; i < len(path); i++ {
+		path[i] = "bb4"
+	}
+	g, err := NewGenerator(mp, &ScriptDriver{Path: path}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := Record(&buf, mp, g, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 25 {
+		t.Fatalf("recorded %d, want 25", n)
+	}
+}
+
+// lowerForFileTests ensures the helpers compile when figure6 changes shape.
+func TestFileHelpersCompile(t *testing.T) {
+	b := il.NewBuilder("t")
+	x := b.Int("x")
+	bb := b.Block("entry", 1)
+	bb.Const(x, 1)
+	bb.Ret(x)
+	alloc, err := regalloc.Allocate(b.MustFinish(), nil, regalloc.Config{Assignment: isa.DefaultAssignment()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codegen.Lower(alloc); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,222 @@
+// Package trace turns a machine program plus a behaviour driver into the
+// dynamic instruction stream the cycle-level simulator consumes — the role
+// ATOM instrumentation played in the paper's methodology. A Driver supplies
+// the control-flow path (which successor each block takes) and the memory
+// addresses of each static memory operation; the generator walks the
+// machine code accordingly and emits one Entry per dynamic instruction.
+//
+// The same Driver, run over the IL program with Profile, produces the
+// per-block execution estimates the local scheduler sorts by — guaranteeing
+// the profile and the simulated run see the same path.
+package trace
+
+import (
+	"fmt"
+
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+)
+
+// Driver supplies the dynamic behaviour of one program run. Implementations
+// must be deterministic for a given construction (seeded), and NextBlock
+// must be independent of Addr so that an IL-level profiling walk and a
+// machine-level trace walk follow identical paths.
+type Driver interface {
+	// Reset returns the driver to its initial state.
+	Reset()
+	// NextBlock chooses the dynamic successor of block cur among succs.
+	// Returning ok=false ends the run. For blocks with no successors
+	// (returns) succs is empty and the driver may name any block.
+	NextBlock(cur string, succs []string) (next string, ok bool)
+	// Addr returns the effective address for the next dynamic execution of
+	// the static memory operation memID.
+	Addr(memID int) uint64
+}
+
+// Entry is one dynamic instruction.
+type Entry struct {
+	// Index is the static instruction index; the PC is isa.PCOf(Index).
+	Index int
+	// Instr points at the static instruction within the program.
+	Instr *isa.Instruction
+	// Addr is the effective address for memory operations.
+	Addr uint64
+	// Taken is the resolved direction for conditional branches.
+	Taken bool
+}
+
+// Reader yields a dynamic instruction stream.
+type Reader interface {
+	// Next returns the next entry; ok=false at end of trace.
+	Next() (e Entry, ok bool)
+}
+
+// Generator walks a machine program under a driver, producing entries
+// lazily.
+type Generator struct {
+	prog      *isa.Program
+	driver    Driver
+	maxInstrs int64
+
+	emitted int64
+	pc      int // next static instruction index
+	done    bool
+	byName  map[string]*isa.BlockInfo
+	blockOf []*isa.BlockInfo
+}
+
+// NewGenerator builds a lazy trace over prog driven by driver, emitting at
+// most maxInstrs dynamic instructions (0 means unlimited). The driver is
+// Reset.
+func NewGenerator(prog *isa.Program, driver Driver, maxInstrs int64) (*Generator, error) {
+	if len(prog.Instrs) == 0 || len(prog.Blocks) == 0 {
+		return nil, fmt.Errorf("trace: empty program")
+	}
+	g := &Generator{prog: prog, driver: driver, maxInstrs: maxInstrs}
+	g.byName = make(map[string]*isa.BlockInfo, len(prog.Blocks))
+	g.blockOf = make([]*isa.BlockInfo, len(prog.Instrs))
+	for i := range prog.Blocks {
+		b := &prog.Blocks[i]
+		g.byName[b.Name] = b
+		for j := b.Start; j < b.End; j++ {
+			g.blockOf[j] = b
+		}
+	}
+	driver.Reset()
+	g.pc = prog.Blocks[0].Start
+	return g, nil
+}
+
+// Next implements Reader.
+func (g *Generator) Next() (Entry, bool) {
+	if g.done || (g.maxInstrs > 0 && g.emitted >= g.maxInstrs) {
+		return Entry{}, false
+	}
+	in := &g.prog.Instrs[g.pc]
+	e := Entry{Index: g.pc, Instr: in}
+
+	if in.Op.Class().IsMem() {
+		if slot, ok := in.SpillInfo(); ok {
+			e.Addr = isa.SpillAddr(slot)
+		} else {
+			e.Addr = g.driver.Addr(in.MemID)
+		}
+	}
+
+	cur := g.blockOf[g.pc]
+	switch {
+	case in.Op.IsControl():
+		next, ok := g.nextBlock(cur, in)
+		if !ok {
+			g.done = true
+			g.emitted++
+			return e, true
+		}
+		if in.Op.IsCondBranch() {
+			e.Taken = next.Start == in.Target
+		} else {
+			e.Taken = true
+		}
+		if e.Taken || !in.Op.IsCondBranch() {
+			g.pc = next.Start
+		} else {
+			g.pc = g.pc + 1 // fall through
+		}
+	case g.pc+1 == cur.End:
+		// Implicit fall-through at block end.
+		next, ok := g.nextBlock(cur, nil)
+		if !ok {
+			g.done = true
+			g.emitted++
+			return e, true
+		}
+		g.pc = next.Start
+	default:
+		g.pc++
+	}
+	g.emitted++
+	return e, true
+}
+
+// nextBlock consults the driver for the successor of cur. For direct
+// unconditional control flow (BR, CALL) the single successor is implied and
+// the driver is not consulted.
+func (g *Generator) nextBlock(cur *isa.BlockInfo, in *isa.Instruction) (*isa.BlockInfo, bool) {
+	if in != nil && (in.Op == isa.BR || in.Op == isa.CALL) {
+		return g.blockOf[in.Target], true
+	}
+	succs := g.succsOf(cur, in)
+	name, ok := g.driver.NextBlock(cur.Name, succs)
+	if !ok {
+		return nil, false
+	}
+	nb := g.byName[name]
+	if nb == nil {
+		panic(fmt.Sprintf("trace: driver chose unknown block %q from %q", name, cur.Name))
+	}
+	if len(succs) > 0 && !contains(succs, name) {
+		panic(fmt.Sprintf("trace: driver chose %q, not a successor of %q (%v)", name, cur.Name, succs))
+	}
+	return nb, true
+}
+
+// succsOf reconstructs the successor names of a machine block: the
+// fall-through (next block in layout) and/or the branch target. For RET and
+// JMP the successor set is open (nil) and the driver chooses freely.
+func (g *Generator) succsOf(cur *isa.BlockInfo, in *isa.Instruction) []string {
+	if in == nil {
+		// Implicit fall-through.
+		return []string{g.blockOf[cur.End].Name}
+	}
+	switch in.Op {
+	case isa.BEQ, isa.BNE:
+		fall := g.blockOf[cur.End].Name
+		taken := g.blockOf[in.Target].Name
+		return []string{fall, taken}
+	case isa.RET, isa.JMP:
+		return nil
+	}
+	return []string{g.blockOf[in.Target].Name}
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Profile executes the driver's control-flow path over the IL program for
+// at most maxInstrs dynamic IL instructions and stores the resulting
+// per-block execution counts into the blocks' EstExec fields (the estimate
+// of how many times each block's first instruction executes). The driver is
+// Reset before and after, so the same driver can then generate the trace.
+func Profile(p *il.Program, driver Driver, maxInstrs int64) map[string]int64 {
+	driver.Reset()
+	defer driver.Reset()
+	counts := make(map[string]int64, len(p.Blocks))
+	var executed int64
+	cur := p.Block(p.Entry)
+	for cur != nil && (maxInstrs <= 0 || executed < maxInstrs) {
+		counts[cur.Name]++
+		executed += int64(len(cur.Instrs))
+		// Direct unconditional control flow is not a driver decision — the
+		// generator follows BR/CALL targets without consulting the driver,
+		// and the profile walk must consume driver decisions identically.
+		if t := cur.Terminator(); t != nil && (t.Op == isa.BR || t.Op == isa.CALL) {
+			cur = p.Block(cur.Succs[0])
+			continue
+		}
+		next, ok := driver.NextBlock(cur.Name, cur.Succs)
+		if !ok {
+			break
+		}
+		cur = p.Block(next)
+	}
+	for _, b := range p.Blocks {
+		b.EstExec = counts[b.Name]
+	}
+	return counts
+}

@@ -1,0 +1,243 @@
+package trace
+
+import (
+	"testing"
+
+	"multicluster/internal/codegen"
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+	"multicluster/internal/regalloc"
+)
+
+// lowerFigure6 compiles Figure 6 natively for use as a trace target.
+func lowerFigure6(t *testing.T) *isa.Program {
+	t.Helper()
+	alloc, err := regalloc.Allocate(il.Figure6(), nil, regalloc.Config{
+		Assignment: isa.DefaultAssignment(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := codegen.Lower(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mp
+}
+
+func TestGeneratorFollowsScriptedPath(t *testing.T) {
+	mp := lowerFigure6(t)
+	// bb1 → bb2 → (BR, no driver decision) → bb4 → bb4 → bb5 (end).
+	d := &ScriptDriver{Path: []string{"bb2", "bb4", "bb5"}}
+	g, err := NewGenerator(mp, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := Collect(g, 0)
+
+	// Count dynamic instructions: bb1(3) + bb2(3) + bb4(5)×2 + bb5(2) = 18.
+	if len(entries) != 18 {
+		t.Fatalf("trace length = %d, want 18", len(entries))
+	}
+	// The bb1 branch (to bb3) must be not-taken; the bb4 loop branch taken
+	// once then not-taken.
+	var condOutcomes []bool
+	for _, e := range entries {
+		if e.Instr.Op.IsCondBranch() {
+			condOutcomes = append(condOutcomes, e.Taken)
+		}
+	}
+	want := []bool{false, true, false}
+	if len(condOutcomes) != len(want) {
+		t.Fatalf("conditional branches = %v, want %v", condOutcomes, want)
+	}
+	for i := range want {
+		if condOutcomes[i] != want[i] {
+			t.Fatalf("conditional branches = %v, want %v", condOutcomes, want)
+		}
+	}
+}
+
+func TestGeneratorSuppliesAddresses(t *testing.T) {
+	mp := lowerFigure6(t)
+	d := &ScriptDriver{
+		Path:  []string{"bb2", "bb4", "bb5"},
+		Addrs: map[int][]uint64{0: {0x2000}, 1: {0x2008}},
+	}
+	g, err := NewGenerator(mp, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addrs []uint64
+	for _, e := range Collect(g, 0) {
+		if e.Instr.Op.Class().IsMem() {
+			addrs = append(addrs, e.Addr)
+		}
+	}
+	if len(addrs) != 2 || addrs[0] != 0x2000 || addrs[1] != 0x2008 {
+		t.Errorf("addresses = %#x, want [0x2000 0x2008]", addrs)
+	}
+}
+
+func TestGeneratorHonoursMaxInstrs(t *testing.T) {
+	mp := lowerFigure6(t)
+	// Loop forever in bb4.
+	path := make([]string, 1000)
+	path[0] = "bb2"
+	for i := 1; i < len(path); i++ {
+		path[i] = "bb4"
+	}
+	d := &ScriptDriver{Path: path}
+	g, err := NewGenerator(mp, d, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(Collect(g, 0)); got != 50 {
+		t.Errorf("trace length = %d, want 50 (capped)", got)
+	}
+}
+
+func TestGeneratorEndsWhenDriverStops(t *testing.T) {
+	mp := lowerFigure6(t)
+	d := &ScriptDriver{Path: nil} // stop immediately after bb1
+	g, err := NewGenerator(mp, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := Collect(g, 0)
+	// All of bb1 executes, ending at its terminator.
+	if len(entries) != 3 {
+		t.Errorf("trace length = %d, want 3 (bb1 only)", len(entries))
+	}
+}
+
+func TestProfileMatchesPath(t *testing.T) {
+	p := il.Figure6()
+	// bb1 →(choice) bb2 →(BR, free) bb4 →(choice) bb4 →(choice) bb4
+	// →(choice) bb5: bb4 runs three times.
+	d := &ScriptDriver{Path: []string{"bb2", "bb4", "bb4", "bb5"}}
+	counts := Profile(p, d, 0)
+	want := map[string]int64{"bb1": 1, "bb2": 1, "bb4": 3, "bb5": 1}
+	for name, c := range want {
+		if counts[name] != c {
+			t.Errorf("count[%s] = %d, want %d", name, counts[name], c)
+		}
+	}
+	if counts["bb3"] != 0 {
+		t.Errorf("bb3 counted %d, never visited", counts["bb3"])
+	}
+	// EstExec fields updated in place.
+	if p.Block("bb4").EstExec != 3 {
+		t.Errorf("bb4 EstExec = %d, want 3", p.Block("bb4").EstExec)
+	}
+}
+
+func TestProfileAndTraceSeeSamePath(t *testing.T) {
+	// The block sequence observed in the machine trace must equal the
+	// profile counts — the property that makes profile-guided partitioning
+	// faithful.
+	p := il.Figure6()
+	mp := lowerFigure6(t)
+	path := []string{"bb3", "bb4", "bb4", "bb4", "bb4", "bb5"}
+	counts := Profile(p, &ScriptDriver{Path: path}, 0)
+
+	g, err := NewGenerator(mp, &ScriptDriver{Path: path}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int64{}
+	for _, e := range Collect(g, 0) {
+		if b := mp.BlockOf(e.Index); b != nil && e.Index == b.Start {
+			seen[b.Name]++
+		}
+	}
+	for name, c := range counts {
+		if seen[name] != c {
+			t.Errorf("block %s: profile %d, trace %d", name, c, seen[name])
+		}
+	}
+}
+
+func TestSpillAddressesAreStatic(t *testing.T) {
+	// Build a program that spills, lower it, and check spill ops get
+	// SpillBase addresses without consulting the driver.
+	b := il.NewBuilder("spilly")
+	ids := make([]int, 40)
+	for i := range ids {
+		ids[i] = b.Int(string(rune('A'+i%26)) + string(rune('0'+i/26)))
+	}
+	e := b.Block("entry", 1)
+	for i, id := range ids {
+		e.Const(id, int64(i))
+	}
+	sum := b.Int("sum")
+	e.Op(isa.ADD, sum, ids[0], ids[1])
+	for i := 2; i < len(ids); i++ {
+		e.Op(isa.ADD, sum, sum, ids[i])
+	}
+	e.Ret(sum)
+	prog := b.MustFinish()
+
+	alloc, err := regalloc.Allocate(prog, nil, regalloc.Config{Assignment: isa.DefaultAssignment()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Spilled == 0 {
+		t.Fatal("expected spills")
+	}
+	mp, err := codegen.Lower(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(mp, &ScriptDriver{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spillSeen := 0
+	for _, entry := range Collect(g, 0) {
+		if slot, ok := entry.Instr.SpillInfo(); ok {
+			spillSeen++
+			if entry.Addr != isa.SpillAddr(slot) {
+				t.Errorf("spill op addr = %#x, want %#x", entry.Addr, isa.SpillAddr(slot))
+			}
+		}
+	}
+	if spillSeen == 0 {
+		t.Error("no spill operations in trace")
+	}
+}
+
+func TestSliceReader(t *testing.T) {
+	r := &SliceReader{Entries: []Entry{{Index: 1}, {Index: 2}}}
+	e, ok := r.Next()
+	if !ok || e.Index != 1 {
+		t.Fatal("first entry wrong")
+	}
+	if got := Collect(r, 0); len(got) != 1 || got[0].Index != 2 {
+		t.Fatal("collect after partial read wrong")
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("reader not exhausted")
+	}
+}
+
+func BenchmarkGenerator(b *testing.B) {
+	mp := lowerFigure6(&testing.T{})
+	path := make([]string, 4096)
+	path[0] = "bb2"
+	for i := 1; i < len(path); i++ {
+		path[i] = "bb4"
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 4096 {
+		g, err := NewGenerator(mp, &ScriptDriver{Path: path}, 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, ok := g.Next(); !ok {
+				break
+			}
+		}
+	}
+}

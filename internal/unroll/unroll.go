@@ -1,0 +1,247 @@
+// Package unroll implements the loop-unrolling extension sketched in the
+// paper's future work (§6): "loop unrolling ... could be used to generate a
+// code schedule in which multiple iterations of a loop were interleaved,
+// with each iteration scheduled to use a separate cluster of a multicluster
+// processor."
+//
+// SelfLoop unrolls a self-looping basic block by a given factor,
+// privatizing the values that are local to one iteration (so the copies
+// carry no false dependences and the partitioner is free to put alternate
+// iterations on alternate clusters) while keeping loop-carried values
+// shared. The resulting program runs under the original behaviour driver
+// through the wrapper returned by Result.Driver.
+package unroll
+
+import (
+	"fmt"
+
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+	"multicluster/internal/liveness"
+	"multicluster/internal/trace"
+)
+
+// Result is an unrolled program plus the glue that lets the original
+// behaviour driver drive it.
+type Result struct {
+	// Prog is the transformed program. Copy k>0 of the unrolled block is
+	// named "<block>#k"; copy 0 keeps the original name so entry edges are
+	// untouched.
+	Prog *il.Program
+	// Factor is the unroll factor.
+	Factor int
+	// Block is the original block name.
+	Block string
+	// Private lists the privatized live ranges of the original block.
+	Private []string
+
+	origSuccs []string
+	memMap    []int // unrolled-program mem-op index -> original mem-op index
+}
+
+// SelfLoop unrolls the named block, which must end in a conditional branch
+// whose taken target is the block itself (a self loop), by the given
+// factor. Unrolling runs on the pre-allocation IL (no spill code).
+func SelfLoop(p *il.Program, block string, factor int) (*Result, error) {
+	if factor < 2 {
+		return nil, fmt.Errorf("unroll: factor must be ≥ 2, got %d", factor)
+	}
+	src := p.Block(block)
+	if src == nil {
+		return nil, fmt.Errorf("unroll: no block %q", block)
+	}
+	term := src.Terminator()
+	if term == nil || !term.Op.IsCondBranch() || term.Target != block {
+		return nil, fmt.Errorf("unroll: block %q does not end in a self-looping conditional branch", block)
+	}
+	exit := src.Succs[0] // fall-through successor
+	info := liveness.Analyze(p)
+
+	// A value defined in the block is private to one iteration when the
+	// block never reads it before writing it (not upward-exposed) and the
+	// loop's exit path does not consume it.
+	private := privatizable(p, src, info.LiveIn[exit])
+
+	res := &Result{Factor: factor, Block: block, origSuccs: append([]string(nil), src.Succs...)}
+	for id := range private {
+		res.Private = append(res.Private, p.Value(id).Name)
+	}
+
+	nb := il.NewBuilder(p.Name + fmt.Sprintf("-unroll%d", factor))
+	// Recreate all values first so existing IDs stay stable.
+	for _, v := range p.Values {
+		if v.GlobalCandidate {
+			nb.GlobalValue(v.Name, v.Kind)
+		} else {
+			nb.Value(v.Name, v.Kind)
+		}
+	}
+
+	copyName := func(k int) string {
+		if k == 0 {
+			return block
+		}
+		return fmt.Sprintf("%s#%d", block, k)
+	}
+
+	for _, b := range p.Blocks {
+		if b.Name != block {
+			// Clone verbatim, tracking memory-op identity.
+			bb := nb.Block(b.Name, b.EstExec)
+			for i := range b.Instrs {
+				bb.Raw(b.Instrs[i])
+				if b.Instrs[i].Op.Class().IsMem() {
+					res.memMap = append(res.memMap, memIndexOf(p, b.Name, i))
+				}
+			}
+			bb.SetSuccs(b.Succs...)
+			continue
+		}
+		for k := 0; k < factor; k++ {
+			bb := nb.Block(copyName(k), b.EstExec/int64(factor)+1)
+			rename := map[int]int{}
+			mapV := func(id int) int {
+				if id == il.None || k == 0 || !private[id] {
+					return id
+				}
+				if nid, ok := rename[id]; ok {
+					return nid
+				}
+				v := p.Value(id)
+				nid := nb.Value(fmt.Sprintf("%s#%d", v.Name, k), v.Kind)
+				rename[id] = nid
+				return nid
+			}
+			for i := range b.Instrs {
+				in := b.Instrs[i]
+				if in.Op.IsControl() {
+					continue // the terminator is rebuilt below
+				}
+				bb.Raw(il.Instr{Op: in.Op, Dst: mapV(in.Dst), Src1: mapV(in.Src1), Src2: mapV(in.Src2), Imm: in.Imm})
+				if in.Op.Class().IsMem() {
+					res.memMap = append(res.memMap, memIndexOf(p, block, i))
+				}
+			}
+			cond := mapV(term.Src1)
+			if k < factor-1 {
+				// Intermediate iterations invert the branch so the next
+				// copy is the fall-through and the loop exit is the taken
+				// target.
+				bb.CondBr(invert(term.Op), cond, exit, copyName(k+1))
+			} else {
+				bb.CondBr(term.Op, cond, copyName(0), exit)
+			}
+		}
+	}
+	prog, err := nb.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("unroll: rebuilt program invalid: %w", err)
+	}
+	prog.Entry = p.Entry
+	res.Prog = prog
+	return res, nil
+}
+
+// privatizable returns the values local to a single iteration of the block.
+func privatizable(p *il.Program, src *il.Block, exitLive *liveness.BitSet) map[int]bool {
+	upward := map[int]bool{}
+	seenDef := map[int]bool{}
+	defs := map[int]bool{}
+	for i := range src.Instrs {
+		in := &src.Instrs[i]
+		for _, u := range in.Uses() {
+			if !seenDef[u] {
+				upward[u] = true
+			}
+		}
+		if in.Dst != il.None {
+			defs[in.Dst] = true
+			seenDef[in.Dst] = true
+		}
+	}
+	out := map[int]bool{}
+	for id := range defs {
+		if !upward[id] && !exitLive.Has(id) && !p.Value(id).GlobalCandidate {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// Driver adapts the original behaviour driver to the unrolled program:
+// each copy of the block consumes one of the original driver's
+// per-iteration decisions, and memory addresses are translated back to the
+// original static operation IDs.
+func (r *Result) Driver(inner trace.Driver) trace.Driver {
+	return &unrollDriver{res: r, inner: inner}
+}
+
+type unrollDriver struct {
+	res   *Result
+	inner trace.Driver
+}
+
+func (d *unrollDriver) Reset() { d.inner.Reset() }
+
+func (d *unrollDriver) NextBlock(cur string, succs []string) (string, bool) {
+	base, k, isCopy := d.res.parse(cur)
+	if !isCopy {
+		return d.inner.NextBlock(cur, succs)
+	}
+	// One original-loop decision per copy: continue or exit.
+	next, ok := d.inner.NextBlock(base, d.res.origSuccs)
+	if !ok {
+		return "", false
+	}
+	if next != base {
+		return next, true // the exit path
+	}
+	if k == d.res.Factor-1 {
+		return base, true // wrap to copy 0
+	}
+	return fmt.Sprintf("%s#%d", base, k+1), true
+}
+
+func (d *unrollDriver) Addr(memID int) uint64 {
+	if memID >= 0 && memID < len(d.res.memMap) {
+		return d.inner.Addr(d.res.memMap[memID])
+	}
+	return d.inner.Addr(memID)
+}
+
+// parse splits "block#k" into its base name and copy index.
+func (r *Result) parse(name string) (base string, k int, isCopy bool) {
+	if name == r.Block {
+		return r.Block, 0, true
+	}
+	var idx int
+	if n, err := fmt.Sscanf(name, r.Block+"#%d", &idx); err != nil || n != 1 {
+		return name, 0, false
+	}
+	return r.Block, idx, true
+}
+
+// memIndexOf returns the program-wide memory-op index of the i-th
+// instruction of the named block in the original program.
+func memIndexOf(p *il.Program, block string, i int) int {
+	n := 0
+	for _, b := range p.Blocks {
+		for j := range b.Instrs {
+			if b.Instrs[j].Op.Class().IsMem() {
+				if b.Name == block && j == i {
+					return n
+				}
+				n++
+			}
+		}
+	}
+	return -1
+}
+
+// invert flips a conditional branch's sense.
+func invert(op isa.Op) isa.Op {
+	if op == isa.BEQ {
+		return isa.BNE
+	}
+	return isa.BEQ
+}

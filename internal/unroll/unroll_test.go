@@ -1,0 +1,266 @@
+package unroll
+
+import (
+	"testing"
+
+	"multicluster/internal/codegen"
+	"multicluster/internal/core"
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+	"multicluster/internal/partition"
+	"multicluster/internal/regalloc"
+	"multicluster/internal/trace"
+	"multicluster/internal/workload"
+)
+
+// saxpyProgram is a su2cor-like single-chain loop: ideal unrolling fodder.
+func saxpyProgram() *il.Program {
+	b := il.NewBuilder("saxpy")
+	sp := b.GlobalValue("SP", il.KindInt)
+	fa, fb, fc := b.FP("fa"), b.FP("fb"), b.FP("fc")
+	fs := b.FP("fs")
+	i := b.Int("i")
+
+	e := b.Block("entry", 1)
+	e.Load(isa.LDF, fs, sp, 0)
+	e.Const(i, 0)
+	e.FallTo("loop")
+
+	l := b.Block("loop", 1000)
+	l.Load(isa.LDF, fa, sp, 8)
+	l.Load(isa.LDF, fb, sp, 16)
+	l.Op(isa.FMUL, fc, fa, fs)
+	l.Op(isa.FADD, fc, fc, fb)
+	l.Store(isa.STF, sp, fc, 24)
+	l.OpImm(isa.ADD, i, i, 1)
+	l.CondBr(isa.BNE, i, "loop", "done")
+
+	d := b.Block("done", 1)
+	d.Ret(i)
+	return b.MustFinish()
+}
+
+func saxpyDriver(trips int64) trace.Driver {
+	d := &loopDriver{trips: trips}
+	return d
+}
+
+// loopDriver iterates the loop a fixed number of times per entry and
+// streams three vectors.
+type loopDriver struct {
+	trips   int64
+	n       int64
+	addrs   [4]uint64
+	started bool
+}
+
+func (d *loopDriver) Reset() { d.n = 0; d.addrs = [4]uint64{}; d.started = false }
+
+func (d *loopDriver) NextBlock(cur string, succs []string) (string, bool) {
+	switch cur {
+	case "entry":
+		return "loop", true
+	case "loop":
+		d.n++
+		if d.n >= d.trips {
+			return "done", true
+		}
+		return "loop", true
+	}
+	return "", false
+}
+
+func (d *loopDriver) Addr(memID int) uint64 {
+	if memID < 0 || memID > 3 {
+		return 0x1000
+	}
+	d.addrs[memID] += 8
+	return uint64(0x1000_0000*(memID+1)) + d.addrs[memID]
+}
+
+func TestSelfLoopStructure(t *testing.T) {
+	p := saxpyProgram()
+	res, err := SelfLoop(p, "loop", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Prog.Block("loop") == nil || res.Prog.Block("loop#1") == nil {
+		t.Fatal("expected two copies of the loop")
+	}
+	// Copy 0 exits to copy 1 on the inverted branch; copy 1 loops back to
+	// copy 0.
+	c0 := res.Prog.Block("loop")
+	if term := c0.Terminator(); term.Op != isa.BEQ || term.Target != "done" {
+		t.Errorf("copy 0 terminator = %v -> %s, want inverted beq to done", term.Op, term.Target)
+	}
+	c1 := res.Prog.Block("loop#1")
+	if term := c1.Terminator(); term.Op != isa.BNE || term.Target != "loop" {
+		t.Errorf("copy 1 terminator = %v -> %s, want bne back to loop", term.Op, term.Target)
+	}
+	// fa, fb, fc are privatized; i and fs are not (loop-carried / live-in).
+	want := map[string]bool{"fa": true, "fb": true, "fc": true}
+	got := map[string]bool{}
+	for _, name := range res.Private {
+		got[name] = true
+	}
+	for name := range want {
+		if !got[name] {
+			t.Errorf("%s should be privatized (got %v)", name, res.Private)
+		}
+	}
+	if got["i"] || got["fs"] {
+		t.Errorf("loop-carried values privatized: %v", res.Private)
+	}
+	// Copy 1 must reference the renamed temporaries.
+	if res.Prog.Block("loop#1").Instrs[0].Dst == p.Block("loop").Instrs[0].Dst {
+		t.Error("copy 1 still writes the original fa")
+	}
+}
+
+// compileRun lowers a program (optionally clustered) and simulates it.
+func compileRun(t *testing.T, p *il.Program, d trace.Driver, n int64, cfg core.Config) core.Stats {
+	t.Helper()
+	trace.Profile(p, d, 20_000)
+	part := partition.Local{}.Partition(p)
+	alloc, err := regalloc.Allocate(p, part, regalloc.Config{
+		Assignment:        isa.DefaultAssignment(),
+		Clustered:         true,
+		OtherClusterSpill: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := codegen.Lower(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := trace.NewGenerator(mp, d, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := core.New(cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := proc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Stop != core.StopTraceEnd {
+		t.Fatalf("did not drain: %v", stats)
+	}
+	return stats
+}
+
+func TestUnrolledTraceSemanticallyEquivalent(t *testing.T) {
+	// Both programs must execute the same multiset of non-control work:
+	// identical memory-op counts against identical original addresses.
+	p := saxpyProgram()
+	res, err := SelfLoop(p, "loop", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countWork := func(p *il.Program, d trace.Driver) (mem int64) {
+		alloc, err := regalloc.Allocate(p, nil, regalloc.Config{Assignment: isa.DefaultAssignment()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp, err := codegen.Lower(alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := trace.NewGenerator(mp, d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			e, ok := gen.Next()
+			if !ok {
+				break
+			}
+			if e.Instr.Op.Class().IsMem() {
+				mem++
+			}
+		}
+		return mem
+	}
+	base := countWork(p, saxpyDriver(400))
+	unrolled := countWork(res.Prog, res.Driver(saxpyDriver(400)))
+	if base != unrolled {
+		t.Errorf("memory operations differ: base %d, unrolled %d", base, unrolled)
+	}
+}
+
+func TestUnrollingHelpsDualCluster(t *testing.T) {
+	// §6's claim: interleaving unrolled iterations across clusters raises
+	// dual-cluster throughput on a serial-bodied loop. The base program's
+	// single dependence web lands in one cluster; the unrolled program's
+	// privatized copies can spread.
+	p := saxpyProgram()
+	res, err := SelfLoop(p, "loop", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DualCluster4Way()
+	cfg.ICache.MissLatency = 0
+	cfg.DCache.MissLatency = 0
+	base := compileRun(t, p, saxpyDriver(1<<40), 30_000, cfg)
+	unrolled := compileRun(t, res.Prog, res.Driver(saxpyDriver(1<<40)), 30_000, cfg)
+	if unrolled.IPC() < base.IPC()*1.1 {
+		t.Errorf("unrolled IPC %.2f, want ≥ 1.1× base %.2f: iterations did not spread across clusters", unrolled.IPC(), base.IPC())
+	}
+}
+
+func TestUnrollRejectsBadInput(t *testing.T) {
+	p := saxpyProgram()
+	if _, err := SelfLoop(p, "nope", 2); err == nil {
+		t.Error("unknown block accepted")
+	}
+	if _, err := SelfLoop(p, "entry", 2); err == nil {
+		t.Error("non-looping block accepted")
+	}
+	if _, err := SelfLoop(p, "loop", 1); err == nil {
+		t.Error("factor 1 accepted")
+	}
+}
+
+func TestUnrollWorkloadLoop(t *testing.T) {
+	// Unroll su2cor's inner sweep and run the full pipeline end to end.
+	w := workload.ByName("su2cor")
+	res, err := SelfLoop(w.Program, "inner", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DualCluster4Way()
+	cfg.MaxCycles = 5_000_000
+	stats := compileRun(t, res.Prog, res.Driver(w.NewDriver(3)), 20_000, cfg)
+	if stats.Instructions < 19_000 {
+		t.Errorf("retired %d of ~20000", stats.Instructions)
+	}
+}
+
+func TestUnrollFactorFour(t *testing.T) {
+	p := saxpyProgram()
+	res, err := SelfLoop(p, "loop", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"loop", "loop#1", "loop#2", "loop#3"} {
+		if res.Prog.Block(name) == nil {
+			t.Errorf("missing copy %s", name)
+		}
+	}
+	cfg := core.DualCluster4Way()
+	cfg.ICache.MissLatency = 0
+	cfg.DCache.MissLatency = 0
+	stats := compileRun(t, res.Prog, res.Driver(saxpyDriver(1<<40)), 20_000, cfg)
+	if stats.Instructions < 19_000 {
+		t.Errorf("retired %d", stats.Instructions)
+	}
+}

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+	"multicluster/internal/trace"
+)
+
+// Compress models SPEC92 compress: LZW compression. The dynamic behaviour
+// is an integer character loop — sequential input reads, a shift/xor hash,
+// probes into a hash table far larger than the data cache (the source of
+// compress's cache sensitivity), secondary probing on collisions, and
+// bit-packing output every few codes. Branches are data-dependent and only
+// moderately predictable; there is no floating point.
+func Compress() *Benchmark {
+	b := il.NewBuilder("compress")
+
+	sp := b.GlobalValue("SP", il.KindInt)
+	gp := b.GlobalValue("GP", il.KindInt)
+
+	inPtr := b.Int("in_ptr")
+	ent := b.Int("ent")
+	c := b.Int("c")
+	fcode := b.Int("fcode")
+	hash := b.Int("hash")
+	hval := b.Int("hval")
+	cmp := b.Int("cmp")
+	code := b.Int("code")
+	free := b.Int("free")
+	bitbuf := b.Int("bitbuf")
+	bits := b.Int("bits")
+	outw := b.Int("outw")
+	t1 := b.Int("t1")
+	t2 := b.Int("t2")
+	t3 := b.Int("t3")
+
+	addr := map[int]func(*driver) uint64{}
+
+	init := b.Block("init", 1)
+	init.Const(ent, 0)
+	init.Const(free, 257)
+	init.Const(bitbuf, 0)
+	init.Const(bits, 0)
+	addr[b.MemCount()] = stackAddr(regionStack, 8)
+	init.Load(isa.LDW, inPtr, sp, 16) // input pointer from the frame
+	init.FallTo("loop_top")
+
+	// Per-character work: load the byte, build fcode and the hash.
+	top := b.Block("loop_top", 100)
+	addr[b.MemCount()] = seqAddr("in", regionInput, 1)
+	top.Load(isa.LDW, c, inPtr, 0)
+	top.OpImm(isa.ADD, inPtr, inPtr, 1)
+	top.OpImm(isa.SLL, t1, c, 16)
+	top.Op(isa.OR, fcode, t1, ent)
+	top.OpImm(isa.SLL, t2, c, 8)
+	top.Op(isa.XOR, hash, t2, ent)
+	top.OpImm(isa.AND, hash, hash, 0xffff)
+	top.FallTo("probe")
+
+	// Primary hash-table probe: the table is 512 KB, eight times the data
+	// cache, so these accesses miss often.
+	probe := b.Block("probe", 100)
+	probe.Op(isa.ADD, t3, hash, gp)
+	addr[b.MemCount()] = randAddr(regionTable, 512<<10)
+	probe.Load(isa.LDW, hval, t3, 0)
+	probe.Op(isa.CMPEQ, cmp, hval, fcode)
+	probe.CondBr(isa.BNE, cmp, "hit", "probe_miss")
+
+	// Collision handling: empty slot test.
+	miss := b.Block("probe_miss", 40)
+	addr[b.MemCount()] = randAddr(regionTable+512<<10, 256<<10)
+	miss.Load(isa.LDW, code, t3, 4)
+	miss.CondBr(isa.BEQ, code, "free_slot", "probe2")
+
+	// Secondary probing walks the table with a rehash displacement.
+	probe2 := b.Block("probe2", 20)
+	probe2.OpImm(isa.SRL, t1, hash, 4)
+	probe2.Op(isa.SUB, hash, hash, t1)
+	probe2.OpImm(isa.AND, hash, hash, 0xffff)
+	probe2.Op(isa.ADD, t3, hash, gp)
+	addr[b.MemCount()] = randAddr(regionTable, 512<<10)
+	probe2.Load(isa.LDW, hval, t3, 0)
+	probe2.Op(isa.CMPEQ, cmp, hval, fcode)
+	probe2.CondBr(isa.BEQ, cmp, "probe2", "free_slot")
+
+	// Install a new code in the free slot and emit the current entry.
+	freeSlot := b.Block("free_slot", 35)
+	addr[b.MemCount()] = randAddr(regionTable, 512<<10)
+	freeSlot.Store(isa.STW, t3, fcode, 0)
+	addr[b.MemCount()] = randAddr(regionTable+512<<10, 256<<10)
+	freeSlot.Store(isa.STW, t3, free, 4)
+	freeSlot.OpImm(isa.ADD, free, free, 1)
+	freeSlot.OpImm(isa.MOV, ent, c, 0)
+	freeSlot.Jump("continue")
+
+	// Hit: follow the chain code.
+	hit := b.Block("hit", 65)
+	addr[b.MemCount()] = randAddr(regionTable+512<<10, 256<<10)
+	hit.Load(isa.LDW, ent, t3, 4)
+	hit.FallTo("continue")
+
+	// Output pacing: pack bits and occasionally write a word.
+	cont := b.Block("continue", 100)
+	cont.OpImm(isa.SLL, bitbuf, bitbuf, 9)
+	cont.Op(isa.OR, bitbuf, bitbuf, ent)
+	cont.OpImm(isa.ADD, bits, bits, 9)
+	cont.OpImm(isa.CMPLT, t1, bits, 32)
+	cont.CondBr(isa.BEQ, t1, "emit", "next")
+
+	next := b.Block("next", 100)
+	next.OpImm(isa.ADD, t2, c, 1) // trivial per-iteration work
+	next.CondBr(isa.BNE, t2, "loop_top", "done")
+
+	done := b.Block("done", 1)
+	done.Ret(ent)
+
+	emit := b.Block("emit", 12)
+	emit.OpImm(isa.SRL, outw, bitbuf, 16)
+	addr[b.MemCount()] = seqAddr("out", regionOutput, 4)
+	emit.Store(isa.STW, sp, outw, 0)
+	emit.Const(bits, 0)
+	emit.Jump("next")
+
+	prog := b.MustFinish()
+	return &Benchmark{
+		Name:        "compress",
+		Description: "LZW compression: integer hash probing over a 768 KB table, data-dependent branches, bit-packed output",
+		Program:     prog,
+		NewDriver: func(seed int64) trace.Driver {
+			d := newDriver(seed)
+			d.choose = map[string]func(*driver, []string) string{
+				"probe":      withProb(0.62, "hit", "probe_miss"),
+				"probe_miss": withProb(0.60, "free_slot", "probe2"),
+				"probe2":     loopGeom(1.7, "probe2", "free_slot"),
+				"continue":   withProb(0.88, "next", "emit"),
+				"next":       withProb(1.0, "loop_top", "done"),
+			}
+			d.addr = addr
+			return d
+		},
+	}
+}

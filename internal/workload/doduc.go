@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+	"multicluster/internal/trace"
+)
+
+// Doduc models SPEC92 doduc: a Monte Carlo simulation of a nuclear reactor
+// component. Its signature is floating-point code with frequent,
+// moderately-predictable branching between small basic blocks, deep FP
+// dependence chains, occasional divides, and a small (cache-resident) data
+// set accessed through table lookups.
+func Doduc() *Benchmark {
+	b := il.NewBuilder("doduc")
+
+	sp := b.GlobalValue("SP", il.KindInt)
+	gp := b.GlobalValue("GP", il.KindInt)
+
+	fa, fb, fc := b.FP("fa"), b.FP("fb"), b.FP("fc")
+	fd, fe, fg := b.FP("fd"), b.FP("fe"), b.FP("fg")
+	fh, ft, fv := b.FP("fh"), b.FP("ft"), b.FP("fv")
+	fcond := b.FP("fcond")
+	icond := b.Int("icond")
+	i1 := b.Int("i1")
+	idx := b.Int("idx")
+	taddr := b.Int("taddr")
+
+	addr := map[int]func(*driver) uint64{}
+
+	init := b.Block("init", 1)
+	addr[b.MemCount()] = stackAddr(regionStack, 16)
+	init.Load(isa.LDF, fa, sp, 0)
+	addr[b.MemCount()] = stackAddr(regionStack, 16)
+	init.Load(isa.LDF, fb, sp, 8)
+	addr[b.MemCount()] = stackAddr(regionStack, 16)
+	init.Load(isa.LDF, fe, sp, 16)
+	init.Const(i1, 0)
+	init.Const(idx, 0)
+	init.FallTo("outer")
+
+	// The sampling step: a chained FP computation ending in a comparison
+	// that selects between two treatment paths.
+	outer := b.Block("outer", 100)
+	outer.Op(isa.FMUL, ft, fa, fb)
+	outer.Op(isa.FADD, ft, ft, fc)
+	outer.Op(isa.FSUB, fv, ft, fd)
+	outer.Op(isa.FCMP, fcond, fv, fe)
+	outer.OpImm(isa.CVTFI, icond, fcond, 0)
+	outer.CondBr(isa.BNE, icond, "path_a", "path_b")
+
+	// Common path: multiply-accumulate chain plus loop bookkeeping.
+	pathB := b.Block("path_b", 62)
+	pathB.Op(isa.FMUL, fb, fb, fe)
+	pathB.Op(isa.FADD, fb, fb, ft)
+	pathB.Op(isa.FADD, fg, fg, fb)
+	pathB.OpImm(isa.ADD, i1, i1, 1)
+	pathB.Jump("merge")
+
+	// Rarer path: includes the expensive divide and a deeper chain.
+	pathA := b.Block("path_a", 38)
+	pathA.Op(isa.FDIV, fd, ft, fe)
+	pathA.Op(isa.FMUL, fh, fd, fd)
+	pathA.Op(isa.FADD, fh, fh, fg)
+	pathA.Op(isa.FSUB, fg, fh, fb)
+	pathA.FallTo("merge")
+
+	// Table lookup (cache-resident) and the loop test.
+	merge := b.Block("merge", 100)
+	merge.OpImm(isa.AND, idx, i1, 0x3f8)
+	merge.Op(isa.ADD, taddr, idx, gp)
+	addr[b.MemCount()] = randAddr(regionStack+4096, 8<<10)
+	merge.Load(isa.LDF, fv, taddr, 0)
+	merge.Op(isa.FADD, fc, fc, fv)
+	merge.OpImm(isa.ADD, icond, i1, 1)
+	merge.CondBr(isa.BNE, icond, "outer", "done")
+
+	done := b.Block("done", 1)
+	addr[b.MemCount()] = stackAddr(regionStack, 16)
+	done.Store(isa.STF, sp, fg, 24)
+	done.Ret(i1)
+
+	prog := b.MustFinish()
+	return &Benchmark{
+		Name:        "doduc",
+		Description: "Monte Carlo FP kernel: small blocks, 60/40 data-dependent paths, FP chains with divides, cache-resident tables",
+		Program:     prog,
+		NewDriver: func(seed int64) trace.Driver {
+			d := newDriver(seed)
+			d.choose = map[string]func(*driver, []string) string{
+				"outer": withProb(0.38, "path_a", "path_b"),
+				"merge": withProb(1.0, "outer", "done"),
+			}
+			d.addr = addr
+			return d
+		},
+	}
+}

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestSeqAddrStrides(t *testing.T) {
+	d := newDriver(1)
+	gen := seqAddr("k", 0x1000, 16)
+	for i := 0; i < 5; i++ {
+		if got, want := gen(d), uint64(0x1000+16*i); got != want {
+			t.Fatalf("access %d = %#x, want %#x", i, got, want)
+		}
+	}
+	// Distinct keys advance independently.
+	gen2 := seqAddr("other", 0x2000, 8)
+	if got := gen2(d); got != 0x2000 {
+		t.Errorf("independent stream started at %#x", got)
+	}
+	if got := gen(d); got != 0x1000+16*5 {
+		t.Errorf("first stream perturbed: %#x", got)
+	}
+}
+
+func TestVectorAddrWraps(t *testing.T) {
+	d := newDriver(1)
+	gen := vectorAddr("v", 0x4000, 4, 8)
+	var first []uint64
+	for i := 0; i < 4; i++ {
+		first = append(first, gen(d))
+	}
+	for i := 0; i < 4; i++ {
+		if got := gen(d); got != first[i] {
+			t.Fatalf("pass 2 access %d = %#x, want wrap to %#x", i, got, first[i])
+		}
+	}
+}
+
+func TestRandAddrStaysInRegionAndAligned(t *testing.T) {
+	d := newDriver(3)
+	gen := randAddr(0x10000, 4096)
+	for i := 0; i < 1000; i++ {
+		a := gen(d)
+		if a < 0x10000 || a >= 0x10000+4096 {
+			t.Fatalf("address %#x out of region", a)
+		}
+		if a%8 != 0 {
+			t.Fatalf("address %#x not 8-byte aligned", a)
+		}
+	}
+}
+
+func TestHotColdAddrRespectsRegions(t *testing.T) {
+	d := newDriver(5)
+	gen := hotColdAddr(0.7, 0x1000, 256, 0x100000, 4096)
+	hot, cold := 0, 0
+	for i := 0; i < 2000; i++ {
+		a := gen(d)
+		switch {
+		case a >= 0x1000 && a < 0x1000+256:
+			hot++
+		case a >= 0x100000 && a < 0x100000+4096:
+			cold++
+		default:
+			t.Fatalf("address %#x in neither region", a)
+		}
+	}
+	frac := float64(hot) / 2000
+	if frac < 0.6 || frac > 0.8 {
+		t.Errorf("hot fraction = %.2f, want ≈ 0.7", frac)
+	}
+}
+
+func TestStackAddrSlots(t *testing.T) {
+	d := newDriver(7)
+	gen := stackAddr(0x8000, 4)
+	for i := 0; i < 100; i++ {
+		a := gen(d)
+		if a < 0x8000 || a >= 0x8000+4*8 || a%8 != 0 {
+			t.Fatalf("stack address %#x outside the 4 slots", a)
+		}
+	}
+}
+
+func TestLoopHelperTripCount(t *testing.T) {
+	d := newDriver(9)
+	ch := loop("L", 3, "body", "exit")
+	var seq []string
+	for i := 0; i < 9; i++ {
+		seq = append(seq, ch(d, nil))
+	}
+	want := []string{"body", "body", "exit", "body", "body", "exit", "body", "body", "exit"}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("loop sequence %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestLoopGeomMean(t *testing.T) {
+	d := newDriver(11)
+	ch := loopGeom(4, "body", "exit")
+	trips, runs := 0, 0
+	cur := 0
+	for i := 0; i < 200000; i++ {
+		if ch(d, nil) == "exit" {
+			runs++
+			trips += cur
+			cur = 0
+		} else {
+			cur++
+		}
+	}
+	mean := float64(trips)/float64(runs) + 1 // +1 for the exit decision itself
+	if mean < 3.4 || mean > 4.6 {
+		t.Errorf("geometric loop mean = %.2f, want ≈ 4", mean)
+	}
+}
+
+func TestWithProbBias(t *testing.T) {
+	d := newDriver(13)
+	ch := withProb(0.3, "a", "b")
+	a := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if ch(d, nil) == "a" {
+			a++
+		}
+	}
+	if frac := float64(a) / n; frac < 0.28 || frac > 0.32 {
+		t.Errorf("taken fraction = %.3f, want ≈ 0.30", frac)
+	}
+}
+
+func TestCtrlAndMemRNGIndependent(t *testing.T) {
+	// Consuming memory addresses must not perturb control decisions: the
+	// profile walk (no Addr calls) and the trace walk (with Addr calls)
+	// must see identical block sequences.
+	d1, d2 := newDriver(17), newDriver(17)
+	ch1 := withProb(0.5, "a", "b")
+	ch2 := withProb(0.5, "a", "b")
+	mem := randAddr(0x1000, 4096)
+	for i := 0; i < 1000; i++ {
+		c1 := ch1(d1, nil)
+		mem(d1) // extra memory traffic on d1 only
+		c2 := ch2(d2, nil)
+		if c1 != c2 {
+			t.Fatalf("decision %d diverged after memory traffic: %s vs %s", i, c1, c2)
+		}
+	}
+}
+
+func TestDefaultNextBlockFallbacks(t *testing.T) {
+	d := newDriver(19)
+	if next, ok := d.NextBlock("unknown", []string{"only"}); !ok || next != "only" {
+		t.Errorf("single successor fallback = %q/%v", next, ok)
+	}
+	if _, ok := d.NextBlock("unknown", nil); ok {
+		t.Error("no-successor fallback should end the run")
+	}
+	if a := d.Addr(999); a == 0 {
+		t.Error("unknown memID should still return a usable address")
+	}
+}

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+	"multicluster/internal/trace"
+)
+
+// Gcc1 models SPEC92 gcc (cc1): compiling preprocessed C. Its dynamic
+// character is irregular integer code — walks over heap-allocated tree
+// nodes with poor spatial locality, tag dispatching through chains of
+// data-dependent branches near 50/50, short basic blocks, frequent stores
+// of intermediate state, and a high control-flow fraction that punishes
+// branch predictors.
+func Gcc1() *Benchmark {
+	b := il.NewBuilder("gcc1")
+
+	sp := b.GlobalValue("SP", il.KindInt)
+	gp := b.GlobalValue("GP", il.KindInt)
+
+	node := b.Int("node")
+	tag := b.Int("tag")
+	lhs := b.Int("lhs")
+	rhs := b.Int("rhs")
+	val := b.Int("val")
+	acc := b.Int("acc")
+	tmp := b.Int("tmp")
+	cnd := b.Int("cnd")
+	work := b.Int("work")
+	cost := b.Int("cost")
+	ra := b.Int("ra")
+
+	addr := map[int]func(*driver) uint64{}
+
+	init := b.Block("init", 1)
+	addr[b.MemCount()] = stackAddr(regionStack, 8)
+	init.Load(isa.LDW, node, sp, 0)
+	init.Const(acc, 0)
+	init.Const(cost, 0)
+	init.FallTo("walk")
+
+	// Fetch the next tree node: pointer chase with mostly-cold heap
+	// accesses plus a hot recently-touched region.
+	walk := b.Block("walk", 100)
+	addr[b.MemCount()] = hotColdAddr(0.55, regionHeap, 32<<10, regionHeap+(1<<20), 4<<20)
+	walk.Load(isa.LDW, tag, node, 0)
+	addr[b.MemCount()] = hotColdAddr(0.55, regionHeap, 32<<10, regionHeap+(1<<20), 4<<20)
+	walk.Load(isa.LDW, node, node, 8)
+	walk.OpImm(isa.AND, cnd, tag, 1)
+	walk.CondBr(isa.BNE, cnd, "expr", "leaf")
+
+	// Leaf node: cheap accumulate.
+	leaf := b.Block("leaf", 44)
+	leaf.OpImm(isa.SRL, val, tag, 4)
+	leaf.Op(isa.ADD, acc, acc, val)
+	leaf.Jump("store_state")
+
+	// Expression node: second dispatch level.
+	expr := b.Block("expr", 56)
+	expr.OpImm(isa.AND, cnd, tag, 2)
+	expr.CondBr(isa.BNE, cnd, "binop", "unop")
+
+	unop := b.Block("unop", 25)
+	unop.OpImm(isa.XOR, val, tag, -1)
+	unop.OpImm(isa.SRL, val, val, 2)
+	unop.Op(isa.SUB, acc, acc, val)
+	unop.Jump("fold")
+
+	binop := b.Block("binop", 31)
+	addr[b.MemCount()] = hotColdAddr(0.5, regionHeap, 32<<10, regionHeap+(1<<20), 4<<20)
+	binop.Load(isa.LDW, lhs, node, 16)
+	addr[b.MemCount()] = hotColdAddr(0.5, regionHeap, 32<<10, regionHeap+(1<<20), 4<<20)
+	binop.Load(isa.LDW, rhs, node, 24)
+	binop.Op(isa.ADD, val, lhs, rhs)
+	binop.OpImm(isa.AND, cnd, val, 4)
+	binop.CondBr(isa.BNE, cnd, "fold_mul", "fold")
+
+	// Constant folding paths.
+	fold := b.Block("fold", 42)
+	fold.OpImm(isa.SLL, tmp, val, 1)
+	fold.Op(isa.ADD, acc, acc, tmp)
+	fold.Jump("cost_calc")
+
+	foldMul := b.Block("fold_mul", 14)
+	foldMul.Op(isa.MUL, tmp, val, val)
+	foldMul.Op(isa.ADD, acc, acc, tmp)
+	foldMul.FallTo("cost_calc")
+
+	// rtx cost bookkeeping: table lookup keyed by tag bits.
+	costCalc := b.Block("cost_calc", 56)
+	costCalc.OpImm(isa.AND, tmp, tag, 0xf8)
+	costCalc.Op(isa.ADD, work, tmp, gp)
+	addr[b.MemCount()] = randAddr(regionStack+64<<10, 16<<10)
+	costCalc.Load(isa.LDW, val, work, 0)
+	costCalc.Op(isa.ADD, cost, cost, val)
+	costCalc.FallTo("store_state")
+
+	// Spill walker state to the stack frame, as register-starved compiler
+	// code constantly does.
+	storeState := b.Block("store_state", 100)
+	addr[b.MemCount()] = stackAddr(regionStack, 16)
+	storeState.Store(isa.STW, sp, acc, 32)
+	addr[b.MemCount()] = stackAddr(regionStack, 16)
+	storeState.Store(isa.STW, sp, cost, 40)
+	storeState.OpImm(isa.AND, cnd, acc, 3)
+	storeState.CondBr(isa.BEQ, cnd, "emit_insn", "next_node")
+
+	nextNode := b.Block("next_node", 75)
+	nextNode.OpImm(isa.ADD, tmp, cost, 1)
+	nextNode.CondBr(isa.BNE, tmp, "walk", "done")
+
+	done := b.Block("done", 1)
+	done.Ret(acc)
+
+	// Instruction emission: compilers do this through a helper, so model
+	// the call/return machinery too.
+	emit := b.Block("emit_insn", 25)
+	emit.OpImm(isa.OR, val, acc, 1)
+	emit.Call(ra, "emit_fn")
+
+	emitFn := b.Block("emit_fn", 25)
+	addr[b.MemCount()] = seqAddr("insns", regionOutput+1<<20, 8)
+	emitFn.Store(isa.STW, sp, val, 0)
+	addr[b.MemCount()] = seqAddr("insns2", regionOutput+2<<20, 8)
+	emitFn.Store(isa.STW, sp, cost, 8)
+	emitFn.RetTo(ra, "next_node")
+
+	prog := b.MustFinish()
+	return &Benchmark{
+		Name:        "gcc1",
+		Description: "compiler-like integer code: pointer-chasing tree walk, 50/50 tag dispatch, short blocks, heavy stores",
+		Program:     prog,
+		NewDriver: func(seed int64) trace.Driver {
+			d := newDriver(seed)
+			d.choose = map[string]func(*driver, []string) string{
+				"walk":        withProb(0.56, "expr", "leaf"),
+				"expr":        withProb(0.55, "binop", "unop"),
+				"binop":       withProb(0.45, "fold_mul", "fold"),
+				"store_state": withProb(0.25, "emit_insn", "next_node"),
+				"emit_fn":     withProb(1.0, "next_node", "next_node"),
+				"next_node":   withProb(1.0, "walk", "done"),
+			}
+			d.addr = addr
+			return d
+		},
+	}
+}

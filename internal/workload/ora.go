@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+	"multicluster/internal/trace"
+)
+
+// Ora models SPEC92 ora: optical ray tracing through lens surfaces. The
+// kernel is a tiny, perfectly-predictable loop dominated by serial
+// floating-point dependence chains through divides and square roots
+// (modelled as Newton steps around the non-pipelined divider), with almost
+// no memory traffic. Its long-latency chains keep dual-distributed copies
+// and transfer-buffer entries alive for many cycles — the behaviour behind
+// ora's replay pathology in the paper's Table 2.
+func Ora() *Benchmark {
+	b := il.NewBuilder("ora")
+
+	sp := b.GlobalValue("SP", il.KindInt)
+
+	fx, fy, fz := b.FP("fx"), b.FP("fy"), b.FP("fz")
+	fa, fb, fc := b.FP("fa"), b.FP("fb"), b.FP("fc")
+	fr, fs, facc := b.FP("fr"), b.FP("fs"), b.FP("facc")
+	i1 := b.Int("i1")
+
+	addr := map[int]func(*driver) uint64{}
+
+	init := b.Block("init", 1)
+	addr[b.MemCount()] = stackAddr(regionStack, 8)
+	init.Load(isa.LDF, fa, sp, 0)
+	addr[b.MemCount()] = stackAddr(regionStack, 8)
+	init.Load(isa.LDF, fb, sp, 8)
+	addr[b.MemCount()] = stackAddr(regionStack, 8)
+	init.Load(isa.LDF, fz, sp, 16)
+	init.Const(i1, 0)
+	init.FallTo("ray")
+
+	// Trace one ray through a surface: intersection (divide), refraction
+	// (square root via a Newton step: divide + multiply-add), and the
+	// direction update — one long serial chain.
+	ray := b.Block("ray", 100)
+	ray.Op(isa.FMUL, fx, fx, fa)
+	ray.Op(isa.FADD, fx, fx, fb)
+	ray.Op(isa.FDIVD, fy, fx, fz) // intersection parameter
+	ray.Op(isa.FMUL, fr, fy, fy)
+	ray.Op(isa.FSUB, fr, fr, fc)
+	ray.Op(isa.FDIV, fs, fr, fy) // Newton step for the square root
+	ray.Op(isa.FADD, fs, fs, fy)
+	ray.Op(isa.FMUL, fz, fs, fa)
+	ray.Op(isa.FADD, facc, facc, fs)
+	ray.OpImm(isa.ADD, i1, i1, 1)
+	ray.FallTo("surface")
+
+	// Second surface with the same structure, accumulating into the image.
+	surface := b.Block("surface", 100)
+	surface.Op(isa.FMUL, fx, fs, fb)
+	surface.Op(isa.FADD, fx, fx, facc)
+	surface.Op(isa.FDIVD, fy, fx, fs)
+	surface.Op(isa.FMUL, fc, fy, fb)
+	surface.Op(isa.FADD, facc, facc, fy)
+	surface.OpImm(isa.ADD, i1, i1, 1)
+	surface.CondBr(isa.BNE, i1, "ray", "done")
+
+	done := b.Block("done", 1)
+	addr[b.MemCount()] = stackAddr(regionStack, 8)
+	done.Store(isa.STF, sp, facc, 24)
+	done.Ret(i1)
+
+	prog := b.MustFinish()
+	return &Benchmark{
+		Name:        "ora",
+		Description: "ray-tracing FP kernel: serial divide/sqrt chains, perfectly predictable loop, negligible memory traffic",
+		Program:     prog,
+		NewDriver: func(seed int64) trace.Driver {
+			d := newDriver(seed)
+			d.choose = map[string]func(*driver, []string) string{
+				"surface": withProb(1.0, "ray", "done"),
+			}
+			d.addr = addr
+			return d
+		},
+	}
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"fmt"
+
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+	"multicluster/internal/trace"
+)
+
+// Su2cor models SPEC92 su2cor: quantum-physics correlation functions over
+// lattice data. Its core is vectorizable SAXPY-like sweeps — streaming
+// loads from long arrays, independent multiply-add chains (abundant ILP),
+// streaming stores, and highly-predictable long-trip-count loops, with a
+// working set well beyond the data cache. The sweep is unrolled by four,
+// as the original's vectorized inner loops are, which keeps the eight-way
+// machine near its memory-issue ceiling — the regime where a partitioned
+// machine's per-cluster limits and dual-distribution overhead bite.
+func Su2cor() *Benchmark {
+	b := il.NewBuilder("su2cor")
+
+	sp := b.GlobalValue("SP", il.KindInt)
+	gp := b.GlobalValue("GP", il.KindInt)
+
+	const unroll = 4
+	// Declared chain-major (a_i, b_i, c_i per unrolled element), the order
+	// a compiler walking the unrolled source would first define them in.
+	fa := make([]int, unroll)
+	fb := make([]int, unroll)
+	fc := make([]int, unroll)
+	for i := 0; i < unroll; i++ {
+		fa[i] = b.FP(fmt.Sprintf("fa%d", i))
+		fb[i] = b.FP(fmt.Sprintf("fb%d", i))
+		fc[i] = b.FP(fmt.Sprintf("fc%d", i))
+	}
+	fscale := b.FP("fscale")
+	i1 := b.Int("i1")
+	outer := b.Int("outer")
+
+	addr := map[int]func(*driver) uint64{}
+
+	const vecElems = 64 * 1024 // 512 KB per array, 8× the data cache
+	stride := uint64(8 * unroll)
+
+	init := b.Block("init", 1)
+	addr[b.MemCount()] = stackAddr(regionStack, 8)
+	init.Load(isa.LDF, fscale, gp, 0)
+	init.Const(i1, 0)
+	init.Const(outer, 0)
+	init.FallTo("inner")
+
+	// The sweep body: c[i] = a[i]*scale + b[i] for four adjacent elements,
+	// with independent chains (ILP for the scheduler to spread across
+	// clusters).
+	inner := b.Block("inner", 100)
+	for i := 0; i < unroll; i++ {
+		addr[b.MemCount()] = vectorAddr(fmt.Sprintf("a%d", i), regionVecA+uint64(8*i), vecElems, stride)
+		inner.Load(isa.LDF, fa[i], sp, int64(8*i))
+	}
+	for i := 0; i < unroll; i++ {
+		addr[b.MemCount()] = vectorAddr(fmt.Sprintf("b%d", i), regionVecB+uint64(8*i), vecElems, stride)
+		inner.Load(isa.LDF, fb[i], sp, int64(64+8*i))
+	}
+	for i := 0; i < unroll; i++ {
+		inner.Op(isa.FMUL, fc[i], fa[i], fscale)
+	}
+	for i := 0; i < unroll; i++ {
+		inner.Op(isa.FADD, fc[i], fc[i], fb[i])
+	}
+	for i := 0; i < unroll; i++ {
+		addr[b.MemCount()] = vectorAddr(fmt.Sprintf("c%d", i), regionVecC+uint64(8*i), vecElems, stride)
+		inner.Store(isa.STF, sp, fc[i], int64(128+8*i))
+	}
+	inner.OpImm(isa.ADD, i1, i1, unroll)
+	inner.CondBr(isa.BNE, i1, "inner", "reduce")
+
+	// Correlation reduction at the end of each sweep.
+	reduce := b.Block("reduce", 2)
+	addr[b.MemCount()] = vectorAddr("r", regionVecD, 4096, 8)
+	reduce.Load(isa.LDF, fb[0], gp, 8)
+	reduce.Op(isa.FMUL, fb[0], fb[0], fc[0])
+	reduce.Op(isa.FADD, fscale, fscale, fb[0])
+	reduce.OpImm(isa.ADD, outer, outer, 1)
+	reduce.CondBr(isa.BNE, outer, "inner", "done")
+
+	done := b.Block("done", 1)
+	addr[b.MemCount()] = stackAddr(regionStack, 8)
+	done.Store(isa.STF, sp, fscale, 0)
+	done.Ret(outer)
+
+	prog := b.MustFinish()
+	return &Benchmark{
+		Name:        "su2cor",
+		Description: "vectorizable FP sweeps: streaming loads/stores over 512 KB arrays, four unrolled multiply-add chains, predictable loops",
+		Program:     prog,
+		NewDriver: func(seed int64) trace.Driver {
+			d := newDriver(seed)
+			d.choose = map[string]func(*driver, []string) string{
+				"inner":  loop("inner", 256, "inner", "reduce"),
+				"reduce": withProb(1.0, "inner", "done"),
+			}
+			d.addr = addr
+			return d
+		},
+	}
+}

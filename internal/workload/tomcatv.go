@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"multicluster/internal/il"
+	"multicluster/internal/isa"
+	"multicluster/internal/trace"
+)
+
+// Tomcatv models SPEC92 tomcatv: vectorized mesh generation. Each inner
+// iteration reads neighbouring points from two coordinate arrays (a 2D
+// stencil), computes the transformation derivatives with a wide FP
+// multiply-add mix plus two divides, and writes residual arrays. Loops are
+// long and perfectly predictable; the several-array working set streams
+// through the cache.
+func Tomcatv() *Benchmark {
+	b := il.NewBuilder("tomcatv")
+
+	sp := b.GlobalValue("SP", il.KindInt)
+	gp := b.GlobalValue("GP", il.KindInt)
+
+	x0, x1, x2 := b.FP("x0"), b.FP("x1"), b.FP("x2")
+	y0, y1, y2 := b.FP("y0"), b.FP("y1"), b.FP("y2")
+	dxdxi, dydxi := b.FP("dxdxi"), b.FP("dydxi")
+	aj, det := b.FP("aj"), b.FP("det")
+	rx, ry := b.FP("rx"), b.FP("ry")
+	relax := b.FP("relax")
+	col := b.Int("col")
+	row := b.Int("row")
+
+	addr := map[int]func(*driver) uint64{}
+
+	const meshElems = 32 * 1024
+
+	init := b.Block("init", 1)
+	addr[b.MemCount()] = stackAddr(regionStack, 8)
+	init.Load(isa.LDF, relax, gp, 0)
+	init.Const(col, 0)
+	init.Const(row, 0)
+	init.FallTo("col_loop")
+
+	// Stencil reads: three neighbouring X points and three Y points.
+	colLoop := b.Block("col_loop", 100)
+	addr[b.MemCount()] = vectorAddr("x0", regionVecA, meshElems, 8)
+	colLoop.Load(isa.LDF, x0, sp, 0)
+	addr[b.MemCount()] = vectorAddr("x1", regionVecA+8, meshElems, 8)
+	colLoop.Load(isa.LDF, x1, sp, 8)
+	addr[b.MemCount()] = vectorAddr("x2", regionVecA+16, meshElems, 8)
+	colLoop.Load(isa.LDF, x2, sp, 16)
+	addr[b.MemCount()] = vectorAddr("y0", regionVecB, meshElems, 8)
+	colLoop.Load(isa.LDF, y0, sp, 24)
+	addr[b.MemCount()] = vectorAddr("y1", regionVecB+8, meshElems, 8)
+	colLoop.Load(isa.LDF, y1, sp, 32)
+	addr[b.MemCount()] = vectorAddr("y2", regionVecB+16, meshElems, 8)
+	colLoop.Load(isa.LDF, y2, sp, 40)
+	colLoop.FallTo("derivs")
+
+	// Transformation derivatives and the Jacobian, with the divides the
+	// original is known for.
+	derivs := b.Block("derivs", 100)
+	derivs.Op(isa.FSUB, dxdxi, x2, x0)
+	derivs.Op(isa.FSUB, dydxi, y2, y0)
+	derivs.Op(isa.FMUL, aj, dxdxi, dydxi)
+	derivs.Op(isa.FMUL, det, x1, y1)
+	derivs.Op(isa.FADD, det, det, aj)
+	derivs.Op(isa.FDIV, rx, dxdxi, det)
+	derivs.Op(isa.FDIV, ry, dydxi, det)
+	derivs.Op(isa.FMUL, rx, rx, relax)
+	derivs.Op(isa.FMUL, ry, ry, relax)
+	derivs.FallTo("store_res")
+
+	// Residual writes and loop control.
+	storeRes := b.Block("store_res", 100)
+	addr[b.MemCount()] = vectorAddr("rx", regionVecC, meshElems, 8)
+	storeRes.Store(isa.STF, sp, rx, 0)
+	addr[b.MemCount()] = vectorAddr("ry", regionVecD, meshElems, 8)
+	storeRes.Store(isa.STF, sp, ry, 8)
+	storeRes.OpImm(isa.ADD, col, col, 1)
+	storeRes.CondBr(isa.BNE, col, "col_loop", "row_end")
+
+	rowEnd := b.Block("row_end", 1)
+	rowEnd.OpImm(isa.ADD, row, row, 1)
+	rowEnd.Const(col, 0)
+	rowEnd.CondBr(isa.BNE, row, "col_loop", "done")
+
+	done := b.Block("done", 1)
+	addr[b.MemCount()] = stackAddr(regionStack, 8)
+	done.Store(isa.STF, sp, det, 0)
+	done.Ret(row)
+
+	prog := b.MustFinish()
+	return &Benchmark{
+		Name:        "tomcatv",
+		Description: "mesh-generation stencil: six streaming FP loads, multiply-add mix with two divides, two streaming stores per point",
+		Program:     prog,
+		NewDriver: func(seed int64) trace.Driver {
+			d := newDriver(seed)
+			d.choose = map[string]func(*driver, []string) string{
+				"store_res": loop("cols", 256, "col_loop", "row_end"),
+				"row_end":   withProb(1.0, "col_loop", "done"),
+			}
+			d.addr = addr
+			return d
+		},
+	}
+}
