@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race vet serve report clean
+
+build:
+	$(GO) build ./...
+
+test: vet
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sweep/... ./internal/experiment/...
+
+vet:
+	$(GO) vet ./...
+
+serve:
+	$(GO) run ./cmd/mcserved
+
+report:
+	$(GO) run ./cmd/mcreport
+
+clean:
+	$(GO) clean ./...

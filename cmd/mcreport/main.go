@@ -38,6 +38,7 @@ func main() {
 		os.Exit(1)
 	}
 	opts.Instructions = *n
+	opts.ProfileInstructions = 0 // scale the profiling pass with -n
 	opts.Seed = *seed
 
 	want := func(name string) bool { return *only == "" || *only == name }

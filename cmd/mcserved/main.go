@@ -1,0 +1,86 @@
+// Command mcserved is the long-lived sweep-orchestration daemon: it accepts
+// simulation jobs and grid sweeps over HTTP/JSON, schedules them on a
+// bounded worker pool, and serves every repeated configuration from an
+// in-memory content-addressed result cache.
+//
+// Usage:
+//
+//	mcserved -addr :8742 -workers 8
+//
+// Endpoints:
+//
+//	POST   /v1/jobs       submit one job (a JSON JobSpec), returns 202 + job id
+//	GET    /v1/jobs       list jobs
+//	GET    /v1/jobs/{id}  poll job status and result
+//	DELETE /v1/jobs/{id}  cancel a job (queued jobs never run)
+//	POST   /v1/sweeps     submit a grid (JSON), streams completed rows as NDJSON
+//	GET    /v1/table2     the paper's Table 2, served from cache (?format=json|csv|text&n=&seed=&window=&width=)
+//	GET    /v1/stats      cache/pool/job counters
+//	GET    /debug/vars    expvar (the "sweep" variable mirrors /v1/stats)
+//	GET    /healthz       liveness probe
+//
+// On SIGTERM/SIGINT the daemon stops accepting work, drains in-flight and
+// queued jobs, and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"multicluster/internal/sweep"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8742", "listen address")
+		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget for in-flight jobs")
+	)
+	flag.Parse()
+
+	svc := sweep.NewService(sweep.Config{Workers: *workers})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: sweep.NewServer(svc),
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("mcserved: listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case sig := <-stop:
+		log.Printf("mcserved: %v, draining", sig)
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "mcserved: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("mcserved: http shutdown: %v", err)
+	}
+	if err := svc.Drain(ctx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("mcserved: drain timed out, abandoning remaining jobs")
+			svc.Close()
+			os.Exit(1)
+		}
+		log.Printf("mcserved: drain: %v", err)
+	}
+	log.Printf("mcserved: drained, bye")
+}

@@ -17,7 +17,6 @@ import (
 
 	"multicluster/internal/core"
 	"multicluster/internal/experiment"
-	"multicluster/internal/partition"
 	"multicluster/internal/trace"
 	"multicluster/internal/workload"
 )
@@ -40,17 +39,18 @@ func main() {
 	if b == nil {
 		fatalf("unknown benchmark %q", *bench)
 	}
-	cfg, err := machineConfig(*machine)
+	cfg, err := experiment.MachineByName(*machine)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	part, err := scheduler(*sched, *window)
+	part, err := experiment.SchedulerByName(*sched, *window)
 	if err != nil {
 		fatalf("%v", err)
 	}
 
 	opts := experiment.DefaultOptions()
 	opts.Instructions = *n
+	opts.ProfileInstructions = 0 // scale the profiling pass with -n
 	opts.Seed = *seed
 	opts.Window = *window
 
@@ -103,36 +103,6 @@ func main() {
 				c, cs.Distributed, cs.IssuedUops, float64(cs.QueueOccupancySum)/float64(stats.Cycles))
 		}
 	}
-}
-
-func machineConfig(name string) (core.Config, error) {
-	switch name {
-	case "single":
-		return core.SingleCluster8Way(), nil
-	case "dual":
-		return core.DualCluster4Way(), nil
-	case "single4":
-		return core.SingleCluster4Way(), nil
-	case "dual2":
-		return core.DualCluster2Way(), nil
-	}
-	return core.Config{}, fmt.Errorf("unknown machine %q", name)
-}
-
-func scheduler(name string, window int) (partition.Partitioner, error) {
-	switch name {
-	case "none":
-		return nil, nil
-	case "local":
-		return partition.Local{Window: window}, nil
-	case "hash":
-		return partition.Hash{}, nil
-	case "roundrobin":
-		return partition.RoundRobin{}, nil
-	case "affinity":
-		return partition.Affinity{}, nil
-	}
-	return nil, fmt.Errorf("unknown scheduler %q", name)
 }
 
 func fatalf(format string, args ...any) {

@@ -49,6 +49,7 @@ func main() {
 	opts.Seed = *seed
 	opts.Window = *window
 	opts.Instructions = *n
+	opts.ProfileInstructions = 0 // scale the profiling pass with -n
 	part, err := scheduler(*sched, *window)
 	if err != nil {
 		fatalf("%v", err)

@@ -11,6 +11,8 @@
 // Update at resolution.
 package bpred
 
+import "fmt"
+
 // Kind selects which predictor components are active.
 type Kind uint8
 
@@ -35,17 +37,35 @@ func (k Kind) String() string {
 	}
 }
 
+// MarshalText implements encoding.TextMarshaler using the String form.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (k *Kind) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "combining", "":
+		*k = Combining
+	case "bimodal":
+		*k = BimodalOnly
+	case "gshare":
+		*k = GshareOnly
+	default:
+		return fmt.Errorf("bpred: unknown predictor kind %q", text)
+	}
+	return nil
+}
+
 // Config sizes the tables and selects the scheme.
 type Config struct {
 	// Kind selects the active components; the zero value is Combining.
-	Kind Kind
+	Kind Kind `json:"kind"`
 	// BimodalBits is log2 of the bimodal table size.
-	BimodalBits int
+	BimodalBits int `json:"bimodal_bits"`
 	// GlobalBits is log2 of the global-history table size and the history
 	// register length.
-	GlobalBits int
+	GlobalBits int `json:"global_bits"`
 	// ChooserBits is log2 of the chooser table size.
-	ChooserBits int
+	ChooserBits int `json:"chooser_bits"`
 }
 
 // DefaultConfig returns 4K-entry tables, the size McFarling's technical
@@ -56,10 +76,11 @@ func DefaultConfig() Config {
 
 // Stats counts prediction outcomes.
 type Stats struct {
-	Predictions int64
-	Mispredicts int64
+	Predictions int64 `json:"predictions"`
+	Mispredicts int64 `json:"mispredicts"`
 	// BimodalUsed / GlobalUsed count which component the chooser selected.
-	BimodalUsed, GlobalUsed int64
+	BimodalUsed int64 `json:"bimodal_used"`
+	GlobalUsed  int64 `json:"global_used"`
 }
 
 // Accuracy returns correct predictions per prediction.

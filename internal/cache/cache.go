@@ -12,14 +12,14 @@ import "fmt"
 // Config sizes one cache.
 type Config struct {
 	// Size is the total capacity in bytes.
-	Size int
+	Size int `json:"size"`
 	// LineSize is the line (block) size in bytes; must be a power of two.
-	LineSize int
+	LineSize int `json:"line_size"`
 	// Assoc is the set associativity.
-	Assoc int
+	Assoc int `json:"assoc"`
 	// MissLatency is the fill latency in cycles (the paper's memory
 	// interface has a 16-cycle fetch latency).
-	MissLatency int
+	MissLatency int `json:"miss_latency"`
 }
 
 // Default64K returns the paper's cache configuration: 64 KB, two-way set
@@ -31,9 +31,9 @@ func Default64K() Config {
 
 // Stats counts cache traffic.
 type Stats struct {
-	Accesses int64
-	Misses   int64 // primary misses that start a fill
-	Merges   int64 // accesses that merged with an in-flight fill
+	Accesses int64 `json:"accesses"`
+	Misses   int64 `json:"misses"` // primary misses that start a fill
+	Merges   int64 `json:"merges"` // accesses that merged with an in-flight fill
 }
 
 // MissRate returns misses (primary + merged) per access.

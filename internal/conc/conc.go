@@ -1,0 +1,65 @@
+// Package conc provides the small concurrency primitives shared by the
+// experiment campaigns and the sweep service: a counting semaphore with a
+// process-wide CPU-sized instance, and a single-flight content-addressed
+// memo cache. Both exist so that every layer of the system — one-shot
+// CLIs, nested evaluation campaigns, and the long-lived mcserved daemon —
+// draws simulation work from one bounded pool and never computes the same
+// configuration twice.
+package conc
+
+import (
+	"context"
+	"runtime"
+)
+
+// Semaphore is a counting semaphore. The zero value is unusable; construct
+// with NewSemaphore.
+type Semaphore struct {
+	slots chan struct{}
+}
+
+// NewSemaphore returns a semaphore admitting n concurrent holders. n < 1
+// is clamped to 1.
+func NewSemaphore(n int) *Semaphore {
+	if n < 1 {
+		n = 1
+	}
+	return &Semaphore{slots: make(chan struct{}, n)}
+}
+
+// Cap returns the number of slots.
+func (s *Semaphore) Cap() int { return cap(s.slots) }
+
+// Acquire blocks until a slot is free or ctx is done. It returns ctx.Err()
+// on cancellation, nil on success.
+func (s *Semaphore) Acquire(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot acquired with Acquire.
+func (s *Semaphore) Release() {
+	select {
+	case <-s.slots:
+	default:
+		panic("conc: Release without Acquire")
+	}
+}
+
+// InUse returns the number of currently held slots.
+func (s *Semaphore) InUse() int { return len(s.slots) }
+
+// CPU is the process-wide simulation admission semaphore, sized to
+// GOMAXPROCS at startup. Every CPU-bound simulation — whether launched by
+// a one-shot CLI campaign or a sweep worker — should run under one slot of
+// this semaphore so nested campaigns cannot oversubscribe the machine.
+var CPU = NewSemaphore(runtime.GOMAXPROCS(0))

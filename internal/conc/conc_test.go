@@ -1,0 +1,118 @@
+package conc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSemaphoreBounds(t *testing.T) {
+	s := NewSemaphore(2)
+	ctx := context.Background()
+	var peak, cur atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Acquire(ctx); err != nil {
+				t.Errorf("Acquire: %v", err)
+				return
+			}
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			s.Release()
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("peak concurrency %d exceeds semaphore capacity 2", p)
+	}
+}
+
+func TestSemaphoreAcquireCancel(t *testing.T) {
+	s := NewSemaphore(1)
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire on cancelled ctx = %v, want context.Canceled", err)
+	}
+	s.Release()
+}
+
+func TestMemoSingleFlight(t *testing.T) {
+	var m Memo
+	var calls atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]any, 32)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			v, err, _ := m.Do("k", func() (any, error) {
+				calls.Add(1)
+				time.Sleep(5 * time.Millisecond)
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("computation ran %d times, want 1", n)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("results[%d] = %v, want 42", i, v)
+		}
+	}
+	if m.Misses() != 1 || m.Hits() != 31 {
+		t.Fatalf("hits=%d misses=%d, want 31/1", m.Hits(), m.Misses())
+	}
+}
+
+func TestMemoPanicDoesNotPoison(t *testing.T) {
+	var m Memo
+	func() {
+		defer func() { recover() }()
+		m.Do("k", func() (any, error) { panic("boom") })
+	}()
+	v, err, hit := m.Do("k", func() (any, error) { return "ok", nil })
+	if err != nil || hit || v != "ok" {
+		t.Fatalf("Do after panic = (%v, %v, hit=%v), want (ok, nil, false)", v, err, hit)
+	}
+}
+
+func TestMemoGetForget(t *testing.T) {
+	var m Memo
+	if _, _, ok := m.Get("k"); ok {
+		t.Fatal("Get on empty memo reported ok")
+	}
+	m.Do("k", func() (any, error) { return 7, nil })
+	if v, _, ok := m.Get("k"); !ok || v != 7 {
+		t.Fatalf("Get = (%v, ok=%v), want (7, true)", v, ok)
+	}
+	m.Forget("k")
+	if _, _, ok := m.Get("k"); ok {
+		t.Fatal("Get after Forget reported ok")
+	}
+}

@@ -1,0 +1,119 @@
+package conc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Memo is a single-flight, content-addressed memo cache: results are keyed
+// by a caller-computed content hash, concurrent callers for the same key
+// share one computation, and completed results are retained for the life
+// of the Memo. The zero value is ready to use.
+type Memo struct {
+	mu      sync.Mutex
+	entries map[string]*memoEntry
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	inflight atomic.Int64
+}
+
+type memoEntry struct {
+	done chan struct{} // closed when value/err are final
+	val  any
+	err  error
+}
+
+// Do returns the memoized value for key, computing it with fn on the first
+// call. Concurrent calls with the same key block until the one running fn
+// finishes and then share its result. hit reports whether the result came
+// from the cache (including joining an in-flight computation).
+//
+// A computation that panics poisons nobody: the entry is removed and the
+// panic propagates to the caller that ran fn, while waiters receive
+// ErrComputePanicked.
+func (m *Memo) Do(key string, fn func() (any, error)) (val any, err error, hit bool) {
+	m.mu.Lock()
+	if m.entries == nil {
+		m.entries = make(map[string]*memoEntry)
+	}
+	if e, ok := m.entries[key]; ok {
+		m.mu.Unlock()
+		m.hits.Add(1)
+		<-e.done
+		return e.val, e.err, true
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	m.entries[key] = e
+	m.mu.Unlock()
+
+	m.misses.Add(1)
+	m.inflight.Add(1)
+	defer m.inflight.Add(-1)
+
+	normal := false
+	defer func() {
+		if !normal {
+			// fn panicked: drop the poisoned entry so a later call can
+			// retry, and release the waiters with a sentinel error.
+			m.mu.Lock()
+			delete(m.entries, key)
+			m.mu.Unlock()
+			e.err = ErrComputePanicked
+			close(e.done)
+		}
+	}()
+	e.val, e.err = fn()
+	normal = true
+	close(e.done)
+	return e.val, e.err, false
+}
+
+// Get returns the completed value for key without computing anything. ok
+// is false if the key is absent or still in flight.
+func (m *Memo) Get(key string) (val any, err error, ok bool) {
+	m.mu.Lock()
+	e, present := m.entries[key]
+	m.mu.Unlock()
+	if !present {
+		return nil, nil, false
+	}
+	select {
+	case <-e.done:
+		return e.val, e.err, true
+	default:
+		return nil, nil, false
+	}
+}
+
+// Forget drops the entry for key, if any, so the next Do recomputes it.
+func (m *Memo) Forget(key string) {
+	m.mu.Lock()
+	delete(m.entries, key)
+	m.mu.Unlock()
+}
+
+// Len returns the number of entries (completed or in flight).
+func (m *Memo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Hits returns how many Do calls were served by the cache (including
+// joining an in-flight computation).
+func (m *Memo) Hits() int64 { return m.hits.Load() }
+
+// Misses returns how many Do calls ran the computation.
+func (m *Memo) Misses() int64 { return m.misses.Load() }
+
+// InFlight returns the number of computations currently running.
+func (m *Memo) InFlight() int64 { return m.inflight.Load() }
+
+// ErrComputePanicked is delivered to waiters whose shared computation
+// panicked in the goroutine that ran it.
+var ErrComputePanicked = errComputePanicked{}
+
+type errComputePanicked struct{}
+
+func (errComputePanicked) Error() string { return "conc: shared computation panicked" }

@@ -19,65 +19,68 @@ import (
 // (QueueSize, IntRegs, FPRegs, Rules, buffers) apply to each cluster.
 type Config struct {
 	// Clusters is 1 (the paper's baseline) or 2 (the multicluster).
-	Clusters int
+	Clusters int `json:"clusters"`
 	// Assignment maps architectural registers to clusters; ignored when
 	// Clusters is 1.
-	Assignment isa.Assignment
+	Assignment isa.Assignment `json:"assignment"`
 	// FetchWidth is the maximum instructions fetched and distributed per
 	// cycle (12 in the paper).
-	FetchWidth int
+	FetchWidth int `json:"fetch_width"`
 	// RetireWidth is the maximum instructions retired per cycle (8).
-	RetireWidth int
+	RetireWidth int `json:"retire_width"`
 	// QueueSize is the dispatch-queue capacity per cluster (128 single,
 	// 64 per cluster dual).
-	QueueSize int
+	QueueSize int `json:"queue_size"`
 	// IntRegs and FPRegs are the physical register file sizes per cluster
 	// (128/128 single, 64/64 per cluster dual).
-	IntRegs, FPRegs int
+	IntRegs int `json:"int_regs"`
+	FPRegs  int `json:"fp_regs"`
 	// Rules are the per-cluster issue limits (Table 1).
-	Rules isa.IssueRules
+	Rules isa.IssueRules `json:"rules"`
 	// OperandBuffer and ResultBuffer are the per-cluster transfer buffer
 	// capacities (8 and 8).
-	OperandBuffer, ResultBuffer int
+	OperandBuffer int `json:"operand_buffer"`
+	ResultBuffer  int `json:"result_buffer"`
 	// ICache and DCache configure the caches (64 KB two-way, 16-cycle
 	// memory latency).
-	ICache, DCache cache.Config
+	ICache cache.Config `json:"icache"`
+	DCache cache.Config `json:"dcache"`
 	// Predictor configures the McFarling combining predictor.
-	Predictor bpred.Config
+	Predictor bpred.Config `json:"predictor"`
 	// LoadDelaySlots is the number of load-delay slots (1 in Table 1).
-	LoadDelaySlots int
+	LoadDelaySlots int `json:"load_delay_slots"`
 	// ReplayWatchdog is the number of consecutive cycles without any
 	// issue, retire, or distribution before an instruction-replay
 	// exception is raised to break a transfer-buffer deadlock.
-	ReplayWatchdog int
+	ReplayWatchdog int `json:"replay_watchdog"`
 	// ReplayPenalty is the fetch-restart penalty of a replay exception.
-	ReplayPenalty int
+	ReplayPenalty int `json:"replay_penalty"`
 	// MaxCycles aborts runaway simulations; zero means no limit.
-	MaxCycles int64
+	MaxCycles int64 `json:"max_cycles"`
 	// MasterSelect chooses how the master cluster of a dual-distributed
 	// instruction is picked; the zero value is MasterMajority, the paper's
 	// policy.
-	MasterSelect MasterPolicy
+	MasterSelect MasterPolicy `json:"master_select"`
 	// Reassignments are compiler hints for dynamic register reassignment
 	// (§6); empty for the paper's static-assignment evaluation.
-	Reassignments []Reassignment
+	Reassignments []Reassignment `json:"reassignments,omitempty"`
 	// UnorderedMemory disables store→load dependence tracking. By default
 	// a load whose address matches an older in-flight store waits until
 	// one cycle after that store issues (store-queue forwarding); with
 	// UnorderedMemory the load issues regardless, the most aggressive
 	// reading of the paper's "all instructions may be speculatively
 	// executed".
-	UnorderedMemory bool
+	UnorderedMemory bool `json:"unordered_memory,omitempty"`
 	// CollectProfile enables per-static-instruction execution counters
 	// (execution count, accumulated issue delay, mispredicts), retrievable
 	// from Stats.Profile after the run.
-	CollectProfile bool
+	CollectProfile bool `json:"collect_profile,omitempty"`
 	// UnifiedBuffer merges each cluster's operand and result transfer
 	// buffers into one pool of OperandBuffer+ResultBuffer entries. The
 	// paper keeps them separate "to reduce implementation complexity and
 	// to reduce the number of times an instruction-replay exception is
 	// required" (§2.1); this knob exists to measure that choice.
-	UnifiedBuffer bool
+	UnifiedBuffer bool `json:"unified_buffer,omitempty"`
 }
 
 // MasterPolicy selects the cluster that executes the computation of a
@@ -106,6 +109,24 @@ func (m MasterPolicy) String() string {
 	default:
 		return "majority"
 	}
+}
+
+// MarshalText implements encoding.TextMarshaler using the String form.
+func (m MasterPolicy) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (m *MasterPolicy) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "majority", "":
+		*m = MasterMajority
+	case "first-source":
+		*m = MasterFirstSource
+	case "alternate":
+		*m = MasterAlternate
+	default:
+		return fmt.Errorf("core: unknown master policy %q", text)
+	}
+	return nil
 }
 
 // bufferBlockCycles is how long the oldest unissued instruction must sit

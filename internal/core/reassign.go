@@ -17,23 +17,23 @@ import "multicluster/internal/isa"
 type Reassignment struct {
 	// AtIndex is the static instruction index the hint is attached to; the
 	// switch happens before that instruction is distributed.
-	AtIndex int
+	AtIndex int `json:"at_index"`
 	// To is the assignment to switch to.
-	To isa.Assignment
+	To isa.Assignment `json:"to"`
 }
 
 // ReassignStats counts dynamic-reassignment activity.
 type ReassignStats struct {
 	// Applied is the number of hints taken.
-	Applied int64
+	Applied int64 `json:"applied"`
 	// DrainCycles counts fetch-stall cycles spent waiting for the pipeline
 	// to empty before a switch.
-	DrainCycles int64
+	DrainCycles int64 `json:"drain_cycles"`
 	// MigratedRegs counts architectural registers whose committed values
 	// were copied between clusters.
-	MigratedRegs int64
+	MigratedRegs int64 `json:"migrated_regs"`
 	// MigrateCycles counts the cycles those copies took.
-	MigrateCycles int64
+	MigrateCycles int64 `json:"migrate_cycles"`
 }
 
 // migrateBandwidth is how many register values cross between clusters per

@@ -1,0 +1,62 @@
+package core
+
+// StatsSnapshot is the serializable form of a simulation result: the raw
+// counters of Stats plus every derived metric the paper's analysis leans
+// on, precomputed so consumers on the other side of an API boundary (the
+// sweep service, plotting scripts, regression trackers) never reimplement
+// the ratios — or get them subtly wrong.
+type StatsSnapshot struct {
+	Stats
+
+	// IPC is retired logical instructions per cycle.
+	IPC float64 `json:"ipc"`
+	// DualFraction is the fraction of retired instructions that were
+	// dual-distributed.
+	DualFraction float64 `json:"dual_fraction"`
+	// MispredictRate is mispredictions per conditional branch.
+	MispredictRate float64 `json:"mispredict_rate"`
+	// ReplayRate is squashed-and-refetched instructions per retired
+	// instruction — the cost of instruction-replay exceptions.
+	ReplayRate float64 `json:"replay_rate"`
+	// MeanDisorder is the average issue disorder per issued operation.
+	MeanDisorder float64 `json:"mean_disorder"`
+	// ICacheMissRate and DCacheMissRate are misses (primary + merged) per
+	// access.
+	ICacheMissRate float64 `json:"icache_miss_rate"`
+	DCacheMissRate float64 `json:"dcache_miss_rate"`
+	// PredictorAccuracy is correct predictions per prediction.
+	PredictorAccuracy float64 `json:"predictor_accuracy"`
+	// MeanQueueOccupancy is the mean dispatch-queue occupancy per cluster
+	// (zero for clusters the configuration does not have).
+	MeanQueueOccupancy [2]float64 `json:"mean_queue_occupancy"`
+}
+
+// ReplayRate returns squashed-and-refetched instructions per retired
+// instruction.
+func (s Stats) ReplayRate() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.ReplayedInstructions) / float64(s.Instructions)
+}
+
+// Snapshot precomputes the derived metrics alongside the raw counters.
+func (s Stats) Snapshot() StatsSnapshot {
+	snap := StatsSnapshot{
+		Stats:             s,
+		IPC:               s.IPC(),
+		DualFraction:      s.DualFraction(),
+		MispredictRate:    s.MispredictRate(),
+		ReplayRate:        s.ReplayRate(),
+		MeanDisorder:      s.MeanDisorder(),
+		ICacheMissRate:    s.ICache.MissRate(),
+		DCacheMissRate:    s.DCache.MissRate(),
+		PredictorAccuracy: s.Predictor.Accuracy(),
+	}
+	if s.Cycles > 0 {
+		for c := range s.Cluster {
+			snap.MeanQueueOccupancy[c] = float64(s.Cluster[c].QueueOccupancySum) / float64(s.Cycles)
+		}
+	}
+	return snap
+}

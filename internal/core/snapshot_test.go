@@ -1,0 +1,87 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"multicluster/internal/isa"
+)
+
+// TestConfigJSONRoundTrip proves a Config survives the API boundary intact,
+// including the types with custom marshalers (Assignment, MasterPolicy,
+// predictor Kind) and nested reassignment hints.
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := DualCluster4Way()
+	cfg.MasterSelect = MasterFirstSource
+	cfg.UnorderedMemory = true
+	cfg.Reassignments = []Reassignment{{AtIndex: 7, To: isa.LowHighAssignment()}}
+
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Config
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(cfg, back) {
+		t.Fatalf("round trip changed the config:\n  in:  %+v\n  out: %+v", cfg, back)
+	}
+
+	// The encoding must be canonical: re-marshaling the decoded config
+	// yields identical bytes (the sweep service hashes these).
+	data2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if string(data) != string(data2) {
+		t.Fatalf("encoding not canonical:\n  %s\n  %s", data, data2)
+	}
+}
+
+// TestSnapshotDerived checks the derived metrics of a snapshot against the
+// Stats methods they mirror.
+func TestSnapshotDerived(t *testing.T) {
+	s := Stats{
+		Cycles:               200,
+		Instructions:         400,
+		SingleDist:           300,
+		DualDist:             100,
+		CondBranches:         50,
+		Mispredicts:          5,
+		ReplayedInstructions: 40,
+		DisorderSum:          90,
+		IssuedOps:            450,
+	}
+	s.Cluster[0].QueueOccupancySum = 2000
+	s.Cluster[1].QueueOccupancySum = 1000
+	snap := s.Snapshot()
+	for _, tc := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"ipc", snap.IPC, 2.0},
+		{"dual_fraction", snap.DualFraction, 0.25},
+		{"mispredict_rate", snap.MispredictRate, 0.1},
+		{"replay_rate", snap.ReplayRate, 0.1},
+		{"mean_disorder", snap.MeanDisorder, 0.2},
+		{"queue0", snap.MeanQueueOccupancy[0], 10},
+		{"queue1", snap.MeanQueueOccupancy[1], 5},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.name, tc.got, tc.want)
+		}
+	}
+	var decoded StatsSnapshot
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(snap, decoded) {
+		t.Fatalf("snapshot round trip changed values")
+	}
+}

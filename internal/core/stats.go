@@ -21,84 +21,88 @@ const (
 type ClusterStats struct {
 	// IssuedUops counts copies issued from this cluster's dispatch queue
 	// (masters and slaves).
-	IssuedUops int64
+	IssuedUops int64 `json:"issued_uops"`
 	// QueueOccupancySum accumulates dispatch-queue occupancy each cycle;
 	// divide by Cycles for the mean.
-	QueueOccupancySum int64
+	QueueOccupancySum int64 `json:"queue_occupancy_sum"`
 	// Distributed counts copies inserted into this cluster's queue.
-	Distributed int64
+	Distributed int64 `json:"distributed"`
 }
 
 // FetchStalls break down the cycles in which nothing could be fetched.
 type FetchStalls struct {
 	// ICacheMiss cycles waiting on instruction-cache fills.
-	ICacheMiss int64
+	ICacheMiss int64 `json:"icache_miss"`
 	// Mispredict cycles waiting for a mispredicted branch to resolve.
-	Mispredict int64
+	Mispredict int64 `json:"mispredict"`
 	// QueueFull cycles blocked by a full dispatch queue.
-	QueueFull int64
+	QueueFull int64 `json:"queue_full"`
 	// RegsFull cycles blocked waiting for a free physical register.
-	RegsFull int64
+	RegsFull int64 `json:"regs_full"`
 	// Replay cycles of replay-exception restart penalty.
-	Replay int64
+	Replay int64 `json:"replay"`
 }
 
 // Stats is the result of one simulation run.
 type Stats struct {
-	Cycles       int64
-	Instructions int64 // logical instructions retired
-	Fetched      int64
+	Cycles       int64 `json:"cycles"`
+	Instructions int64 `json:"instructions"` // logical instructions retired
+	Fetched      int64 `json:"fetched"`
 
 	// SingleDist and DualDist count logical instructions distributed to
 	// one and to both clusters.
-	SingleDist, DualDist int64
+	SingleDist int64 `json:"single_dist"`
+	DualDist   int64 `json:"dual_dist"`
 	// OperandForwards and ResultForwards count inter-cluster transfers.
-	OperandForwards, ResultForwards int64
+	OperandForwards int64 `json:"operand_forwards"`
+	ResultForwards  int64 `json:"result_forwards"`
 	// Replays counts instruction-replay exceptions.
-	Replays int64
+	Replays int64 `json:"replays"`
 	// ReplayedInstructions counts instructions squashed and refetched.
-	ReplayedInstructions int64
+	ReplayedInstructions int64 `json:"replayed_instructions"`
 
 	// CondBranches and Mispredicts count conditional branches retired and
 	// mispredicted.
-	CondBranches, Mispredicts int64
+	CondBranches int64 `json:"cond_branches"`
+	Mispredicts  int64 `json:"mispredicts"`
 	// MispredResolveSum accumulates, over mispredicted branches, the cycles
 	// from distribution to resolution — the fetch-stall window each one
 	// causes.
-	MispredResolveSum int64
+	MispredResolveSum int64 `json:"mispred_resolve_sum"`
 
 	// DisorderSum accumulates, over every issued computation, how far
 	// beyond it the youngest already-issued instruction was (0 when issue
 	// happens in order); divide by issued instructions for the paper's
 	// "issue disorder" trend.
-	DisorderSum int64
-	IssuedOps   int64
+	DisorderSum int64 `json:"disorder_sum"`
+	IssuedOps   int64 `json:"issued_ops"`
 
-	ICache, DCache cache.Stats
-	Predictor      bpred.Stats
+	ICache    cache.Stats `json:"icache"`
+	DCache    cache.Stats `json:"dcache"`
+	Predictor bpred.Stats `json:"predictor"`
 
-	Fetch    FetchStalls
-	Cluster  [2]ClusterStats
-	Reassign ReassignStats
+	Fetch    FetchStalls     `json:"fetch_stalls"`
+	Cluster  [2]ClusterStats `json:"clusters"`
+	Reassign ReassignStats   `json:"reassign"`
 
 	// Profile holds per-static-instruction counters when
 	// Config.CollectProfile is set, keyed by static instruction index.
-	Profile map[int]PCStat
+	Profile map[int]PCStat `json:"profile,omitempty"`
 
-	Stop StopReason
+	Stop StopReason `json:"stop"`
 }
 
 // PCStat aggregates the dynamic behaviour of one static instruction.
 type PCStat struct {
 	// Count is how many times the instruction retired.
-	Count int64
+	Count int64 `json:"count"`
 	// IssueDelaySum accumulates distribute→issue latency of the master
 	// copy; divide by Count for the mean queueing delay.
-	IssueDelaySum int64
+	IssueDelaySum int64 `json:"issue_delay_sum"`
 	// DualCount is how many executions were dual-distributed.
-	DualCount int64
+	DualCount int64 `json:"dual_count"`
 	// Mispredicts counts mispredictions (conditional branches only).
-	Mispredicts int64
+	Mispredicts int64 `json:"mispredicts"`
 }
 
 // IPC returns retired logical instructions per cycle.

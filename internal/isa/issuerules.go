@@ -9,14 +9,14 @@ import "fmt"
 // caps divides and other floating point together, while FPDiv and FPOther
 // cap each kind separately. Mem caps loads and stores together.
 type IssueRules struct {
-	All      int
-	IntMul   int
-	IntOther int
-	FPAll    int
-	FPDiv    int
-	FPOther  int
-	Mem      int
-	Ctrl     int
+	All      int `json:"all"`
+	IntMul   int `json:"int_mul"`
+	IntOther int `json:"int_other"`
+	FPAll    int `json:"fp_all"`
+	FPDiv    int `json:"fp_div"`
+	FPOther  int `json:"fp_other"`
+	Mem      int `json:"mem"`
+	Ctrl     int `json:"ctrl"`
 }
 
 // SingleClusterRules returns row 1 of Table 1: the eight-way single-cluster

@@ -1,0 +1,93 @@
+package isa
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file makes the ISA types that appear in core.Config serializable,
+// so processor configurations can cross the sweep-service API boundary and
+// participate in content-addressed job hashing without lossy reformatting.
+
+// ParseReg parses the String form of a register: "r0".."r31", "f0".."f31",
+// or "-" for RegNone.
+func ParseReg(s string) (Reg, error) {
+	if s == "-" {
+		return RegNone, nil
+	}
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'f') {
+		return RegNone, fmt.Errorf("isa: malformed register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumIntRegs {
+		return RegNone, fmt.Errorf("isa: malformed register %q", s)
+	}
+	if s[0] == 'f' {
+		return FPReg(n), nil
+	}
+	return IntReg(n), nil
+}
+
+// MarshalText implements encoding.TextMarshaler using the String form.
+func (r Reg) MarshalText() ([]byte, error) { return []byte(r.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (r *Reg) UnmarshalText(text []byte) error {
+	v, err := ParseReg(string(text))
+	if err != nil {
+		return err
+	}
+	*r = v
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler using the String form.
+func (s AssignmentScheme) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (s *AssignmentScheme) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "even-odd", "":
+		*s = SchemeEvenOdd
+	case "low-high":
+		*s = SchemeLowHigh
+	default:
+		return fmt.Errorf("isa: unknown assignment scheme %q", text)
+	}
+	return nil
+}
+
+// assignmentJSON is the wire form of an Assignment.
+type assignmentJSON struct {
+	Scheme  AssignmentScheme `json:"scheme"`
+	Globals []Reg            `json:"globals"`
+}
+
+// MarshalJSON implements json.Marshaler. The encoding is canonical for a
+// given assignment (scheme plus sorted explicit globals), so it is safe to
+// hash for content addressing.
+func (a Assignment) MarshalJSON() ([]byte, error) {
+	return json.Marshal(assignmentJSON{Scheme: a.scheme, Globals: a.Globals()})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (a *Assignment) UnmarshalJSON(data []byte) error {
+	var w assignmentJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*a = NewAssignmentScheme(w.Scheme, w.Globals...)
+	return nil
+}
+
+// String renders the assignment compactly, e.g. "even-odd[r29 r30 r31 f31]".
+func (a Assignment) String() string {
+	gs := a.Globals()
+	names := make([]string, len(gs))
+	for i, r := range gs {
+		names[i] = r.String()
+	}
+	return fmt.Sprintf("%s[%s]", a.scheme, strings.Join(names, " "))
+}

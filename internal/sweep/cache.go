@@ -1,0 +1,63 @@
+package sweep
+
+import (
+	"multicluster/internal/conc"
+)
+
+// Cache is the content-addressed result cache of the service: completed
+// Results keyed by JobSpec hash, with single-flight deduplication so
+// concurrent identical requests share one simulation. Only successful
+// results are retained — a failed or cancelled computation is forgotten so
+// a later request can retry.
+type Cache struct {
+	memo conc.Memo
+}
+
+// CacheStats is a snapshot of the cache counters.
+type CacheStats struct {
+	// Hits counts requests served from the cache, including requests that
+	// joined an in-flight computation.
+	Hits int64 `json:"hits"`
+	// Misses counts requests that ran the computation.
+	Misses int64 `json:"misses"`
+	// Entries is the number of cached results (completed or in flight).
+	Entries int `json:"entries"`
+	// InFlight is the number of computations currently running.
+	InFlight int64 `json:"in_flight"`
+}
+
+// GetOrCompute returns the cached Result for hash, computing it with fn on
+// the first request. Concurrent requests for the same hash share one
+// computation. hit reports whether the result came from the cache or from
+// joining an in-flight computation. Errors are returned but not cached.
+func (c *Cache) GetOrCompute(hash string, fn func() (*Result, error)) (res *Result, hit bool, err error) {
+	v, err, hit := c.memo.Do(hash, func() (any, error) {
+		return fn()
+	})
+	if err != nil {
+		// Do not content-address failures: a cancelled or crashed job must
+		// not poison the hash for future requests.
+		c.memo.Forget(hash)
+		return nil, hit, err
+	}
+	return v.(*Result), hit, nil
+}
+
+// Get returns the completed Result for hash without computing anything.
+func (c *Cache) Get(hash string) (*Result, bool) {
+	v, err, ok := c.memo.Get(hash)
+	if !ok || err != nil {
+		return nil, false
+	}
+	return v.(*Result), true
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:     c.memo.Hits(),
+		Misses:   c.memo.Misses(),
+		Entries:  c.memo.Len(),
+		InFlight: c.memo.InFlight(),
+	}
+}

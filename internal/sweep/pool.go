@@ -1,0 +1,156 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrPoolClosed is returned by Submit after Close or Drain.
+var ErrPoolClosed = errors.New("sweep: pool closed")
+
+// PanicError wraps a panic recovered from a job so one bad job surfaces as
+// that job's failure instead of killing the daemon.
+type PanicError struct {
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("sweep: job panicked: %v", e.Value) }
+
+// Pool is a bounded worker pool over an unbounded FIFO queue. Work is
+// executed by a fixed set of worker goroutines, in submission order; a
+// panicking task is isolated (recovered, counted, and reported to its own
+// completion callback) and never takes a worker down.
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []func() error
+	closed bool
+	wg     sync.WaitGroup
+
+	workers   int
+	queued    atomic.Int64 // tasks waiting in the queue
+	running   atomic.Int64 // tasks currently executing
+	completed atomic.Int64 // tasks finished, success or failure
+	failed    atomic.Int64 // tasks that returned an error (incl. panics)
+	panics    atomic.Int64 // tasks that panicked
+}
+
+// PoolStats is a snapshot of the pool counters.
+type PoolStats struct {
+	Workers   int   `json:"workers"`
+	Queued    int64 `json:"queued"`
+	Running   int64 `json:"running"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Panics    int64 `json:"panics"`
+}
+
+// NewPool starts a pool with n workers; n < 1 means GOMAXPROCS.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: n}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Submit appends fn to the FIFO queue. fn runs on a worker goroutine; its
+// error (or wrapped panic) is passed to done, which may be nil. Submit
+// never blocks on queue capacity.
+func (p *Pool) Submit(fn func() error, done func(error)) error {
+	task := func() error {
+		err := p.runIsolated(fn)
+		if done != nil {
+			done(err)
+		}
+		return err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPoolClosed
+	}
+	p.queue = append(p.queue, task)
+	p.queued.Add(1)
+	p.cond.Signal()
+	p.mu.Unlock()
+	return nil
+}
+
+// runIsolated executes fn, converting a panic into a *PanicError.
+func (p *Pool) runIsolated(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+			err = &PanicError{Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	return fn()
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			// closed and drained
+			p.mu.Unlock()
+			return
+		}
+		task := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+
+		p.queued.Add(-1)
+		p.running.Add(1)
+		err := task()
+		p.running.Add(-1)
+		p.completed.Add(1)
+		if err != nil {
+			p.failed.Add(1)
+		}
+	}
+}
+
+// Close stops accepting new work. Workers finish the queue and exit.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// Drain closes the pool and blocks until every queued and running task has
+// finished — the graceful-shutdown path.
+func (p *Pool) Drain() {
+	p.Close()
+	p.wg.Wait()
+}
+
+// Stats snapshots the counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:   p.workers,
+		Queued:    p.queued.Load(),
+		Running:   p.running.Load(),
+		Completed: p.completed.Load(),
+		Failed:    p.failed.Load(),
+		Panics:    p.panics.Load(),
+	}
+}

@@ -1,0 +1,123 @@
+package sweep
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolFIFOOrder(t *testing.T) {
+	p := NewPool(1)
+	defer p.Drain()
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		i := i
+		wg.Add(1)
+		if err := p.Submit(func() error {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			return nil
+		}, func(error) { wg.Done() }); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	wg.Wait()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("execution order %v is not FIFO", order)
+		}
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	defer p.Drain()
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		p.Submit(func() error {
+			n := cur.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			<-gate
+			cur.Add(-1)
+			return nil
+		}, func(error) { wg.Done() })
+	}
+	// Let the workers saturate, then release everyone.
+	close(gate)
+	wg.Wait()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", got, workers)
+	}
+	st := p.Stats()
+	if st.Completed != 24 || st.Failed != 0 {
+		t.Fatalf("stats = %+v, want 24 completed, 0 failed", st)
+	}
+}
+
+func TestPoolPanicIsolation(t *testing.T) {
+	p := NewPool(2)
+	defer p.Drain()
+
+	errc := make(chan error, 1)
+	p.Submit(func() error { panic("job gone wrong") }, func(err error) { errc <- err })
+	err := <-errc
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panicking job reported %v, want *PanicError", err)
+	}
+	if pe.Value != "job gone wrong" || pe.Stack == "" {
+		t.Fatalf("panic not captured: %+v", pe)
+	}
+
+	// The pool survives: both workers still process work.
+	var wg sync.WaitGroup
+	var ran atomic.Int64
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		p.Submit(func() error { ran.Add(1); return nil }, func(error) { wg.Done() })
+	}
+	wg.Wait()
+	if ran.Load() != 8 {
+		t.Fatalf("pool lost workers after a panic: only %d/8 jobs ran", ran.Load())
+	}
+	st := p.Stats()
+	if st.Panics != 1 || st.Failed != 1 {
+		t.Fatalf("stats = %+v, want 1 panic, 1 failed", st)
+	}
+}
+
+func TestPoolSubmitAfterClose(t *testing.T) {
+	p := NewPool(1)
+	p.Drain()
+	if err := p.Submit(func() error { return nil }, nil); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Submit after Drain = %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestPoolDrainFinishesQueue(t *testing.T) {
+	p := NewPool(1)
+	var done atomic.Int64
+	gate := make(chan struct{})
+	p.Submit(func() error { <-gate; done.Add(1); return nil }, nil)
+	for i := 0; i < 5; i++ {
+		p.Submit(func() error { done.Add(1); return nil }, nil)
+	}
+	close(gate)
+	p.Drain()
+	if done.Load() != 6 {
+		t.Fatalf("Drain returned with %d/6 tasks finished", done.Load())
+	}
+}

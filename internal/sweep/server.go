@@ -1,0 +1,205 @@
+package sweep
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"multicluster/internal/experiment"
+)
+
+// Server exposes a Service over HTTP/JSON. It is an http.Handler so the
+// daemon and httptest both mount it directly.
+//
+//	POST /v1/jobs     submit one job            -> 202 JobView
+//	GET  /v1/jobs     list jobs                 -> 200 [JobView]
+//	GET  /v1/jobs/{id} poll one job             -> 200 JobView
+//	DELETE /v1/jobs/{id} cancel one job         -> 200 JobView
+//	POST /v1/sweeps   grid sweep, streamed      -> 200 NDJSON of SweepRow
+//	GET  /v1/table2   the paper's Table 2       -> 200 rows (json|csv|text)
+//	GET  /v1/stats    service counters          -> 200 Stats
+//	GET  /healthz     liveness                  -> 200 ok
+//	GET  /debug/vars  expvar                    -> 200 JSON
+type Server struct {
+	svc *Service
+	mux *http.ServeMux
+}
+
+// NewServer builds the HTTP front end of a service and publishes the
+// service counters as the expvar variable "sweep" (once per process).
+func NewServer(svc *Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/table2", s.handleTable2)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	publishExpvarOnce(svc)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+var expvarOnce sync.Once
+
+// publishExpvarOnce registers the sweep counters with the expvar registry.
+// expvar panics on duplicate names, and tests construct several servers
+// per process, so only the first service in a process is published.
+func publishExpvarOnce(svc *Service) {
+	expvarOnce.Do(func() {
+		expvar.Publish("sweep", expvar.Func(func() any { return svc.Stats() }))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	job, err := s.svc.Submit(spec)
+	if err == ErrDraining {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.View())
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Jobs())
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.svc.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.svc.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+// handleSweep streams completed rows as NDJSON, one SweepRow per line, as
+// each cell finishes.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var grid Grid
+	if err := json.NewDecoder(r.Body).Decode(&grid); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding grid: %w", err))
+		return
+	}
+	rows, _, err := s.svc.Sweep(r.Context(), grid)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for row := range rows {
+		if err := enc.Encode(row); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleTable2(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var p Table2Params
+	var err error
+	if v := q.Get("n"); v != "" {
+		if p.Instructions, err = strconv.ParseInt(v, 10, 64); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad n: %w", err))
+			return
+		}
+	}
+	if v := q.Get("seed"); v != "" {
+		if p.Seed, err = strconv.ParseInt(v, 10, 64); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad seed: %w", err))
+			return
+		}
+	}
+	if v := q.Get("window"); v != "" {
+		if p.Window, err = strconv.Atoi(v); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad window: %w", err))
+			return
+		}
+	}
+	if v := q.Get("width"); v != "" {
+		switch v {
+		case "4":
+			p.FourWay = true
+		case "8":
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad width %q (4 or 8)", v))
+			return
+		}
+	}
+	rows, err := s.svc.Table2(r.Context(), p)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	format := q.Get("format")
+	if format == "" {
+		format = "json"
+	}
+	switch format {
+	case "json":
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	if err := experiment.WriteRows(w, rows, format); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}

@@ -1,0 +1,409 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"multicluster/internal/experiment"
+)
+
+// JobState is the lifecycle of a submitted job.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Job is one tracked unit of work: a normalized spec heading through the
+// queue, the pool, and the cache.
+type Job struct {
+	// ID is unique per service instance; Hash is content-addressed and
+	// shared by every job with the same spec.
+	ID   string
+	Spec JobSpec
+	Hash string
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu       sync.Mutex
+	state    JobState
+	err      error
+	result   *Result
+	cacheHit bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// JobView is the serializable snapshot of a job for the HTTP API.
+type JobView struct {
+	ID       string    `json:"id"`
+	Hash     string    `json:"hash"`
+	State    JobState  `json:"state"`
+	Spec     JobSpec   `json:"spec"`
+	CacheHit bool      `json:"cache_hit"`
+	Error    string    `json:"error,omitempty"`
+	Result   *Result   `json:"result,omitempty"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+}
+
+// View snapshots the job.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:       j.ID,
+		Hash:     j.Hash,
+		State:    j.state,
+		Spec:     j.Spec,
+		CacheHit: j.cacheHit,
+		Result:   j.result,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	return v
+}
+
+// State returns the job's current state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the result and error of a finished job.
+func (j *Job) Result() (*Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Cancel cancels the job. A job still in the queue never runs; a job
+// already executing finishes its simulation but the submitter stops
+// waiting.
+func (j *Job) Cancel() { j.cancel() }
+
+func (j *Job) markRunning() {
+	j.mu.Lock()
+	if j.state == JobQueued {
+		j.state = JobRunning
+		j.started = time.Now()
+	}
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(res *Result, hit bool, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == JobDone || j.state == JobFailed || j.state == JobCanceled {
+		return
+	}
+	j.finished = time.Now()
+	j.cacheHit = hit
+	switch {
+	case err == nil:
+		j.state = JobDone
+		j.result = res
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = JobCanceled
+		j.err = err
+	default:
+		j.state = JobFailed
+		j.err = err
+	}
+	close(j.done)
+}
+
+// Config configures a Service.
+type Config struct {
+	// Workers bounds the worker pool; < 1 means GOMAXPROCS.
+	Workers int
+	// exec overrides the execution kernel; tests use it to observe or
+	// sabotage job execution.
+	exec func(spec JobSpec) (*Result, error)
+}
+
+// Service is the sweep orchestrator: submitted jobs flow through the
+// content-addressed cache (deduplicating identical specs) onto the bounded
+// worker pool, and results are retained for every later request.
+type Service struct {
+	pool  *Pool
+	cache Cache
+	exec  func(spec JobSpec) (*Result, error)
+
+	base       context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	draining bool
+
+	nextID    atomic.Int64
+	submitted atomic.Int64
+}
+
+// NewService starts a service with its worker pool.
+func NewService(cfg Config) *Service {
+	exec := cfg.exec
+	if exec == nil {
+		exec = runSpec
+	}
+	base, cancel := context.WithCancel(context.Background())
+	return &Service{
+		pool:       NewPool(cfg.Workers),
+		exec:       exec,
+		base:       base,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+	}
+}
+
+// runSpec is the real execution kernel: compile and simulate through the
+// process-wide experiment cache.
+func runSpec(spec JobSpec) (*Result, error) {
+	cfg, opts, err := spec.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	rr, err := experiment.CachedRun(spec.Benchmark, spec.Scheduler, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Spec:    spec,
+		Stats:   rr.Stats.Snapshot(),
+		Spilled: rr.Spilled,
+		Demoted: rr.Demoted,
+	}, nil
+}
+
+// ErrDraining is returned by Submit once graceful shutdown has begun.
+var ErrDraining = errors.New("sweep: service is draining")
+
+// Submit registers an asynchronous job and returns immediately. Identical
+// specs — concurrent or repeated — share one underlying simulation through
+// the cache.
+func (s *Service) Submit(spec JobSpec) (*Job, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	hash, err := norm.Hash()
+	if err != nil {
+		return nil, err
+	}
+	jctx, cancel := context.WithCancel(s.base)
+	job := &Job{
+		ID:      fmt.Sprintf("j%d", s.nextID.Add(1)),
+		Spec:    norm,
+		Hash:    hash,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   JobQueued,
+		created: time.Now(),
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		return nil, ErrDraining
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.mu.Unlock()
+	s.submitted.Add(1)
+
+	go func() {
+		defer cancel()
+		type out struct {
+			res *Result
+			hit bool
+			err error
+		}
+		ch := make(chan out, 1)
+		go func() {
+			res, hit, err := s.cache.GetOrCompute(hash, func() (*Result, error) {
+				return s.runOnPool(jctx, norm, hash, job.markRunning)
+			})
+			ch <- out{res, hit, err}
+		}()
+		select {
+		case o := <-ch:
+			job.finish(o.res, o.hit, o.err)
+		case <-jctx.Done():
+			// The job was cancelled while joined to someone else's
+			// computation; release the submitter now. (If this job owned
+			// the computation, the inner call observes the same ctx.)
+			job.finish(nil, false, jctx.Err())
+		}
+	}()
+	return job, nil
+}
+
+// Run executes one spec synchronously: through the cache, deduplicated
+// with any concurrent identical request, on the worker pool. hit reports
+// whether the result came from the cache.
+func (s *Service) Run(ctx context.Context, spec JobSpec) (res *Result, hit bool, err error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return nil, false, err
+	}
+	hash, err := norm.Hash()
+	if err != nil {
+		return nil, false, err
+	}
+	return s.cache.GetOrCompute(hash, func() (*Result, error) {
+		return s.runOnPool(ctx, norm, hash, nil)
+	})
+}
+
+// runOnPool queues one computation and waits for it. The spec only
+// executes if ctx is still live when a worker picks it up — cancellation
+// while queued skips the simulation entirely.
+func (s *Service) runOnPool(ctx context.Context, spec JobSpec, hash string, onStart func()) (*Result, error) {
+	var res *Result
+	ch := make(chan error, 1)
+	submitErr := s.pool.Submit(func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if onStart != nil {
+			onStart()
+		}
+		r, err := s.exec(spec)
+		if err != nil {
+			return err
+		}
+		r.Hash = hash
+		res = r
+		return nil
+	}, func(err error) {
+		ch <- err
+	})
+	if submitErr != nil {
+		return nil, submitErr
+	}
+	select {
+	case err := <-ch:
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Job returns a registered job by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns snapshots of every registered job, in submission order.
+func (s *Service) Jobs() []JobView {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View()
+	}
+	return views
+}
+
+// Stats aggregates every counter the service exposes.
+type Stats struct {
+	Submitted int64              `json:"submitted"`
+	States    map[JobState]int64 `json:"states"`
+	Pool      PoolStats          `json:"pool"`
+	Cache     CacheStats         `json:"cache"`
+	// Utilization is running workers over total workers, 0..1.
+	Utilization float64 `json:"utilization"`
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Submitted: s.submitted.Load(),
+		States:    make(map[JobState]int64),
+		Pool:      s.pool.Stats(),
+		Cache:     s.cache.Stats(),
+	}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		st.States[j.State()]++
+	}
+	s.mu.Unlock()
+	if st.Pool.Workers > 0 {
+		st.Utilization = float64(st.Pool.Running) / float64(st.Pool.Workers)
+	}
+	return st
+}
+
+// Drain begins graceful shutdown: new submissions are rejected, queued and
+// running jobs finish, and Drain returns when every registered job has
+// reached a terminal state or ctx expires.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		// Wait for jobs before closing the pool: a freshly registered job
+		// enqueues its pool task asynchronously, and closing too early
+		// would fail it with ErrPoolClosed.
+		for _, j := range jobs {
+			<-j.Done()
+		}
+		s.pool.Drain()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close shuts down immediately: every job context is cancelled and the
+// pool is drained of the (now trivially short) remaining tasks.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.baseCancel()
+	s.pool.Drain()
+}

@@ -1,0 +1,287 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"multicluster/internal/experiment"
+	"multicluster/internal/workload"
+)
+
+// stubExec builds a kernel whose executions are observable and gateable.
+type stubExec struct {
+	calls   atomic.Int64
+	started chan string   // receives spec.Benchmark when a run begins
+	gate    chan struct{} // runs block on this when non-nil
+	panicOn string        // benchmark that panics
+}
+
+func (s *stubExec) exec(spec JobSpec) (*Result, error) {
+	s.calls.Add(1)
+	if s.started != nil {
+		s.started <- spec.Benchmark
+	}
+	if spec.Benchmark == s.panicOn {
+		panic("sabotaged job")
+	}
+	if s.gate != nil {
+		<-s.gate
+	}
+	return &Result{Spec: spec}, nil
+}
+
+func newStubService(workers int, stub *stubExec) *Service {
+	return NewService(Config{Workers: workers, exec: stub.exec})
+}
+
+func TestRunSingleFlightConcurrentIdentical(t *testing.T) {
+	stub := &stubExec{gate: make(chan struct{})}
+	svc := newStubService(4, stub)
+	defer svc.Close()
+
+	spec := JobSpec{Benchmark: "compress", Machine: "dual", Scheduler: "local"}
+	const n = 16
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, errs[i] = svc.Run(context.Background(), spec)
+		}(i)
+	}
+	// All sixteen requests funnel into one computation; release it.
+	time.AfterFunc(10*time.Millisecond, func() { close(stub.gate) })
+	wg.Wait()
+
+	if got := stub.calls.Load(); got != 1 {
+		t.Fatalf("%d concurrent identical requests executed %d simulations, want 1", n, got)
+	}
+	want, _ := json.Marshal(results[0])
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		got, _ := json.Marshal(results[i])
+		if string(got) != string(want) {
+			t.Fatalf("request %d got a different result", i)
+		}
+	}
+	cs := svc.Stats().Cache
+	if cs.Misses != 1 || cs.Hits != n-1 {
+		t.Fatalf("cache hits=%d misses=%d, want %d/1", cs.Hits, cs.Misses, n-1)
+	}
+}
+
+func TestCacheHitAccounting(t *testing.T) {
+	stub := &stubExec{}
+	svc := newStubService(2, stub)
+	defer svc.Close()
+
+	spec := JobSpec{Benchmark: "ora"}
+	if _, hit, err := svc.Run(context.Background(), spec); err != nil || hit {
+		t.Fatalf("first run: hit=%v err=%v, want miss", hit, err)
+	}
+	if _, hit, err := svc.Run(context.Background(), spec); err != nil || !hit {
+		t.Fatalf("second run: hit=%v err=%v, want hit", hit, err)
+	}
+	// A different spec misses again.
+	if _, hit, err := svc.Run(context.Background(), JobSpec{Benchmark: "ora", Seed: 7}); err != nil || hit {
+		t.Fatalf("different spec: hit=%v err=%v, want miss", hit, err)
+	}
+	cs := svc.Stats().Cache
+	if cs.Misses != 2 || cs.Hits != 1 || cs.Entries != 2 {
+		t.Fatalf("cache stats = %+v, want 2 misses, 1 hit, 2 entries", cs)
+	}
+	if stub.calls.Load() != 2 {
+		t.Fatalf("executed %d simulations, want 2", stub.calls.Load())
+	}
+}
+
+func TestCancelMidQueueSkipsSimulation(t *testing.T) {
+	stub := &stubExec{started: make(chan string, 8), gate: make(chan struct{})}
+	svc := newStubService(1, stub)
+	defer svc.Close()
+
+	// Job A occupies the only worker.
+	jobA, err := svc.Submit(JobSpec{Benchmark: "compress"})
+	if err != nil {
+		t.Fatalf("submit A: %v", err)
+	}
+	if got := <-stub.started; got != "compress" {
+		t.Fatalf("first started run = %q", got)
+	}
+
+	// Job B waits in the queue; cancel it there.
+	jobB, err := svc.Submit(JobSpec{Benchmark: "doduc"})
+	if err != nil {
+		t.Fatalf("submit B: %v", err)
+	}
+	jobB.Cancel()
+	<-jobB.Done()
+	if st := jobB.State(); st != JobCanceled {
+		t.Fatalf("cancelled-in-queue job state = %s, want %s", st, JobCanceled)
+	}
+
+	// Release the worker; A finishes, B's queued task is skipped.
+	close(stub.gate)
+	<-jobA.Done()
+	if st := jobA.State(); st != JobDone {
+		t.Fatalf("job A state = %s, want %s", st, JobDone)
+	}
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := stub.calls.Load(); got != 1 {
+		t.Fatalf("%d simulations executed, want 1 (B was cancelled in the queue)", got)
+	}
+	// The cancelled spec is not poisoned in the cache.
+	if entries := svc.Stats().Cache.Entries; entries != 1 {
+		t.Fatalf("cache entries = %d, want 1 (only A's result)", entries)
+	}
+}
+
+func TestPanicInJobIsolated(t *testing.T) {
+	stub := &stubExec{panicOn: "gcc1"}
+	svc := newStubService(2, stub)
+	defer svc.Close()
+
+	job, err := svc.Submit(JobSpec{Benchmark: "gcc1"})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-job.Done()
+	if st := job.State(); st != JobFailed {
+		t.Fatalf("panicking job state = %s, want %s", st, JobFailed)
+	}
+	if _, jerr := job.Result(); jerr == nil {
+		t.Fatal("panicking job reported no error")
+	} else {
+		var pe *PanicError
+		if !errors.As(jerr, &pe) {
+			t.Fatalf("panicking job error = %v, want *PanicError", jerr)
+		}
+	}
+
+	// The daemon survives: other jobs still run, and the panicked hash is
+	// not poisoned in the cache.
+	res, _, err := svc.Run(context.Background(), JobSpec{Benchmark: "ora"})
+	if err != nil || res == nil {
+		t.Fatalf("job after panic: %v", err)
+	}
+	st := svc.Stats()
+	if st.Pool.Panics != 1 {
+		t.Fatalf("pool panics = %d, want 1", st.Pool.Panics)
+	}
+	if st.Cache.Entries != 1 {
+		t.Fatalf("cache entries = %d, want 1 (failures are not cached)", st.Cache.Entries)
+	}
+}
+
+func TestSubmitDeduplicatesAsyncJobs(t *testing.T) {
+	stub := &stubExec{gate: make(chan struct{})}
+	svc := newStubService(2, stub)
+	defer svc.Close()
+
+	spec := JobSpec{Benchmark: "tomcatv"}
+	var jobs []*Job
+	for i := 0; i < 6; i++ {
+		j, err := svc.Submit(spec)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs = append(jobs, j)
+	}
+	close(stub.gate)
+	for _, j := range jobs {
+		<-j.Done()
+		if st := j.State(); st != JobDone {
+			t.Fatalf("job %s state = %s, want done", j.ID, st)
+		}
+	}
+	if got := stub.calls.Load(); got != 1 {
+		t.Fatalf("6 identical async jobs executed %d simulations, want 1", got)
+	}
+	// A job submitted after completion is a pure cache hit.
+	j, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if v := j.View(); !v.CacheHit || v.State != JobDone {
+		t.Fatalf("post-completion job view = %+v, want cache hit", v)
+	}
+}
+
+func TestDrainFinishesJobsAndRejectsNew(t *testing.T) {
+	stub := &stubExec{}
+	svc := newStubService(1, stub)
+
+	var jobs []*Job
+	for _, b := range []string{"compress", "doduc", "ora"} {
+		j, err := svc.Submit(JobSpec{Benchmark: b})
+		if err != nil {
+			t.Fatalf("submit %s: %v", b, err)
+		}
+		jobs = append(jobs, j)
+	}
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	for _, j := range jobs {
+		if st := j.State(); st != JobDone {
+			t.Fatalf("after drain, job %s state = %s, want done", j.ID, st)
+		}
+	}
+	if _, err := svc.Submit(JobSpec{Benchmark: "su2cor"}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit after Drain = %v, want ErrDraining", err)
+	}
+}
+
+// TestRealKernelMatchesOneShotPath runs the genuine execution kernel
+// through the service and proves the result is byte-identical to the
+// one-shot Compile/Simulate path the CLIs use.
+func TestRealKernelMatchesOneShotPath(t *testing.T) {
+	svc := NewService(Config{Workers: 2})
+	defer svc.Close()
+
+	spec := JobSpec{Benchmark: "compress", Machine: "dual", Scheduler: "local", Instructions: 20_000, Seed: 4242}
+	res, _, err := svc.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	b := workload.ByName("compress")
+	opts := experiment.DefaultOptions()
+	opts.Instructions = 20_000
+	opts.ProfileInstructions = 20_000 / 6
+	opts.Seed = 4242
+	part, err := experiment.SchedulerByName("local", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, alloc, err := experiment.Compile(b, part, opts)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	direct, err := experiment.Simulate(mp, b, opts.Dual, opts)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+
+	want, _ := json.Marshal(direct.Snapshot())
+	got, _ := json.Marshal(res.Stats)
+	if string(got) != string(want) {
+		t.Fatalf("service result differs from one-shot path:\n service: %s\n direct:  %s", got, want)
+	}
+	if res.Spilled != alloc.Spilled || res.Demoted != alloc.Demoted {
+		t.Fatalf("compile counters differ: service %d/%d, direct %d/%d",
+			res.Spilled, res.Demoted, alloc.Spilled, alloc.Demoted)
+	}
+}
