@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet serve report clean
+.PHONY: build test race verify soak vet serve report clean
 
 build:
 	$(GO) build ./...
@@ -9,7 +9,19 @@ test: vet
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sweep/... ./internal/experiment/...
+	$(GO) test -race ./internal/sweep/... ./internal/faultinject/... ./internal/conc/... ./internal/experiment/...
+
+# verify is the full pre-merge gate: tier-1 plus the race detector over
+# the concurrent subsystems.
+verify: build vet
+	$(GO) test ./...
+	$(GO) test -race ./internal/sweep/... ./internal/faultinject/...
+
+# soak runs the chaos suite under the race detector: fault injection at
+# the simulation, cache, and journal boundaries, load shedding, and a
+# crash/restart with journal replay.
+soak:
+	$(GO) test -race -count=1 -v -run 'Chaos' ./internal/sweep/...
 
 vet:
 	$(GO) vet ./...

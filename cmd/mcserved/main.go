@@ -1,23 +1,41 @@
 // Command mcserved is the long-lived sweep-orchestration daemon: it accepts
 // simulation jobs and grid sweeps over HTTP/JSON, schedules them on a
-// bounded worker pool, and serves every repeated configuration from an
-// in-memory content-addressed result cache.
+// bounded worker pool, and serves every repeated configuration from a
+// content-addressed result cache that is journaled to disk, so a restart —
+// graceful or a crash — recovers every committed result.
 //
 // Usage:
 //
-//	mcserved -addr :8742 -workers 8
+//	mcserved -addr :8742 -workers 8 -data-dir /var/lib/mcserved
 //
 // Endpoints:
 //
-//	POST   /v1/jobs       submit one job (a JSON JobSpec), returns 202 + job id
+//	POST   /v1/jobs       submit one job (a JSON JobSpec), returns 202 + job id,
+//	                      429 + Retry-After under load shedding
 //	GET    /v1/jobs       list jobs
 //	GET    /v1/jobs/{id}  poll job status and result
 //	DELETE /v1/jobs/{id}  cancel a job (queued jobs never run)
 //	POST   /v1/sweeps     submit a grid (JSON), streams completed rows as NDJSON
 //	GET    /v1/table2     the paper's Table 2, served from cache (?format=json|csv|text&n=&seed=&window=&width=)
-//	GET    /v1/stats      cache/pool/job counters
+//	GET    /v1/stats      cache/pool/job/journal counters
 //	GET    /debug/vars    expvar (the "sweep" variable mirrors /v1/stats)
 //	GET    /healthz       liveness probe
+//	GET    /readyz        readiness probe: 503 while overloaded or draining
+//
+// Fault tolerance:
+//
+//   - Every job runs under a deadline (-job-timeout, or per-job via the
+//     spec's timeout_ms) enforced through context cancellation.
+//   - Transient failures retry with exponential backoff and deterministic
+//     jitter (-retries, -retry-base); deterministic simulator errors are
+//     classified terminal and never retried.
+//   - Admission control sheds load with 429 once -max-live jobs are
+//     unfinished, and per client once -max-per-client are in flight.
+//   - With -data-dir set, completed results are appended (fsynced) to a
+//     checksummed journal and replayed on startup; trailing corruption
+//     from a crash is truncated and recovery continues.
+//   - -faults injects deterministic chaos (panics, errors, latency) at the
+//     simulation, cache, and journal boundaries for soak testing.
 //
 // On SIGTERM/SIGINT the daemon stops accepting work, drains in-flight and
 // queued jobs, and exits.
@@ -32,9 +50,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"multicluster/internal/faultinject"
 	"multicluster/internal/sweep"
 )
 
@@ -43,13 +63,60 @@ func main() {
 		addr         = flag.String("addr", ":8742", "listen address")
 		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget for in-flight jobs")
+		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "default per-job deadline (0 = none; per-job timeout_ms overrides)")
+		retries      = flag.Int("retries", 3, "max executions per job for transient failures (1 = no retries)")
+		retryBase    = flag.Duration("retry-base", 25*time.Millisecond, "first retry backoff (doubles per attempt, jittered)")
+		retryMax     = flag.Duration("retry-max", 2*time.Second, "retry backoff cap")
+		maxLive      = flag.Int("max-live", 4096, "max admitted unfinished jobs before shedding with 429 (0 = unbounded)")
+		maxPerClient = flag.Int("max-per-client", 256, "max unfinished jobs per client id (0 = unlimited)")
+		dataDir      = flag.String("data-dir", "", "directory for the persistent result journal (empty = in-memory only)")
+		faults       = flag.String("faults", "", "fault-injection plan, e.g. 'sim:error:0.1,journal:latency:0.5:2ms' (chaos testing)")
+		faultSeed    = flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
 	)
 	flag.Parse()
 
-	svc := sweep.NewService(sweep.Config{Workers: *workers})
+	plan, err := faultinject.ParsePlan(*faults, *faultSeed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcserved: %v\n", err)
+		os.Exit(2)
+	}
+	if plan.Enabled() {
+		log.Printf("mcserved: CHAOS ON: injecting %s (seed %d)", plan, *faultSeed)
+	}
+
+	var journal *sweep.Journal
+	if *dataDir != "" {
+		journal, err = sweep.OpenJournal(filepath.Join(*dataDir, "results.journal"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcserved: %v\n", err)
+			os.Exit(1)
+		}
+		js := journal.Stats()
+		log.Printf("mcserved: journal %s: replayed %d results", js.Path, js.Records)
+		if js.TruncatedBytes > 0 {
+			log.Printf("mcserved: journal recovery truncated %d corrupt trailing bytes", js.TruncatedBytes)
+		}
+	}
+
+	svc := sweep.NewService(sweep.Config{
+		Workers:      *workers,
+		JobTimeout:   *jobTimeout,
+		Retry:        sweep.RetryPolicy{MaxAttempts: *retries, Base: *retryBase, Max: *retryMax},
+		MaxLive:      *maxLive,
+		MaxPerClient: *maxPerClient,
+		Inject:       plan,
+		Journal:      journal,
+	})
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: sweep.NewServer(svc),
+		// A stalled or malicious client must not pin a connection (and its
+		// goroutine) forever: bound the header, whole-request read, and
+		// idle keep-alive phases. No WriteTimeout — sweeps stream NDJSON
+		// for as long as the grid takes.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	errc := make(chan error, 1)
@@ -76,6 +143,9 @@ func main() {
 	}
 	if err := svc.Drain(ctx); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
+			// Committed results are already fsynced in the journal; the
+			// next start replays them, so abandoning stragglers loses only
+			// uncommitted work.
 			log.Printf("mcserved: drain timed out, abandoning remaining jobs")
 			svc.Close()
 			os.Exit(1)

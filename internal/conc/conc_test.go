@@ -116,3 +116,29 @@ func TestMemoGetForget(t *testing.T) {
 		t.Fatal("Get after Forget reported ok")
 	}
 }
+
+func TestMemoSeed(t *testing.T) {
+	var m Memo
+	if !m.Seed("k", 7) {
+		t.Fatal("Seed on empty memo reported not installed")
+	}
+	// Seeding is invisible to the hit/miss counters (it is the replay
+	// path, not a request), and the value is served without computing.
+	if m.Hits() != 0 || m.Misses() != 0 {
+		t.Fatalf("Seed touched counters: hits=%d misses=%d", m.Hits(), m.Misses())
+	}
+	v, err, hit := m.Do("k", func() (any, error) {
+		t.Fatal("Do computed over a seeded entry")
+		return nil, nil
+	})
+	if err != nil || !hit || v != 7 {
+		t.Fatalf("Do on seeded key = (%v, %v, hit=%v), want (7, nil, true)", v, err, hit)
+	}
+	// An existing entry — completed or in flight — wins over a seed.
+	if m.Seed("k", 8) {
+		t.Fatal("Seed overwrote an existing entry")
+	}
+	if v, _, _ := m.Do("k", func() (any, error) { return nil, nil }); v != 7 {
+		t.Fatalf("seeded value overwritten: %v", v)
+	}
+}

@@ -86,6 +86,25 @@ func (m *Memo) Get(key string) (val any, err error, ok bool) {
 	}
 }
 
+// Seed installs a completed value for key without running a computation
+// and without touching the hit/miss counters — the restore path for
+// journal replay. It reports whether the value was installed; an existing
+// entry (completed or in flight) is left untouched.
+func (m *Memo) Seed(key string, val any) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.entries == nil {
+		m.entries = make(map[string]*memoEntry)
+	}
+	if _, ok := m.entries[key]; ok {
+		return false
+	}
+	e := &memoEntry{done: make(chan struct{}), val: val}
+	close(e.done)
+	m.entries[key] = e
+	return true
+}
+
 // Forget drops the entry for key, if any, so the next Do recomputes it.
 func (m *Memo) Forget(key string) {
 	m.mu.Lock()

@@ -1,0 +1,246 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// sweep service. A Plan is a set of rules — "at this site, with this
+// probability, inject a panic, an error, or latency" — and every decision
+// is a pure function of (plan seed, site, key), so a chaos run with a
+// fixed seed injects exactly the same faults every time it is replayed.
+//
+// Callers thread an attempt number into the key (for example
+// "hash#attempt2"), which is what makes retries meaningful under
+// injection: attempt 0 of a job may be doomed by the plan while attempt 1
+// of the same job is clean, deterministically.
+//
+// A nil *Plan is a valid no-op injector, so production paths carry the
+// pointer unconditionally and pay nothing when chaos is off.
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is the class of fault a rule injects.
+type Kind string
+
+const (
+	// KindError makes the site return a *Fault error.
+	KindError Kind = "error"
+	// KindPanic makes the site panic with a *Fault value.
+	KindPanic Kind = "panic"
+	// KindLatency makes the site sleep for the rule's duration, then
+	// proceed normally.
+	KindLatency Kind = "latency"
+)
+
+// Fault is the error (or panic value) produced by an injected fault. It is
+// transient by construction: injected faults model crashes and flakes that
+// a retry is expected to clear.
+type Fault struct {
+	Site string
+	Kind Kind
+	Key  string
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("faultinject: injected %s at %s (key %s)", f.Kind, f.Site, f.Key)
+}
+
+// Transient marks the fault as retryable; see IsTransient.
+func (f *Fault) Transient() bool { return true }
+
+// IsTransient reports whether err (or any error in its chain) is a
+// transient fault — one a retry may clear. It recognizes anything
+// implementing `Transient() bool`, which injected Faults do.
+func IsTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(interface{ Transient() bool }); ok && t.Transient() {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			break
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// Rule injects one kind of fault at one site with a given probability.
+type Rule struct {
+	// Site names the boundary the rule applies to, e.g. "sim", "cache",
+	// "journal".
+	Site string
+	// Kind is what to inject.
+	Kind Kind
+	// Rate is the injection probability in [0, 1].
+	Rate float64
+	// Latency is the sleep duration for KindLatency rules.
+	Latency time.Duration
+}
+
+// Plan is a seeded set of injection rules plus per-site/kind counters.
+// The zero value (and a nil pointer) injects nothing.
+type Plan struct {
+	// Seed perturbs every decision; two plans with the same rules but
+	// different seeds inject different (but individually deterministic)
+	// fault sets.
+	Seed  int64
+	Rules []Rule
+
+	mu     sync.Mutex
+	counts map[string]*atomic.Int64
+}
+
+// ParsePlan parses a comma-separated plan string. Each clause is
+//
+//	site:kind:rate[:duration]
+//
+// for example "sim:error:0.2,sim:panic:0.05,journal:latency:0.5:2ms".
+// Whitespace around clauses is ignored; an empty string is a valid empty
+// plan.
+func ParsePlan(s string, seed int64) (*Plan, error) {
+	p := &Plan{Seed: seed}
+	for _, clause := range strings.Split(s, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		parts := strings.Split(clause, ":")
+		if len(parts) < 3 || len(parts) > 4 {
+			return nil, fmt.Errorf("faultinject: bad clause %q (want site:kind:rate[:duration])", clause)
+		}
+		r := Rule{Site: parts[0], Kind: Kind(parts[1])}
+		switch r.Kind {
+		case KindError, KindPanic, KindLatency:
+		default:
+			return nil, fmt.Errorf("faultinject: bad kind %q in %q", parts[1], clause)
+		}
+		rate, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return nil, fmt.Errorf("faultinject: bad rate %q in %q (want 0..1)", parts[2], clause)
+		}
+		r.Rate = rate
+		if len(parts) == 4 {
+			if r.Kind != KindLatency {
+				return nil, fmt.Errorf("faultinject: duration only applies to latency rules: %q", clause)
+			}
+			d, err := time.ParseDuration(parts[3])
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: bad duration in %q: %w", clause, err)
+			}
+			r.Latency = d
+		} else if r.Kind == KindLatency {
+			r.Latency = time.Millisecond
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	return p, nil
+}
+
+// roll returns a deterministic uniform value in [0, 1) for (seed, site,
+// kind, key). FNV alone has weak avalanche in its high bits when keys
+// differ only in a trailing character (e.g. attempt suffixes), so the sum
+// is passed through a splitmix64 finalizer before use.
+func roll(seed int64, site string, kind Kind, key string) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d\x00%s\x00%s\x00%s", seed, site, kind, key)
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// Check evaluates every rule for site against key, in order. Latency rules
+// that fire sleep and continue; an error rule that fires returns a *Fault;
+// a panic rule that fires panics with a *Fault. A nil plan never fires.
+func (p *Plan) Check(site, key string) error {
+	if p == nil {
+		return nil
+	}
+	for _, r := range p.Rules {
+		if r.Site != site || r.Rate == 0 {
+			continue
+		}
+		if roll(p.Seed, site, r.Kind, key) >= r.Rate {
+			continue
+		}
+		p.count(site, r.Kind)
+		switch r.Kind {
+		case KindLatency:
+			time.Sleep(r.Latency)
+		case KindError:
+			return &Fault{Site: site, Kind: KindError, Key: key}
+		case KindPanic:
+			panic(&Fault{Site: site, Kind: KindPanic, Key: key})
+		}
+	}
+	return nil
+}
+
+// Enabled reports whether the plan has any rule that can fire.
+func (p *Plan) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	for _, r := range p.Rules {
+		if r.Rate > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Plan) count(site string, kind Kind) {
+	k := site + "/" + string(kind)
+	p.mu.Lock()
+	if p.counts == nil {
+		p.counts = make(map[string]*atomic.Int64)
+	}
+	c, ok := p.counts[k]
+	if !ok {
+		c = new(atomic.Int64)
+		p.counts[k] = c
+	}
+	p.mu.Unlock()
+	c.Add(1)
+}
+
+// Counts returns a snapshot of fired-fault counters keyed "site/kind".
+func (p *Plan) Counts() map[string]int64 {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int64, len(p.counts))
+	for k, c := range p.counts {
+		out[k] = c.Load()
+	}
+	return out
+}
+
+// String renders the plan compactly for logs, rules in deterministic order.
+func (p *Plan) String() string {
+	if p == nil || len(p.Rules) == 0 {
+		return "off"
+	}
+	clauses := make([]string, 0, len(p.Rules))
+	for _, r := range p.Rules {
+		c := fmt.Sprintf("%s:%s:%g", r.Site, r.Kind, r.Rate)
+		if r.Kind == KindLatency {
+			c += ":" + r.Latency.String()
+		}
+		clauses = append(clauses, c)
+	}
+	sort.Strings(clauses)
+	return strings.Join(clauses, ",")
+}

@@ -1,0 +1,170 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("sim:error:0.2, cache:panic:0.05 ,journal:latency:0.5:2ms", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(p.Rules))
+	}
+	if p.Rules[2].Kind != KindLatency || p.Rules[2].Latency != 2*time.Millisecond {
+		t.Fatalf("latency rule = %+v", p.Rules[2])
+	}
+	if !p.Enabled() {
+		t.Fatal("plan with rules reports Enabled() == false")
+	}
+
+	empty, err := ParsePlan("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Enabled() {
+		t.Fatal("empty plan reports Enabled() == true")
+	}
+
+	for _, bad := range []string{
+		"sim:error",             // missing rate
+		"sim:explode:0.5",       // unknown kind
+		"sim:error:1.5",         // rate out of range
+		"sim:error:0.5:2ms",     // duration on non-latency rule
+		"sim:latency:0.5:nope",  // bad duration
+		"sim:latency:0.5:2ms:x", // too many fields
+	} {
+		if _, err := ParsePlan(bad, 0); err == nil {
+			t.Errorf("ParsePlan(%q) accepted a bad clause", bad)
+		}
+	}
+}
+
+func TestCheckDeterministic(t *testing.T) {
+	p, err := ParsePlan("sim:error:0.5", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := ParsePlan("sim:error:0.5", 42)
+	var fired, clean int
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("job%d", i)
+		e1 := p.Check("sim", key)
+		e2 := q.Check("sim", key)
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatalf("key %s: plans with identical seeds disagree (%v vs %v)", key, e1, e2)
+		}
+		if e1 != nil {
+			fired++
+		} else {
+			clean++
+		}
+	}
+	// A 0.5 rate over 1000 keys lands well inside [350, 650] with
+	// overwhelming probability for any reasonable hash.
+	if fired < 350 || fired > 650 {
+		t.Fatalf("rate 0.5 fired %d/1000 times", fired)
+	}
+	if got := p.Counts()["sim/error"]; got != int64(fired) {
+		t.Fatalf("Counts = %d, want %d", got, fired)
+	}
+}
+
+func TestCheckSeedVariesDecisions(t *testing.T) {
+	a, _ := ParsePlan("sim:error:0.5", 1)
+	b, _ := ParsePlan("sim:error:0.5", 2)
+	same := 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if (a.Check("sim", key) == nil) == (b.Check("sim", key) == nil) {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Fatal("different seeds made identical decisions on all 200 keys")
+	}
+}
+
+func TestCheckAttemptKeyEscapesFault(t *testing.T) {
+	// With rate 0.5, some key fails at attempt 0 but succeeds at a later
+	// attempt — the property retries rely on.
+	p, _ := ParsePlan("sim:error:0.5", 99)
+	escaped := false
+	for i := 0; i < 100 && !escaped; i++ {
+		if p.Check("sim", fmt.Sprintf("job%d#0", i)) == nil {
+			continue
+		}
+		for attempt := 1; attempt < 5; attempt++ {
+			if p.Check("sim", fmt.Sprintf("job%d#%d", i, attempt)) == nil {
+				escaped = true
+				break
+			}
+		}
+	}
+	if !escaped {
+		t.Fatal("no doomed job ever escaped its fault on retry")
+	}
+}
+
+func TestCheckPanicKind(t *testing.T) {
+	p, _ := ParsePlan("cache:panic:1", 0)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("rate-1 panic rule did not panic")
+		}
+		f, ok := r.(*Fault)
+		if !ok || f.Site != "cache" || f.Kind != KindPanic {
+			t.Fatalf("panicked with %v, want *Fault at cache", r)
+		}
+		if !IsTransient(f) {
+			t.Fatal("injected fault is not transient")
+		}
+	}()
+	p.Check("cache", "k")
+}
+
+func TestCheckLatency(t *testing.T) {
+	p, _ := ParsePlan("sim:latency:1:20ms", 0)
+	start := time.Now()
+	if err := p.Check("sim", "k"); err != nil {
+		t.Fatalf("latency rule returned error: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("latency rule slept %v, want ~20ms", d)
+	}
+}
+
+func TestNilPlanIsNoop(t *testing.T) {
+	var p *Plan
+	if err := p.Check("sim", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Enabled() {
+		t.Fatal("nil plan reports Enabled()")
+	}
+	if p.Counts() != nil {
+		t.Fatal("nil plan has counts")
+	}
+	if p.String() != "off" {
+		t.Fatalf("nil plan String() = %q", p.String())
+	}
+}
+
+func TestIsTransientWrapped(t *testing.T) {
+	f := &Fault{Site: "sim", Kind: KindError, Key: "k"}
+	wrapped := fmt.Errorf("attempt 2: %w", f)
+	if !IsTransient(wrapped) {
+		t.Fatal("wrapped fault not recognized as transient")
+	}
+	if IsTransient(errors.New("deterministic simulator error")) {
+		t.Fatal("ordinary error recognized as transient")
+	}
+	if IsTransient(nil) {
+		t.Fatal("nil error recognized as transient")
+	}
+}

@@ -1,7 +1,10 @@
 package sweep
 
 import (
+	"sync/atomic"
+
 	"multicluster/internal/conc"
+	"multicluster/internal/faultinject"
 )
 
 // Cache is the content-addressed result cache of the service: completed
@@ -9,8 +12,18 @@ import (
 // concurrent identical requests share one simulation. Only successful
 // results are retained — a failed or cancelled computation is forgotten so
 // a later request can retry.
+//
+// With a Journal attached the cache writes through: a result is appended
+// (and fsynced) before it is served, so every result a client has seen
+// survives a crash and is replayed into the cache on restart. A journal
+// append failure degrades durability, not availability: the result is
+// still cached and returned, and the failure is counted.
 type Cache struct {
-	memo conc.Memo
+	memo    conc.Memo
+	journal *Journal
+	inject  *faultinject.Plan
+
+	journalErrors atomic.Int64
 }
 
 // CacheStats is a snapshot of the cache counters.
@@ -24,15 +37,29 @@ type CacheStats struct {
 	Entries int `json:"entries"`
 	// InFlight is the number of computations currently running.
 	InFlight int64 `json:"in_flight"`
+	// JournalErrors counts results that could not be journaled (still
+	// served, but not durable).
+	JournalErrors int64 `json:"journal_errors,omitempty"`
 }
 
 // GetOrCompute returns the cached Result for hash, computing it with fn on
 // the first request. Concurrent requests for the same hash share one
 // computation. hit reports whether the result came from the cache or from
 // joining an in-flight computation. Errors are returned but not cached.
-func (c *Cache) GetOrCompute(hash string, fn func() (*Result, error)) (res *Result, hit bool, err error) {
+//
+// key seeds fault injection at the cache boundary; it carries the attempt
+// number so chaos runs are deterministic per retry.
+func (c *Cache) GetOrCompute(hash, key string, fn func() (*Result, error)) (res *Result, hit bool, err error) {
+	if err := c.inject.Check("cache", key); err != nil {
+		return nil, false, err
+	}
 	v, err, hit := c.memo.Do(hash, func() (any, error) {
-		return fn()
+		r, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		c.persist(r, key)
+		return r, nil
 	})
 	if err != nil {
 		// Do not content-address failures: a cancelled or crashed job must
@@ -41,6 +68,27 @@ func (c *Cache) GetOrCompute(hash string, fn func() (*Result, error)) (res *Resu
 		return nil, hit, err
 	}
 	return v.(*Result), hit, nil
+}
+
+// persist writes a freshly computed result through to the journal.
+// Injected journal panics and append errors are absorbed here: durability
+// degrades (and is counted) but the computed result is still served.
+func (c *Cache) persist(r *Result, key string) {
+	if c.journal == nil {
+		return
+	}
+	defer func() {
+		if recover() != nil {
+			c.journalErrors.Add(1)
+		}
+	}()
+	if err := c.inject.Check("journal", key); err != nil {
+		c.journalErrors.Add(1)
+		return
+	}
+	if err := c.journal.Append(r); err != nil {
+		c.journalErrors.Add(1)
+	}
 }
 
 // Get returns the completed Result for hash without computing anything.
@@ -52,12 +100,19 @@ func (c *Cache) Get(hash string) (*Result, bool) {
 	return v.(*Result), true
 }
 
+// Seed installs a completed result without journaling it — the replay
+// path. It reports whether the hash was newly installed.
+func (c *Cache) Seed(hash string, res *Result) bool {
+	return c.memo.Seed(hash, res)
+}
+
 // Stats snapshots the counters.
 func (c *Cache) Stats() CacheStats {
 	return CacheStats{
-		Hits:     c.memo.Hits(),
-		Misses:   c.memo.Misses(),
-		Entries:  c.memo.Len(),
-		InFlight: c.memo.InFlight(),
+		Hits:          c.memo.Hits(),
+		Misses:        c.memo.Misses(),
+		Entries:       c.memo.Len(),
+		InFlight:      c.memo.InFlight(),
+		JournalErrors: c.journalErrors.Load(),
 	}
 }

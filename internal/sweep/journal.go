@@ -1,0 +1,202 @@
+package sweep
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Journal is the crash-safe persistence layer of the result cache: an
+// append-only file of length-prefixed, checksummed JSON records, one per
+// completed Result. The cache writes through on every store and the
+// service replays the journal on startup, so a daemon restart — graceful
+// or not — restores every committed result.
+//
+// Record layout (all integers big-endian):
+//
+//	[4 bytes length][4 bytes CRC32-IEEE of payload][length bytes JSON Result]
+//
+// Recovery is corruption-tolerant: replay stops at the first record whose
+// length, checksum, or JSON is invalid (the classic torn tail of a crash
+// mid-append) and the file is truncated back to the last good record, so
+// the next append continues from a clean boundary.
+type Journal struct {
+	mu        sync.Mutex
+	f         *os.File
+	path      string
+	recovered []*Result
+
+	records      atomic.Int64 // records live in the file
+	appends      atomic.Int64 // successful appends this process
+	appendErrors atomic.Int64 // failed appends this process
+	truncated    atomic.Int64 // bytes discarded during recovery
+}
+
+// JournalStats is a snapshot of the journal counters.
+type JournalStats struct {
+	Path         string `json:"path"`
+	Records      int64  `json:"records"`
+	Appends      int64  `json:"appends"`
+	AppendErrors int64  `json:"append_errors"`
+	// TruncatedBytes is how much trailing corruption recovery discarded.
+	TruncatedBytes int64 `json:"truncated_bytes"`
+}
+
+// journalMaxRecord bounds a single record so a corrupted length prefix
+// cannot ask replay to allocate gigabytes.
+const journalMaxRecord = 16 << 20
+
+// OpenJournal opens (creating if needed) the journal at path, replays
+// every intact record, truncates trailing corruption, and returns the
+// journal positioned for appending. The recovered results are available
+// from Recovered, in append order; NewService seeds its cache with them
+// when the journal is attached via Config.Journal.
+func OpenJournal(path string) (*Journal, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: journal dir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: opening journal: %w", err)
+	}
+	j := &Journal{f: f, path: path}
+	results, good, err := j.replay()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Truncate the torn tail (if any) and seek to the append position.
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: journal seek: %w", err)
+	}
+	if size > good {
+		j.truncated.Store(size - good)
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sweep: truncating corrupt journal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: journal seek: %w", err)
+	}
+	j.records.Store(int64(len(results)))
+	j.recovered = results
+	return j, nil
+}
+
+// Recovered returns the results replayed when the journal was opened, in
+// append order.
+func (j *Journal) Recovered() []*Result { return j.recovered }
+
+// replay scans the journal from the start, returning every intact record
+// and the offset just past the last good one.
+func (j *Journal) replay() ([]*Result, int64, error) {
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("sweep: journal seek: %w", err)
+	}
+	var (
+		results []*Result
+		good    int64
+		header  [8]byte
+	)
+	for {
+		if _, err := io.ReadFull(j.f, header[:]); err != nil {
+			// io.EOF is a clean end; ErrUnexpectedEOF is a torn header.
+			// Either way replay stops at the last good record.
+			break
+		}
+		length := binary.BigEndian.Uint32(header[0:4])
+		sum := binary.BigEndian.Uint32(header[4:8])
+		if length == 0 || length > journalMaxRecord {
+			break
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(j.f, payload); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		var res Result
+		if err := json.Unmarshal(payload, &res); err != nil {
+			break
+		}
+		results = append(results, &res)
+		good += 8 + int64(length)
+	}
+	return results, good, nil
+}
+
+// Append durably writes one result: the record is written and fsynced
+// before Append returns, so a result the cache has acknowledged survives
+// an immediate crash.
+func (j *Journal) Append(res *Result) error {
+	payload, err := json.Marshal(res)
+	if err != nil {
+		j.appendErrors.Add(1)
+		return fmt.Errorf("sweep: journal marshal: %w", err)
+	}
+	var header [8]byte
+	binary.BigEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(payload))
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		j.appendErrors.Add(1)
+		return errors.New("sweep: journal closed")
+	}
+	// A short write leaves a torn record; recovery truncates it on the
+	// next open, so no attempt is made to repair in place.
+	if _, err := j.f.Write(header[:]); err != nil {
+		j.appendErrors.Add(1)
+		return fmt.Errorf("sweep: journal write: %w", err)
+	}
+	if _, err := j.f.Write(payload); err != nil {
+		j.appendErrors.Add(1)
+		return fmt.Errorf("sweep: journal write: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		j.appendErrors.Add(1)
+		return fmt.Errorf("sweep: journal sync: %w", err)
+	}
+	j.appends.Add(1)
+	j.records.Add(1)
+	return nil
+}
+
+// Close closes the journal file. Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }
+
+// Stats snapshots the journal counters.
+func (j *Journal) Stats() JournalStats {
+	return JournalStats{
+		Path:           j.path,
+		Records:        j.records.Load(),
+		Appends:        j.appends.Load(),
+		AppendErrors:   j.appendErrors.Load(),
+		TruncatedBytes: j.truncated.Load(),
+	}
+}

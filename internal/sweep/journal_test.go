@@ -1,0 +1,223 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// testResult fabricates a distinct, recognizable result for journal tests.
+func testResult(i int) *Result {
+	return &Result{
+		Spec:    JobSpec{Benchmark: "compress", Machine: "dual", Scheduler: "none", Seed: int64(i + 1)},
+		Hash:    fmt.Sprintf("hash-%04d", i),
+		Spilled: i,
+		Demoted: i * 2,
+	}
+}
+
+func sameResult(t *testing.T, got, want *Result) {
+	t.Helper()
+	g, _ := json.Marshal(got)
+	w, _ := json.Marshal(want)
+	if string(g) != string(w) {
+		t.Fatalf("result mismatch:\n got  %s\n want %s", g, w)
+	}
+}
+
+func TestJournalCleanRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := j.Append(testResult(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	rec := j2.Recovered()
+	if len(rec) != n {
+		t.Fatalf("recovered %d records, want %d", len(rec), n)
+	}
+	for i, r := range rec {
+		sameResult(t, r, testResult(i))
+	}
+	if st := j2.Stats(); st.Records != n || st.TruncatedBytes != 0 {
+		t.Fatalf("stats after clean restart = %+v", st)
+	}
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(testResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Tear the last record mid-payload, as a crash between write and sync
+	// would.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := j2.Recovered()
+	if len(rec) != 2 {
+		t.Fatalf("recovered %d records after torn tail, want 2", len(rec))
+	}
+	if st := j2.Stats(); st.TruncatedBytes == 0 {
+		t.Fatal("recovery reported no truncated bytes for a torn tail")
+	}
+	// The journal keeps working from the clean boundary.
+	if err := j2.Append(testResult(9)); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	rec = j3.Recovered()
+	if len(rec) != 3 {
+		t.Fatalf("recovered %d records after repair+append, want 3", len(rec))
+	}
+	sameResult(t, rec[2], testResult(9))
+}
+
+func TestJournalFlippedChecksumByte(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offsets []int64
+	var off int64
+	for i := 0; i < 3; i++ {
+		offsets = append(offsets, off)
+		if err := j.Append(testResult(i)); err != nil {
+			t.Fatal(err)
+		}
+		st, _ := os.Stat(path)
+		off = st.Size()
+	}
+	j.Close()
+
+	// Flip one payload byte inside the middle record. Replay must stop at
+	// the first bad record: record 0 survives, records 1 and 2 are
+	// discarded (the journal cannot trust anything past unverified bytes).
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := offsets[1] + 8 + 3 // past the header, into the payload
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, pos); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0xff
+	if _, err := f.WriteAt(buf, pos); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	rec := j2.Recovered()
+	if len(rec) != 1 {
+		t.Fatalf("recovered %d records after checksum corruption, want 1", len(rec))
+	}
+	sameResult(t, rec[0], testResult(0))
+	if st := j2.Stats(); st.TruncatedBytes == 0 {
+		t.Fatal("recovery reported no truncated bytes for checksum corruption")
+	}
+}
+
+// TestJournalServiceCrashReplay proves the service-level contract: the
+// cache state after an abrupt restart equals the pre-crash committed set.
+func TestJournalServiceCrashReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stub := &stubExec{}
+	svc := NewService(Config{Workers: 2, Journal: j, exec: stub.exec})
+	specs := []JobSpec{
+		{Benchmark: "compress"},
+		{Benchmark: "ora", Scheduler: "local"},
+		{Benchmark: "doduc", Seed: 7},
+	}
+	committed := make(map[string]*Result)
+	for _, spec := range specs {
+		res, _, err := svc.Run(t.Context(), spec)
+		if err != nil {
+			t.Fatalf("run %v: %v", spec, err)
+		}
+		committed[res.Hash] = res
+	}
+	// Crash: no Drain, no journal Close — the file simply stops being
+	// written, exactly like a killed process. (Appends are fsynced, so
+	// everything acknowledged above is on disk.)
+	svc.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2 := NewService(Config{Workers: 2, Journal: j2, exec: stub.exec})
+	defer svc2.Close()
+	defer j2.Close()
+
+	if got := svc2.Stats().Cache.Entries; got != len(committed) {
+		t.Fatalf("replayed cache has %d entries, want %d", got, len(committed))
+	}
+	calls := stub.calls.Load()
+	for hash, want := range committed {
+		got, ok := svc2.cache.Get(hash)
+		if !ok {
+			t.Fatalf("hash %s missing after replay", hash)
+		}
+		sameResult(t, got, want)
+	}
+	// Re-running a replayed spec is a pure cache hit: no new execution.
+	res, hit, err := svc2.Run(t.Context(), specs[0])
+	if err != nil || !hit {
+		t.Fatalf("re-run after replay: hit=%v err=%v", hit, err)
+	}
+	sameResult(t, res, committed[res.Hash])
+	if stub.calls.Load() != calls {
+		t.Fatal("re-run after replay executed a simulation")
+	}
+}

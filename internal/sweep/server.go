@@ -2,8 +2,10 @@ package sweep
 
 import (
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
+	"net"
 	"net/http"
 	"strconv"
 	"sync"
@@ -11,10 +13,15 @@ import (
 	"multicluster/internal/experiment"
 )
 
+// maxBodyBytes caps request bodies on the submission endpoints: a JobSpec
+// or Grid is a few hundred bytes, so 1 MiB is generous and a giant or
+// malicious body is refused with 413 instead of ballooning memory.
+const maxBodyBytes = 1 << 20
+
 // Server exposes a Service over HTTP/JSON. It is an http.Handler so the
 // daemon and httptest both mount it directly.
 //
-//	POST /v1/jobs     submit one job            -> 202 JobView
+//	POST /v1/jobs     submit one job            -> 202 JobView (429 when shedding)
 //	GET  /v1/jobs     list jobs                 -> 200 [JobView]
 //	GET  /v1/jobs/{id} poll one job             -> 200 JobView
 //	DELETE /v1/jobs/{id} cancel one job         -> 200 JobView
@@ -22,14 +29,20 @@ import (
 //	GET  /v1/table2   the paper's Table 2       -> 200 rows (json|csv|text)
 //	GET  /v1/stats    service counters          -> 200 Stats
 //	GET  /healthz     liveness                  -> 200 ok
+//	GET  /readyz      readiness (admission)     -> 200 ok | 503 overloaded/draining
 //	GET  /debug/vars  expvar                    -> 200 JSON
+//
+// Submissions may carry an X-Client-ID header; per-client in-flight caps
+// apply to that identity, falling back to the remote host.
 type Server struct {
-	svc *Service
-	mux *http.ServeMux
+	svc        *Service
+	mux        *http.ServeMux
+	expvarName string
 }
 
 // NewServer builds the HTTP front end of a service and publishes the
-// service counters as the expvar variable "sweep" (once per process).
+// service counters under the service's name in expvar, uniquified per
+// process (see publishExpvar).
 func NewServer(svc *Service) *Server {
 	s := &Server{svc: svc, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -43,23 +56,40 @@ func NewServer(svc *Service) *Server {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
-	publishExpvarOnce(svc)
+	s.expvarName = publishExpvar(svc)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-var expvarOnce sync.Once
+// ExpvarName returns the expvar variable this server's service counters
+// were published under.
+func (s *Server) ExpvarName() string { return s.expvarName }
 
-// publishExpvarOnce registers the sweep counters with the expvar registry.
-// expvar panics on duplicate names, and tests construct several servers
-// per process, so only the first service in a process is published.
-func publishExpvarOnce(svc *Service) {
-	expvarOnce.Do(func() {
-		expvar.Publish("sweep", expvar.Func(func() any { return svc.Stats() }))
-	})
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = make(map[string]int)
+)
+
+// publishExpvar registers the service counters with the expvar registry
+// under the service's name. expvar panics on duplicate names and never
+// unregisters, while tests and multi-instance processes construct many
+// servers, so names are uniquified with a per-name sequence number: the
+// first "sweep" publishes as "sweep", the next as "sweep#2", and so on.
+// Every service gets live metrics instead of only the first one.
+func publishExpvar(svc *Service) string {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	name := svc.Name()
+	expvarPublished[name]++
+	if n := expvarPublished[name]; n > 1 {
+		name = fmt.Sprintf("%s#%d", name, n)
+	}
+	expvar.Publish(name, expvar.Func(func() any { return svc.Stats() }))
+	return name
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -78,22 +108,55 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, apiError{Error: err.Error()})
 }
 
+// decodeBody decodes a JSON request body under the size cap, translating
+// an oversized body into 413 and malformed JSON into 400. It reports
+// whether decoding succeeded; on failure the response has been written.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+// clientID identifies the submitting client for per-client admission
+// caps: the X-Client-ID header when present, else the remote host.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
-	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+	if !decodeBody(w, r, &spec) {
 		return
 	}
-	job, err := s.svc.Submit(spec)
-	if err == ErrDraining {
+	job, err := s.svc.SubmitFor(clientID(r), spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, job.View())
+	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	}
-	if err != nil {
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClientBusy):
+		// Load shedding: tell the client when to come back rather than
+		// letting the queue (and memory) grow without bound.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	default:
 		writeError(w, http.StatusBadRequest, err)
-		return
 	}
-	writeJSON(w, http.StatusAccepted, job.View())
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
@@ -119,12 +182,21 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.View())
 }
 
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.svc.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "overloaded or draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
 // handleSweep streams completed rows as NDJSON, one SweepRow per line, as
 // each cell finishes.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var grid Grid
-	if err := json.NewDecoder(r.Body).Decode(&grid); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding grid: %w", err))
+	if !decodeBody(w, r, &grid) {
 		return
 	}
 	rows, _, err := s.svc.Sweep(r.Context(), grid)

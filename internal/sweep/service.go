@@ -4,11 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"multicluster/internal/conc"
 	"multicluster/internal/experiment"
+	"multicluster/internal/faultinject"
 )
 
 // JobState is the lifecycle of a submitted job.
@@ -31,6 +35,7 @@ type Job struct {
 	Spec JobSpec
 	Hash string
 
+	client string
 	cancel context.CancelFunc
 	done   chan struct{}
 
@@ -39,6 +44,7 @@ type Job struct {
 	err      error
 	result   *Result
 	cacheHit bool
+	attempts int
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -51,6 +57,9 @@ type JobView struct {
 	State    JobState  `json:"state"`
 	Spec     JobSpec   `json:"spec"`
 	CacheHit bool      `json:"cache_hit"`
+	// Attempts is how many executions the job needed; > 1 means transient
+	// failures were retried.
+	Attempts int       `json:"attempts,omitempty"`
 	Error    string    `json:"error,omitempty"`
 	Result   *Result   `json:"result,omitempty"`
 	Created  time.Time `json:"created"`
@@ -68,6 +77,7 @@ func (j *Job) View() JobView {
 		State:    j.state,
 		Spec:     j.Spec,
 		CacheHit: j.cacheHit,
+		Attempts: j.attempts,
 		Result:   j.result,
 		Created:  j.created,
 		Started:  j.started,
@@ -107,14 +117,15 @@ func (j *Job) markRunning() {
 		j.state = JobRunning
 		j.started = time.Now()
 	}
+	j.attempts++
 	j.mu.Unlock()
 }
 
-func (j *Job) finish(res *Result, hit bool, err error) {
+func (j *Job) finish(res *Result, hit bool, err error) (terminal bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state == JobDone || j.state == JobFailed || j.state == JobCanceled {
-		return
+		return false
 	}
 	j.finished = time.Now()
 	j.cacheHit = hit
@@ -130,12 +141,73 @@ func (j *Job) finish(res *Result, hit bool, err error) {
 		j.err = err
 	}
 	close(j.done)
+	return true
+}
+
+// RetryPolicy governs how transient failures are retried: exponential
+// backoff from Base doubling per attempt, capped at Max, plus a
+// deterministic jitter derived from the job hash so chaos runs replay
+// exactly.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of executions allowed; < 1 means 1
+	// (no retries).
+	MaxAttempts int
+	// Base is the first backoff; 0 means 10ms.
+	Base time.Duration
+	// Max caps the backoff; 0 means 1s.
+	Max time.Duration
+}
+
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.Base <= 0 {
+		p.Base = 10 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = time.Second
+	}
+	return p
+}
+
+// backoff returns the sleep before retry number attempt (0-based counting
+// of completed attempts): exponential with ±50% deterministic jitter.
+func (p RetryPolicy) backoff(hash string, attempt int) time.Duration {
+	d := p.Base << uint(attempt)
+	if d > p.Max || d <= 0 {
+		d = p.Max
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s#%d", hash, attempt)
+	// Jitter in [50%, 150%) of the exponential step.
+	frac := 0.5 + float64(h.Sum64()>>11)/float64(1<<53)
+	return time.Duration(float64(d) * frac)
 }
 
 // Config configures a Service.
 type Config struct {
 	// Workers bounds the worker pool; < 1 means GOMAXPROCS.
 	Workers int
+	// Name namespaces the service's expvar metrics; empty means "sweep".
+	Name string
+	// JobTimeout is the default per-job deadline, overridable per job via
+	// JobSpec.TimeoutMS; 0 means no deadline.
+	JobTimeout time.Duration
+	// Retry governs transient-failure retries; the zero value means no
+	// retries.
+	Retry RetryPolicy
+	// MaxLive bounds admitted-but-unfinished jobs (queued + running).
+	// Submissions beyond it are shed with ErrOverloaded; 0 means
+	// unbounded.
+	MaxLive int
+	// MaxPerClient caps unfinished jobs per client id; 0 means unlimited.
+	MaxPerClient int
+	// Inject is the fault-injection plan for chaos testing; nil means off.
+	Inject *faultinject.Plan
+	// Journal, when set, is written through on every computed result and
+	// its recovered records seed the cache at construction.
+	Journal *Journal
 	// exec overrides the execution kernel; tests use it to observe or
 	// sabotage job execution.
 	exec func(spec JobSpec) (*Result, error)
@@ -145,9 +217,17 @@ type Config struct {
 // content-addressed cache (deduplicating identical specs) onto the bounded
 // worker pool, and results are retained for every later request.
 type Service struct {
-	pool  *Pool
-	cache Cache
-	exec  func(spec JobSpec) (*Result, error)
+	pool    *Pool
+	cache   Cache
+	exec    func(spec JobSpec) (*Result, error)
+	inject  *faultinject.Plan
+	journal *Journal
+
+	name         string
+	jobTimeout   time.Duration
+	retry        RetryPolicy
+	maxLive      int
+	maxPerClient int
 
 	base       context.Context
 	baseCancel context.CancelFunc
@@ -155,27 +235,55 @@ type Service struct {
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string
+	clients  map[string]int
+	live     int
 	draining bool
 
 	nextID    atomic.Int64
 	submitted atomic.Int64
+	shed      atomic.Int64
+	retries   atomic.Int64
 }
 
-// NewService starts a service with its worker pool.
+// NewService starts a service with its worker pool. When cfg.Journal is
+// set, every result it recovered is seeded into the cache before the
+// service accepts work.
 func NewService(cfg Config) *Service {
 	exec := cfg.exec
 	if exec == nil {
 		exec = runSpec
 	}
-	base, cancel := context.WithCancel(context.Background())
-	return &Service{
-		pool:       NewPool(cfg.Workers),
-		exec:       exec,
-		base:       base,
-		baseCancel: cancel,
-		jobs:       make(map[string]*Job),
+	if cfg.Name == "" {
+		cfg.Name = "sweep"
 	}
+	base, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		pool:         NewPool(cfg.Workers),
+		exec:         exec,
+		inject:       cfg.Inject,
+		journal:      cfg.Journal,
+		name:         cfg.Name,
+		jobTimeout:   cfg.JobTimeout,
+		retry:        cfg.Retry.normalized(),
+		maxLive:      cfg.MaxLive,
+		maxPerClient: cfg.MaxPerClient,
+		base:         base,
+		baseCancel:   cancel,
+		jobs:         make(map[string]*Job),
+		clients:      make(map[string]int),
+	}
+	s.cache.inject = cfg.Inject
+	s.cache.journal = cfg.Journal
+	if cfg.Journal != nil {
+		for _, r := range cfg.Journal.Recovered() {
+			s.cache.Seed(r.Hash, r)
+		}
+	}
+	return s
 }
+
+// Name returns the service's metrics namespace.
+func (s *Service) Name() string { return s.name }
 
 // runSpec is the real execution kernel: compile and simulate through the
 // process-wide experiment cache.
@@ -199,10 +307,24 @@ func runSpec(spec JobSpec) (*Result, error) {
 // ErrDraining is returned by Submit once graceful shutdown has begun.
 var ErrDraining = errors.New("sweep: service is draining")
 
-// Submit registers an asynchronous job and returns immediately. Identical
-// specs — concurrent or repeated — share one underlying simulation through
-// the cache.
-func (s *Service) Submit(spec JobSpec) (*Job, error) {
+// ErrOverloaded is returned by Submit when the admission window (MaxLive)
+// is full; the client should retry after backing off.
+var ErrOverloaded = errors.New("sweep: overloaded, retry later")
+
+// ErrClientBusy is returned by Submit when one client exceeds its
+// in-flight cap while the service as a whole still has capacity.
+var ErrClientBusy = errors.New("sweep: client in-flight limit reached, retry later")
+
+// Submit registers an asynchronous job with no client attribution.
+func (s *Service) Submit(spec JobSpec) (*Job, error) { return s.SubmitFor("", spec) }
+
+// SubmitFor registers an asynchronous job on behalf of client and returns
+// immediately. Identical specs — concurrent or repeated — share one
+// underlying simulation through the cache. Admission control applies
+// before the job exists: a full service sheds with ErrOverloaded, a
+// client over its in-flight cap is refused with ErrClientBusy, and both
+// are counted as shed.
+func (s *Service) SubmitFor(client string, spec JobSpec) (*Job, error) {
 	norm, err := spec.Normalize()
 	if err != nil {
 		return nil, err
@@ -212,10 +334,14 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 		return nil, err
 	}
 	jctx, cancel := context.WithCancel(s.base)
+	if timeout := norm.Timeout(s.jobTimeout); timeout > 0 {
+		jctx, cancel = context.WithTimeout(s.base, timeout)
+	}
 	job := &Job{
 		ID:      fmt.Sprintf("j%d", s.nextID.Add(1)),
 		Spec:    norm,
 		Hash:    hash,
+		client:  client,
 		cancel:  cancel,
 		done:    make(chan struct{}),
 		state:   JobQueued,
@@ -228,8 +354,24 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 		cancel()
 		return nil, ErrDraining
 	}
+	if s.maxLive > 0 && s.live >= s.maxLive {
+		s.mu.Unlock()
+		cancel()
+		s.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+	if client != "" && s.maxPerClient > 0 && s.clients[client] >= s.maxPerClient {
+		s.mu.Unlock()
+		cancel()
+		s.shed.Add(1)
+		return nil, ErrClientBusy
+	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
+	s.live++
+	if client != "" {
+		s.clients[client]++
+	}
 	s.mu.Unlock()
 	s.submitted.Add(1)
 
@@ -242,26 +384,41 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 		}
 		ch := make(chan out, 1)
 		go func() {
-			res, hit, err := s.cache.GetOrCompute(hash, func() (*Result, error) {
-				return s.runOnPool(jctx, norm, hash, job.markRunning)
-			})
+			res, hit, err := s.compute(jctx, norm, hash, job.markRunning)
 			ch <- out{res, hit, err}
 		}()
 		select {
 		case o := <-ch:
-			job.finish(o.res, o.hit, o.err)
+			s.finishJob(job, o.res, o.hit, o.err)
 		case <-jctx.Done():
-			// The job was cancelled while joined to someone else's
-			// computation; release the submitter now. (If this job owned
-			// the computation, the inner call observes the same ctx.)
-			job.finish(nil, false, jctx.Err())
+			// The job was cancelled (or timed out) while joined to someone
+			// else's computation; release the submitter now. (If this job
+			// owned the computation, the inner call observes the same ctx.)
+			s.finishJob(job, nil, false, jctx.Err())
 		}
 	}()
 	return job, nil
 }
 
+// finishJob records the terminal state and releases the job's admission
+// slot exactly once.
+func (s *Service) finishJob(job *Job, res *Result, hit bool, err error) {
+	if !job.finish(res, hit, err) {
+		return
+	}
+	s.mu.Lock()
+	s.live--
+	if job.client != "" {
+		if s.clients[job.client]--; s.clients[job.client] <= 0 {
+			delete(s.clients, job.client)
+		}
+	}
+	s.mu.Unlock()
+}
+
 // Run executes one spec synchronously: through the cache, deduplicated
-// with any concurrent identical request, on the worker pool. hit reports
+// with any concurrent identical request, on the worker pool, with the
+// same deadline and retry behaviour as submitted jobs. hit reports
 // whether the result came from the cache.
 func (s *Service) Run(ctx context.Context, spec JobSpec) (res *Result, hit bool, err error) {
 	norm, err := spec.Normalize()
@@ -272,15 +429,92 @@ func (s *Service) Run(ctx context.Context, spec JobSpec) (res *Result, hit bool,
 	if err != nil {
 		return nil, false, err
 	}
-	return s.cache.GetOrCompute(hash, func() (*Result, error) {
-		return s.runOnPool(ctx, norm, hash, nil)
+	if timeout := norm.Timeout(s.jobTimeout); timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return s.compute(ctx, norm, hash, nil)
+}
+
+// compute drives one spec to completion through the retry loop: each
+// attempt goes through the cache (where cache- and journal-boundary
+// faults can strike) onto the pool (where simulation-boundary faults can
+// strike). Transient failures back off and retry; terminal failures —
+// deterministic simulator errors, cancellation, deadline — return
+// immediately.
+func (s *Service) compute(ctx context.Context, spec JobSpec, hash string, onStart func()) (*Result, bool, error) {
+	var lastErr error
+	for attempt := 0; attempt < s.retry.MaxAttempts; attempt++ {
+		key := fmt.Sprintf("%s#%d", hash, attempt)
+		res, hit, err := s.attempt(ctx, spec, hash, key, onStart)
+		if err == nil {
+			return res, hit, nil
+		}
+		lastErr = err
+		if !s.retryable(err) || attempt+1 == s.retry.MaxAttempts {
+			return nil, hit, err
+		}
+		s.retries.Add(1)
+		select {
+		case <-time.After(s.retry.backoff(hash, attempt)):
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	return nil, false, lastErr
+}
+
+// attempt is one pass through cache and pool. A panic escaping the cache
+// boundary (injected chaos) is converted to a *PanicError here so it can
+// be classified and retried instead of killing the submit goroutine.
+func (s *Service) attempt(ctx context.Context, spec JobSpec, hash, key string, onStart func()) (res *Result, hit bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, hit = nil, false
+			err = &PanicError{Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	return s.cache.GetOrCompute(hash, key, func() (*Result, error) {
+		return s.runOnPool(ctx, spec, hash, key, onStart)
 	})
+}
+
+// retryable classifies an execution error: cancellation and deadlines are
+// final, injected/transient faults (including a panic carrying one, and a
+// shared computation that panicked under injection) retry, and everything
+// else — a deterministic simulator or spec error — is terminal and never
+// retried.
+func (s *Service) retryable(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return false
+	case errors.Is(err, ErrPoolClosed):
+		return false
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		if f, ok := pe.Value.(error); ok {
+			return faultinject.IsTransient(f)
+		}
+		return false
+	}
+	if errors.Is(err, conc.ErrComputePanicked) {
+		// A joined computation panicked in its owner; whether the panic
+		// was injected is invisible from here, but retrying is safe under
+		// chaos and cheap otherwise (the owner's retry usually wins the
+		// cache first).
+		return s.inject.Enabled()
+	}
+	return faultinject.IsTransient(err)
 }
 
 // runOnPool queues one computation and waits for it. The spec only
 // executes if ctx is still live when a worker picks it up — cancellation
 // while queued skips the simulation entirely.
-func (s *Service) runOnPool(ctx context.Context, spec JobSpec, hash string, onStart func()) (*Result, error) {
+func (s *Service) runOnPool(ctx context.Context, spec JobSpec, hash, key string, onStart func()) (*Result, error) {
 	var res *Result
 	ch := make(chan error, 1)
 	submitErr := s.pool.Submit(func() error {
@@ -289,6 +523,9 @@ func (s *Service) runOnPool(ctx context.Context, spec JobSpec, hash string, onSt
 		}
 		if onStart != nil {
 			onStart()
+		}
+		if err := s.inject.Check("sim", key); err != nil {
+			return err
 		}
 		r, err := s.exec(spec)
 		if err != nil {
@@ -338,12 +575,36 @@ func (s *Service) Jobs() []JobView {
 	return views
 }
 
+// Ready reports whether the service can accept a new submission right
+// now: not draining and not at its admission limit. The HTTP /readyz
+// endpoint exposes it.
+func (s *Service) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	return s.maxLive == 0 || s.live < s.maxLive
+}
+
 // Stats aggregates every counter the service exposes.
 type Stats struct {
 	Submitted int64              `json:"submitted"`
-	States    map[JobState]int64 `json:"states"`
-	Pool      PoolStats          `json:"pool"`
-	Cache     CacheStats         `json:"cache"`
+	// Shed counts submissions refused by admission control (full service
+	// or per-client cap).
+	Shed int64 `json:"shed"`
+	// Retries counts transient-failure retries across all jobs.
+	Retries int64              `json:"retries"`
+	States  map[JobState]int64 `json:"states"`
+	// Live is the number of admitted, unfinished jobs.
+	Live  int        `json:"live"`
+	Ready bool       `json:"ready"`
+	Pool  PoolStats  `json:"pool"`
+	Cache CacheStats `json:"cache"`
+	// Journal is present when a persistent journal is attached.
+	Journal *JournalStats `json:"journal,omitempty"`
+	// Faults counts injected faults by "site/kind" when chaos is on.
+	Faults map[string]int64 `json:"faults,omitempty"`
 	// Utilization is running workers over total workers, 0..1.
 	Utilization float64 `json:"utilization"`
 }
@@ -352,11 +613,22 @@ type Stats struct {
 func (s *Service) Stats() Stats {
 	st := Stats{
 		Submitted: s.submitted.Load(),
+		Shed:      s.shed.Load(),
+		Retries:   s.retries.Load(),
 		States:    make(map[JobState]int64),
+		Ready:     s.Ready(),
 		Pool:      s.pool.Stats(),
 		Cache:     s.cache.Stats(),
 	}
+	if s.journal != nil {
+		js := s.journal.Stats()
+		st.Journal = &js
+	}
+	if s.inject.Enabled() {
+		st.Faults = s.inject.Counts()
+	}
 	s.mu.Lock()
+	st.Live = s.live
 	for _, j := range s.jobs {
 		st.States[j.State()]++
 	}
@@ -369,7 +641,8 @@ func (s *Service) Stats() Stats {
 
 // Drain begins graceful shutdown: new submissions are rejected, queued and
 // running jobs finish, and Drain returns when every registered job has
-// reached a terminal state or ctx expires.
+// reached a terminal state or ctx expires. The journal, if any, is closed
+// once the jobs have settled.
 func (s *Service) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
@@ -392,6 +665,9 @@ func (s *Service) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-drained:
+		if s.journal != nil {
+			s.journal.Close()
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -399,7 +675,10 @@ func (s *Service) Drain(ctx context.Context) error {
 }
 
 // Close shuts down immediately: every job context is cancelled and the
-// pool is drained of the (now trivially short) remaining tasks.
+// pool is drained of the (now trivially short) remaining tasks. The
+// journal is NOT closed by Close — an abrupt shutdown is exactly the case
+// the journal's crash recovery handles, and callers that own the journal
+// close it themselves.
 func (s *Service) Close() {
 	s.mu.Lock()
 	s.draining = true

@@ -1,0 +1,282 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"multicluster/internal/faultinject"
+	"multicluster/internal/workload"
+)
+
+// soakExec is a deterministic stand-in kernel: the result is a pure
+// function of the spec, so any two runs of the same spec — before or
+// after a crash, with or without retries — must produce identical bytes.
+type soakExec struct{ stubExec }
+
+func (s *soakExec) exec(spec JobSpec) (*Result, error) {
+	s.calls.Add(1)
+	return &Result{
+		Spec:    spec,
+		Spilled: int(spec.Seed % 17),
+		Demoted: len(spec.Benchmark),
+	}, nil
+}
+
+// soakSpecs enumerates n distinct job specs spread over the evaluation
+// axes, plus a duplicate of every tenth spec to exercise the single-flight
+// join paths under chaos.
+func soakSpecs(n int) []JobSpec {
+	benches := workload.All()
+	machines := []string{"single", "dual"}
+	scheds := []string{"none", "local"}
+	var specs []JobSpec
+	for i := 0; len(specs) < n; i++ {
+		spec := JobSpec{
+			Benchmark: benches[i%len(benches)].Name,
+			Machine:   machines[i%len(machines)],
+			Scheduler: scheds[i%len(scheds)],
+			Seed:      int64(i + 1),
+		}
+		specs = append(specs, spec)
+		if i%10 == 0 && len(specs) < n {
+			specs = append(specs, spec)
+		}
+	}
+	return specs
+}
+
+// chaosPlan injects panics, errors, and latency at all three boundaries —
+// simulation, cache, and journal — deterministically.
+func chaosPlan(t *testing.T, seed int64) *faultinject.Plan {
+	t.Helper()
+	plan, err := faultinject.ParsePlan(
+		"sim:error:0.15,sim:panic:0.05,sim:latency:0.3:200us,"+
+			"cache:error:0.08,cache:panic:0.03,cache:latency:0.2:100us,"+
+			"journal:error:0.08,journal:panic:0.03,journal:latency:0.2:100us", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+var soakRetry = RetryPolicy{MaxAttempts: 10, Base: 200 * time.Microsecond, Max: 2 * time.Millisecond}
+
+// TestChaosSoak is the headline robustness soak: 240 jobs through a
+// journaled service with faults firing at every boundary, under load
+// shedding. Zero lost jobs — every admitted job reaches a terminal state,
+// every non-shed job completes successfully through retries, and the
+// journal plus a full restart reproduce every result byte for byte.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	const jobs = 240
+	specs := soakSpecs(jobs)
+	dir := t.TempDir()
+
+	// Phase 1: a chaos-free control run pins the expected bytes per hash.
+	control := make(map[string]string)
+	ctrl := NewService(Config{Workers: 8, exec: (&soakExec{}).exec})
+	for _, spec := range specs {
+		res, _, err := ctrl.Run(t.Context(), spec)
+		if err != nil {
+			t.Fatalf("control run %v: %v", spec, err)
+		}
+		b, _ := json.Marshal(res)
+		control[res.Hash] = string(b)
+	}
+	ctrl.Close()
+
+	// Phase 2: the same workload under chaos, journaled, with admission
+	// control tight enough to shed.
+	j, err := OpenJournal(filepath.Join(dir, "results.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := chaosPlan(t, 7)
+	svc := NewService(Config{
+		Workers: 8,
+		Retry:   soakRetry,
+		MaxLive: 64,
+		Inject:  plan,
+		Journal: j,
+		exec:    (&soakExec{}).exec,
+	})
+
+	// Submit like a well-behaved client: a shed submission backs off and
+	// retries, so every one of the 240 jobs eventually runs while the
+	// admission window stays bounded.
+	var admitted []*Job
+	var shed int
+	for _, spec := range specs {
+		for {
+			job, err := svc.Submit(spec)
+			if err == nil {
+				admitted = append(admitted, job)
+				break
+			}
+			if !errors.Is(err, ErrOverloaded) {
+				t.Fatalf("submit %v: %v", spec, err)
+			}
+			shed++
+			time.Sleep(500 * time.Microsecond)
+		}
+	}
+	if len(admitted) != jobs {
+		t.Fatalf("admitted %d jobs, want all %d", len(admitted), jobs)
+	}
+	// Whether shedding fires here depends on worker/submitter timing;
+	// TestAdmissionShedsWhenFull and TestServerShedding429 assert it
+	// deterministically.
+
+	deadline := time.After(2 * time.Minute)
+	for _, job := range admitted {
+		select {
+		case <-job.Done():
+		case <-deadline:
+			t.Fatalf("lost job %s (%v): never reached a terminal state", job.ID, job.Spec)
+		}
+	}
+	for _, job := range admitted {
+		v := job.View()
+		if v.State != JobDone {
+			t.Fatalf("job %s (%v) ended %s under chaos: %s", v.ID, v.Spec, v.State, v.Error)
+		}
+		if got := control[v.Hash]; got != "" {
+			b, _ := json.Marshal(v.Result)
+			if string(b) != got {
+				t.Fatalf("job %s result diverged from control:\n chaos:   %s\n control: %s", v.ID, b, got)
+			}
+		}
+	}
+
+	// Chaos genuinely fired at every boundary.
+	counts := plan.Counts()
+	for _, site := range []string{"sim", "cache", "journal"} {
+		fired := false
+		for _, kind := range []string{"error", "panic", "latency"} {
+			if counts[site+"/"+kind] > 0 {
+				fired = true
+			}
+		}
+		if !fired {
+			t.Fatalf("no faults fired at the %s boundary: %v", site, counts)
+		}
+	}
+	st := svc.Stats()
+	if st.Retries == 0 {
+		t.Fatal("soak completed with zero retries; chaos was not exercised")
+	}
+	t.Logf("soak: %d admitted, %d shed, %d retries, faults %v, journal %+v",
+		len(admitted), shed, st.Retries, counts, st.Journal)
+
+	// Phase 3: crash (no drain, no journal close) and restart. Every
+	// journaled result replays byte-identical to the control run, and
+	// re-running a replayed spec is a pure cache hit.
+	svc.Close()
+	j2, err := OpenJournal(filepath.Join(dir, "results.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	rec := j2.Recovered()
+	if len(rec) == 0 {
+		t.Fatal("journal recovered nothing after a 240-job soak")
+	}
+	restub := &soakExec{}
+	svc2 := NewService(Config{Workers: 8, Retry: soakRetry, Inject: chaosPlan(t, 7), Journal: j2, exec: restub.exec})
+	defer svc2.Close()
+	for _, r := range rec {
+		b, _ := json.Marshal(r)
+		if want := control[r.Hash]; want != string(b) {
+			t.Fatalf("journal replay diverged from control:\n journal: %s\n control: %s", b, want)
+		}
+	}
+	before := restub.calls.Load()
+	res, hit, err := svc2.Run(t.Context(), rec[0].Spec)
+	if err != nil || !hit {
+		t.Fatalf("replayed spec re-run: hit=%v err=%v", hit, err)
+	}
+	if b, _ := json.Marshal(res); string(b) != control[res.Hash] {
+		t.Fatalf("replayed result diverged after restart")
+	}
+	if restub.calls.Load() != before {
+		t.Fatal("replayed spec re-executed after restart")
+	}
+}
+
+// TestChaosCrashRestartTable2 drives the REAL kernel: a crash mid-sweep
+// (9 of 18 Table 2 cells journaled) followed by a restart under continued
+// chaos must serve /v1/table2 byte-identical to an uninterrupted run.
+func TestChaosCrashRestartTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	const n = 20_000
+	p := Table2Params{Instructions: n, Seed: 4242}
+	url := fmt.Sprintf("/v1/table2?n=%d&seed=4242", n)
+
+	fetch := func(base string) []byte {
+		resp, err := http.Get(base + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, body)
+		}
+		return body
+	}
+
+	// Uninterrupted reference, no chaos, no journal.
+	ref := NewService(Config{Workers: 0})
+	refBytes := fetch(newHTTPServer(t, ref).URL)
+
+	// Chaos service A journals the first 9 cells, then dies abruptly.
+	// (Journal faults are excluded here so exactly 9 records commit; the
+	// soak test covers journal-boundary chaos.)
+	dir := t.TempDir()
+	plan, err := faultinject.ParsePlan("sim:error:0.2,sim:panic:0.05,sim:latency:0.3:500us,cache:error:0.1", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(filepath.Join(dir, "results.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcA := NewService(Config{Workers: 4, Retry: soakRetry, Inject: plan, Journal: j})
+	cells := table2Cells(p)
+	for _, c := range cells[:9] {
+		if _, _, err := svcA.Run(t.Context(), c.spec); err != nil {
+			t.Fatalf("cell %v under chaos: %v", c.spec, err)
+		}
+	}
+	svcA.Close() // crash: journal never closed, jobs never drained
+
+	// Restart: replay, then finish the sweep under continued chaos.
+	j2, err := OpenJournal(filepath.Join(dir, "results.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := len(j2.Recovered()); got != 9 {
+		t.Fatalf("journal recovered %d results, want 9", got)
+	}
+	svcB := NewService(Config{Workers: 4, Retry: soakRetry, Inject: chaosPlan(t, 11), Journal: j2})
+	for _, r := range j2.Recovered() {
+		if _, ok := svcB.cache.Get(r.Hash); !ok {
+			t.Fatalf("replayed hash %s not served from cache", r.Hash)
+		}
+	}
+	gotBytes := fetch(newHTTPServer(t, svcB).URL)
+	if string(gotBytes) != string(refBytes) {
+		t.Fatalf("table2 after crash/restart differs from uninterrupted run:\n got  %s\n want %s", gotBytes, refBytes)
+	}
+}

@@ -1,9 +1,18 @@
 // Package sweep is the orchestration subsystem behind the mcserved daemon:
-// a canonical, content-hashable job specification; an in-memory
-// content-addressed result cache with single-flight deduplication; a
-// bounded worker pool with a FIFO queue, per-job cancellation, and panic
-// isolation; and a grid-sweep API that expands the paper's evaluation
-// matrix into jobs and streams completed rows.
+// a canonical, content-hashable job specification; a content-addressed
+// result cache with single-flight deduplication and an optional
+// crash-safe append-only journal; a bounded worker pool with a FIFO
+// queue, per-job cancellation, and panic isolation; and a grid-sweep API
+// that expands the paper's evaluation matrix into jobs and streams
+// completed rows.
+//
+// A fault-tolerance layer wraps execution end to end: per-job deadlines
+// enforced through context, retries with exponential backoff and
+// deterministic jitter for transient failures (with a terminal-error
+// classifier so deterministic simulator errors never retry), admission
+// control that sheds load once the live-job window fills, and optional
+// deterministic fault injection (internal/faultinject) at the
+// simulation, cache, and journal boundaries for chaos soaks.
 //
 // The design goal is the one stated in the evaluation methodology made
 // operational: every cell of the (benchmark × machine × scheduler ×
@@ -17,6 +26,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"multicluster/internal/core"
 	"multicluster/internal/experiment"
@@ -50,6 +60,20 @@ type JobSpec struct {
 	ProfileInstructions int64 `json:"profile_instructions,omitempty"`
 	// PostSchedule applies the post-pass list scheduler after allocation.
 	PostSchedule bool `json:"post_schedule,omitempty"`
+	// TimeoutMS is the per-job deadline in milliseconds; 0 means the
+	// service default. It is an execution parameter, not part of the
+	// simulated configuration, so it is excluded from the content hash:
+	// two specs differing only in timeout address the same cached result.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Timeout resolves the job deadline: the spec's own TimeoutMS if set,
+// otherwise the service default; 0 means no deadline.
+func (s JobSpec) Timeout(def time.Duration) time.Duration {
+	if s.TimeoutMS > 0 {
+		return time.Duration(s.TimeoutMS) * time.Millisecond
+	}
+	return def
 }
 
 // Normalize resolves every default and validates the spec. The returned
@@ -58,6 +82,9 @@ type JobSpec struct {
 func (s JobSpec) Normalize() (JobSpec, error) {
 	if workload.ByName(s.Benchmark) == nil {
 		return s, fmt.Errorf("sweep: unknown benchmark %q", s.Benchmark)
+	}
+	if s.TimeoutMS < 0 {
+		return s, fmt.Errorf("sweep: negative timeout_ms %d", s.TimeoutMS)
 	}
 	if s.Scheduler == "" {
 		s.Scheduler = "none"

@@ -29,11 +29,9 @@ type table2Cell struct {
 	spec   JobSpec
 }
 
-// Table2 reproduces the paper's Table 2 through the service: eighteen jobs
-// (six benchmarks × three runs) scheduled on the pool, every one served
-// from the content-addressed cache when available. Rows come back in the
-// paper's benchmark order.
-func (s *Service) Table2(ctx context.Context, p Table2Params) ([]experiment.Table2Row, error) {
+// table2Cells expands the params into the eighteen cell specs (six
+// benchmarks × three runs), in the paper's benchmark order.
+func table2Cells(p Table2Params) []table2Cell {
 	singleMachine, dualMachine := "single", "dual"
 	if p.FourWay {
 		singleMachine, dualMachine = "single4", "dual2"
@@ -58,6 +56,15 @@ func (s *Service) Table2(ctx context.Context, p Table2Params) ([]experiment.Tabl
 			table2Cell{b.Name, 2, local},
 		)
 	}
+	return cells
+}
+
+// Table2 reproduces the paper's Table 2 through the service: eighteen jobs
+// (six benchmarks × three runs) scheduled on the pool, every one served
+// from the content-addressed cache when available. Rows come back in the
+// paper's benchmark order.
+func (s *Service) Table2(ctx context.Context, p Table2Params) ([]experiment.Table2Row, error) {
+	cells := table2Cells(p)
 
 	results := make([]*Result, len(cells))
 	errs := make([]error, len(cells))
