@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify soak vet serve report clean
+.PHONY: build test race verify soak vet serve report clean bench fuzz
 
 build:
 	$(GO) build ./...
@@ -9,13 +9,25 @@ test: vet
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sweep/... ./internal/faultinject/... ./internal/conc/... ./internal/experiment/...
+	$(GO) test -race ./internal/core/... ./internal/trace/... ./internal/sweep/... ./internal/faultinject/... ./internal/conc/... ./internal/experiment/...
 
 # verify is the full pre-merge gate: tier-1 plus the race detector over
-# the concurrent subsystems.
+# the simulator core and the concurrent subsystems.
 verify: build vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/sweep/... ./internal/faultinject/...
+	$(GO) test -race ./internal/core/... ./internal/trace/... ./internal/sweep/... ./internal/faultinject/...
+
+# bench runs the simulator-core microbenchmarks with -benchmem, writes the
+# perf trajectory to BENCH_core.json, and fails when ns/instr regresses
+# more than 10% against the committed BENCH_baseline.json. After a
+# deliberate perf change: cp BENCH_core.json BENCH_baseline.json.
+bench:
+	$(GO) run ./scripts/benchdiff -out BENCH_core.json -baseline BENCH_baseline.json
+
+# fuzz runs the simulator-core fuzzer for a short budget (seed corpus in
+# internal/core/testdata/fuzz is always exercised by plain `make test`).
+fuzz:
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzCore -fuzztime 30s
 
 # soak runs the chaos suite under the race detector: fault injection at
 # the simulation, cache, and journal boundaries, load shedding, and a

@@ -8,7 +8,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"multicluster/internal/codegen"
 	"multicluster/internal/il"
@@ -17,24 +19,24 @@ import (
 	"multicluster/internal/regalloc"
 )
 
-func main() {
+func run(w io.Writer) error {
 	prog := il.Figure6()
-	fmt.Println("the control-flow graph of Figure 6:")
-	fmt.Println(prog)
+	fmt.Fprintln(w, "the control-flow graph of Figure 6:")
+	fmt.Fprintln(w, prog)
 
-	fmt.Println("local-scheduler block traversal (sorted by execution estimate, then size):")
+	fmt.Fprintln(w, "local-scheduler block traversal (sorted by execution estimate, then size):")
 	for i, b := range partition.SortedBlocks(prog) {
-		fmt.Printf("  %d. %s\n", i+1, b.Name)
+		fmt.Fprintf(w, "  %d. %s\n", i+1, b.Name)
 	}
 
 	res := partition.Local{}.Partition(prog)
-	fmt.Println("\nassignment order — the first write encountered bottom-up assigns the live range:")
+	fmt.Fprintln(w, "\nassignment order — the first write encountered bottom-up assigns the live range:")
 	for i, id := range res.Order {
-		fmt.Printf("  %d. %-3s -> cluster %d\n", i+1, prog.Value(id).Name, res.Of(id))
+		fmt.Fprintf(w, "  %d. %-3s -> cluster %d\n", i+1, prog.Value(id).Name, res.Of(id))
 	}
-	fmt.Printf("static quality: %s\n", partition.Measure(prog, res))
+	fmt.Fprintf(w, "static quality: %s\n", partition.Measure(prog, res))
 
-	fmt.Println("\nhow the partitioners compare on this graph:")
+	fmt.Fprintln(w, "\nhow the partitioners compare on this graph:")
 	for _, pt := range []partition.Partitioner{
 		partition.Local{}, partition.Local{Window: 1}, partition.Hash{},
 		partition.RoundRobin{}, partition.Affinity{},
@@ -44,7 +46,7 @@ func main() {
 		if l, ok := pt.(partition.Local); ok && l.Window == 1 {
 			name = "local(window=1)"
 		}
-		fmt.Printf("  %-16s %s\n", name, m)
+		fmt.Fprintf(w, "  %-16s %s\n", name, m)
 	}
 
 	alloc, err := regalloc.Allocate(prog, res, regalloc.Config{
@@ -53,17 +55,24 @@ func main() {
 		OtherClusterSpill: true,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("\nclustered register allocation (even registers are cluster 0, odd cluster 1):")
+	fmt.Fprintln(w, "\nclustered register allocation (even registers are cluster 0, odd cluster 1):")
 	for id := range alloc.Prog.Values {
-		fmt.Printf("  %-3s -> %s\n", alloc.Prog.Value(id).Name, alloc.RegOf[id])
+		fmt.Fprintf(w, "  %-3s -> %s\n", alloc.Prog.Value(id).Name, alloc.RegOf[id])
 	}
 
 	machine, err := codegen.Lower(alloc)
 	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nlowered machine code:")
+	fmt.Fprint(w, machine.Disassemble())
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nlowered machine code:")
-	fmt.Print(machine.Disassemble())
 }

@@ -15,7 +15,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"multicluster/internal/codegen"
 	"multicluster/internal/core"
@@ -70,57 +72,71 @@ func (d *streams) Addr(memID int) uint64 {
 	return uint64(0x1000_0000*(memID+1)) + d.n[memID]
 }
 
-func main() {
+// runVariant compiles and simulates one loop variant on the dual-cluster
+// machine and returns its stats.
+func runVariant(w io.Writer, label string, prog *il.Program, driver func() trace.Driver) (core.Stats, error) {
+	trace.Profile(prog, driver(), 20_000)
+	part := partition.Local{}.Partition(prog)
+	alloc, err := regalloc.Allocate(prog, part, regalloc.Config{
+		Assignment:        isa.DefaultAssignment(),
+		Clustered:         true,
+		OtherClusterSpill: true,
+	})
+	if err != nil {
+		return core.Stats{}, err
+	}
+	mp, err := codegen.Lower(alloc)
+	if err != nil {
+		return core.Stats{}, err
+	}
+	gen, err := trace.NewGenerator(mp, driver(), 60_000)
+	if err != nil {
+		return core.Stats{}, err
+	}
+	cfg := core.DualCluster4Way()
+	cfg.ICache.MissLatency = 0
+	cfg.DCache.MissLatency = 0 // isolate the issue-width effect
+	p, err := core.New(cfg, gen)
+	if err != nil {
+		return core.Stats{}, err
+	}
+	stats, err := p.Run()
+	if err != nil {
+		return core.Stats{}, err
+	}
+	c0 := float64(stats.Cluster[0].IssuedUops)
+	share := 100 * c0 / (c0 + float64(stats.Cluster[1].IssuedUops))
+	fmt.Fprintf(w, "  %-12s cycles=%6d  IPC=%.2f  dual=%4.1f%%  cluster-0 share=%4.1f%%\n",
+		label, stats.Cycles, stats.IPC(), 100*stats.DualFraction(), share)
+	return stats, nil
+}
+
+func run(w io.Writer) error {
 	base := buildSaxpy()
 
-	run := func(label string, prog *il.Program, driver func() trace.Driver) {
-		trace.Profile(prog, driver(), 20_000)
-		part := partition.Local{}.Partition(prog)
-		alloc, err := regalloc.Allocate(prog, part, regalloc.Config{
-			Assignment:        isa.DefaultAssignment(),
-			Clustered:         true,
-			OtherClusterSpill: true,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		mp, err := codegen.Lower(alloc)
-		if err != nil {
-			log.Fatal(err)
-		}
-		gen, err := trace.NewGenerator(mp, driver(), 60_000)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cfg := core.DualCluster4Way()
-		cfg.ICache.MissLatency = 0
-		cfg.DCache.MissLatency = 0 // isolate the issue-width effect
-		p, err := core.New(cfg, gen)
-		if err != nil {
-			log.Fatal(err)
-		}
-		stats, err := p.Run()
-		if err != nil {
-			log.Fatal(err)
-		}
-		c0 := float64(stats.Cluster[0].IssuedUops)
-		share := 100 * c0 / (c0 + float64(stats.Cluster[1].IssuedUops))
-		fmt.Printf("  %-12s cycles=%6d  IPC=%.2f  dual=%4.1f%%  cluster-0 share=%4.1f%%\n",
-			label, stats.Cycles, stats.IPC(), 100*stats.DualFraction(), share)
+	fmt.Fprintln(w, "saxpy on the dual-cluster machine (perfect caches):")
+	if _, err := runVariant(w, "base", base, func() trace.Driver { return &streams{} }); err != nil {
+		return err
 	}
-
-	fmt.Println("saxpy on the dual-cluster machine (perfect caches):")
-	run("base", base, func() trace.Driver { return &streams{} })
 
 	for _, factor := range []int{2, 4} {
 		res, err := unroll.SelfLoop(base, "loop", factor)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		run(fmt.Sprintf("unrolled x%d", factor), res.Prog,
-			func() trace.Driver { return res.Driver(&streams{}) })
+		if _, err := runVariant(w, fmt.Sprintf("unrolled x%d", factor), res.Prog,
+			func() trace.Driver { return res.Driver(&streams{}) }); err != nil {
+			return err
+		}
 	}
 
-	fmt.Println("\nthe base loop's single value web pins every iteration to one cluster;")
-	fmt.Println("the privatized copies let the scheduler use both (§6).")
+	fmt.Fprintln(w, "\nthe base loop's single value web pins every iteration to one cluster;")
+	fmt.Fprintln(w, "the privatized copies let the scheduler use both (§6).")
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

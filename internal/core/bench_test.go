@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"multicluster/internal/trace"
+)
+
+// benchStreamInstrs is the dynamic length of the microbenchmark stream —
+// long enough to amortize processor construction, short enough that every
+// configuration finishes a benchmark iteration in milliseconds.
+const benchStreamInstrs = 30_000
+
+// benchConfigs are the canonical machines plus the starved-buffer regime,
+// whose replay exceptions keep the squash/refetch path on the scoreboard.
+func benchConfigs() []struct {
+	name string
+	cfg  Config
+} {
+	starved := DualCluster4Way()
+	starved.OperandBuffer, starved.ResultBuffer = 1, 1
+	return []struct {
+		name string
+		cfg  Config
+	}{
+		{"single8", SingleCluster8Way()},
+		{"dual4x2", DualCluster4Way()},
+		{"single4", SingleCluster4Way()},
+		{"dual2x2", DualCluster2Way()},
+		{"dual4x2-starved", starved},
+	}
+}
+
+// BenchmarkProcessor measures the simulator's raw per-event cost: one fixed
+// pseudo-random instruction stream through each machine, reporting
+// ns/instr, allocs (via -benchmem), and simulated MIPS. scripts/benchdiff
+// runs this suite and writes BENCH_core.json; the committed
+// BENCH_baseline.json is the regression reference for `make bench`.
+func BenchmarkProcessor(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	_, entries := randomStream(rng, benchStreamInstrs)
+	for _, bc := range benchConfigs() {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := bc.cfg
+			cfg.MaxCycles = benchStreamInstrs * 200
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, err := New(cfg, &trace.SliceReader{Entries: entries})
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats, err := p.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Instructions != benchStreamInstrs {
+					b.Fatalf("retired %d of %d", stats.Instructions, benchStreamInstrs)
+				}
+			}
+			b.StopTimer()
+			perInstr := float64(b.Elapsed().Nanoseconds()) / float64(int64(b.N)*benchStreamInstrs)
+			b.ReportMetric(benchStreamInstrs, "instrs/op")
+			b.ReportMetric(perInstr, "ns/instr")
+			if perInstr > 0 {
+				b.ReportMetric(1e3/perInstr, "MIPS")
+			}
+		})
+	}
+}

@@ -153,6 +153,19 @@ func (p *Processor) drained() bool {
 	return p.traceDone && p.pending == nil && len(p.refetch) == 0 && len(p.active) == 0
 }
 
+// youngestBlocked reports whether the oldest unissued instruction is also
+// the youngest in flight (the active list is in sequence order).
+func (p *Processor) youngestBlocked() bool {
+	n := len(p.active)
+	return n == 0 || p.active[n-1].seq <= p.oldestUnissuedSeq
+}
+
+// queueLen returns cluster c's dispatch-queue occupancy.
+func (p *Processor) queueLen(c int) int { return len(p.queue[c]) }
+
+// activeLen returns the number of instructions in the active window.
+func (p *Processor) activeLen() int { return len(p.active) }
+
 // step advances the machine one cycle: resolve branches, recompute buffer
 // occupancy, retire, issue, fetch/distribute, then check the replay
 // watchdog.
@@ -199,12 +212,19 @@ func (p *Processor) step() error {
 	}
 
 	switch {
-	case p.bufBlockedRun >= bufferBlockCycles:
+	case p.bufBlockedRun >= bufferBlockCycles && !p.youngestBlocked():
 		if err := p.replay(t); err != nil {
 			return err
 		}
 		p.bufBlockedRun = 0
 		p.lastProgress = t
+	case p.bufBlockedRun >= bufferBlockCycles:
+		// The blocked instruction is the youngest in flight, so the buffer
+		// entries it needs are held by *older* instructions — a bounded
+		// transient that drains as they complete, not the §2.1 deadlock
+		// (which needs younger holders). Squashing could not help; keep
+		// waiting and let the generic watchdog catch real deadlocks.
+		p.bufBlockedRun = 0
 	case progress:
 		p.lastProgress = t
 	case len(p.active) > 0 && t-p.lastProgress >= int64(p.cfg.ReplayWatchdog):

@@ -1,0 +1,192 @@
+// Command benchdiff runs the simulator-core microbenchmarks, records the
+// per-instruction cost trajectory to a JSON file, and fails when the cost
+// regresses against a committed baseline.
+//
+// Workflow (wired up as `make bench`):
+//
+//	go run ./scripts/benchdiff -out BENCH_core.json -baseline BENCH_baseline.json
+//
+// runs `go test -bench BenchmarkProcessor -benchmem ./internal/core`,
+// parses the result, writes BENCH_core.json, and exits nonzero if any
+// benchmark's ns/instr exceeds the baseline by more than -tolerance
+// (default 10%). After a deliberate perf change, refresh the baseline:
+//
+//	cp BENCH_core.json BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurement. NsPerInstr/AllocsPerInstr/MIPS are
+// derived from the instrs/op metric the benchmarks report, making runs with
+// different iteration counts directly comparable.
+type Result struct {
+	Name          string  `json:"name"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	InstrsPerOp   float64 `json:"instrs_per_op,omitempty"`
+	NsPerInstr    float64 `json:"ns_per_instr,omitempty"`
+	AllocsPerInstr float64 `json:"allocs_per_instr,omitempty"`
+	MIPS          float64 `json:"mips,omitempty"`
+}
+
+// File is the schema of BENCH_core.json / BENCH_baseline.json.
+type File struct {
+	Command    string   `json:"command"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		benchRe   = flag.String("bench", "BenchmarkProcessor", "benchmark regexp passed to go test")
+		pkg       = flag.String("pkg", "./internal/core", "package containing the benchmarks")
+		out       = flag.String("out", "BENCH_core.json", "output JSON path")
+		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline JSON path (missing file: comparison skipped)")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional ns/instr regression before failing")
+		benchtime = flag.String("benchtime", "1s", "value for go test -benchtime")
+		count     = flag.Int("count", 1, "value for go test -count")
+	)
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *benchRe, "-benchmem",
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count), *pkg}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: go %s: %v\n%s", strings.Join(args, " "), err, raw)
+		os.Exit(1)
+	}
+	results, err := parseBench(raw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmarks matched %q in %s\n", *benchRe, *pkg)
+		os.Exit(1)
+	}
+
+	f := File{Command: "go " + strings.Join(args, " "), Benchmarks: results}
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(results))
+
+	base, err := readFile(*baseline)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("no baseline at %s; comparison skipped\n", *baseline)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	if !compare(base, f, *tolerance) {
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts benchmark lines from `go test -bench` output. A line
+// is the benchmark name, the iteration count, then value/unit pairs.
+func parseBench(raw []byte) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		r := Result{Name: trimCPUSuffix(fields[0])}
+		metrics := map[string]float64{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %v", sc.Text(), err)
+			}
+			metrics[fields[i+1]] = v
+		}
+		r.NsPerOp = metrics["ns/op"]
+		r.BytesPerOp = metrics["B/op"]
+		r.AllocsPerOp = metrics["allocs/op"]
+		r.InstrsPerOp = metrics["instrs/op"]
+		r.NsPerInstr = metrics["ns/instr"]
+		r.MIPS = metrics["MIPS"]
+		if r.InstrsPerOp > 0 {
+			r.AllocsPerInstr = r.AllocsPerOp / r.InstrsPerOp
+			if r.NsPerInstr == 0 {
+				r.NsPerInstr = r.NsPerOp / r.InstrsPerOp
+			}
+		}
+		out = append(out, r)
+	}
+	return out, sc.Err()
+}
+
+// trimCPUSuffix drops the -<GOMAXPROCS> suffix so results compare across
+// machines.
+func trimCPUSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func readFile(path string) (File, error) {
+	var f File
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	return f, json.Unmarshal(raw, &f)
+}
+
+// compare prints the trajectory against the baseline and reports whether
+// every benchmark stayed within tolerance. Benchmarks present on only one
+// side are reported but never fail the run.
+func compare(base, cur File, tolerance float64) bool {
+	byName := map[string]Result{}
+	for _, r := range base.Benchmarks {
+		byName[r.Name] = r
+	}
+	ok := true
+	for _, r := range cur.Benchmarks {
+		b, found := byName[r.Name]
+		if !found || b.NsPerInstr == 0 {
+			fmt.Printf("  %-45s %8.1f ns/instr  %6.2f allocs/instr  (no baseline)\n", r.Name, r.NsPerInstr, r.AllocsPerInstr)
+			continue
+		}
+		delta := (r.NsPerInstr - b.NsPerInstr) / b.NsPerInstr
+		status := "ok"
+		if delta > tolerance {
+			status = "REGRESSION"
+			ok = false
+		}
+		fmt.Printf("  %-45s %8.1f -> %8.1f ns/instr (%+6.1f%%)  %6.2f -> %6.2f allocs/instr  %s\n",
+			r.Name, b.NsPerInstr, r.NsPerInstr, 100*delta, b.AllocsPerInstr, r.AllocsPerInstr, status)
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchdiff: ns/instr regressed more than %.0f%% against the baseline\n", 100*tolerance)
+	}
+	return ok
+}
