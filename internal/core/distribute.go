@@ -14,15 +14,19 @@ type fetchItem struct {
 // distPlan is the outcome of the distribution rules of §2.1 for one
 // instruction: which cluster executes the computation (the master), whether
 // a slave copy is needed, which operands the slave forwards, and where
-// physical registers must be allocated.
+// physical registers must be allocated. The source lists are fixed-size
+// (an instruction has at most two sources) so planning never allocates.
 type distPlan struct {
 	dual     bool
 	masterCl int
 
-	// masterSrcs / slaveSrcs are the architectural source registers each
-	// copy reads from its own cluster's register file.
-	masterSrcs []isa.Reg
-	slaveSrcs  []isa.Reg
+	// masterSrcs[:nMaster] / slaveSrcs[:nSlave] are the architectural
+	// source registers each copy reads from its own cluster's register
+	// file.
+	masterSrcs [2]isa.Reg
+	slaveSrcs  [2]isa.Reg
+	nMaster    int
+	nSlave     int
 
 	sendsResult bool
 	// allocIn[c] is true when a physical destination register must be
@@ -34,11 +38,23 @@ type distPlan struct {
 // machine everything lands in cluster 0.
 func (p *Processor) plan(in *isa.Instruction) distPlan {
 	var pl distPlan
-	srcs := in.Sources()
+	// in.Sources() without the slice: RegNone and hardwired zero registers
+	// never create dependences or cluster constraints.
+	var srcs [2]isa.Reg
+	nSrc := 0
+	if r := in.Src1; r != isa.RegNone && !r.IsZero() {
+		srcs[nSrc] = r
+		nSrc++
+	}
+	if r := in.Src2; r != isa.RegNone && !r.IsZero() {
+		srcs[nSrc] = r
+		nSrc++
+	}
 	dest := in.Dest()
 
 	if p.cfg.Clusters == 1 {
 		pl.masterSrcs = srcs
+		pl.nMaster = nSrc
 		if dest != isa.RegNone {
 			pl.allocIn[0] = true
 		}
@@ -47,7 +63,7 @@ func (p *Processor) plan(in *isa.Instruction) distPlan {
 
 	a := p.cfg.Assignment
 	var localCount [2]int
-	for _, r := range srcs {
+	for _, r := range srcs[:nSrc] {
 		if !a.IsGlobal(r) {
 			localCount[a.Home(r)]++
 		}
@@ -60,16 +76,18 @@ func (p *Processor) plan(in *isa.Instruction) distPlan {
 			localCount[a.Home(dest)]++
 		}
 	}
-	pl.masterCl = p.pickMaster(srcs, localCount)
+	pl.masterCl = p.pickMaster(srcs[:nSrc], localCount)
 
 	other := 1 - pl.masterCl
-	for _, r := range srcs {
+	for _, r := range srcs[:nSrc] {
 		if a.In(r, pl.masterCl) {
-			pl.masterSrcs = append(pl.masterSrcs, r)
-		} else if len(pl.slaveSrcs) == 0 || pl.slaveSrcs[0] != r {
+			pl.masterSrcs[pl.nMaster] = r
+			pl.nMaster++
+		} else if pl.nSlave == 0 || pl.slaveSrcs[0] != r {
 			// One transfer-buffer entry per distinct value: an instruction
 			// naming the same remote register twice forwards it once.
-			pl.slaveSrcs = append(pl.slaveSrcs, r)
+			pl.slaveSrcs[pl.nSlave] = r
+			pl.nSlave++
 		}
 	}
 	switch {
@@ -83,7 +101,7 @@ func (p *Processor) plan(in *isa.Instruction) distPlan {
 		pl.allocIn[other] = true
 		pl.sendsResult = true
 	}
-	pl.dual = pl.sendsResult || len(pl.slaveSrcs) > 0
+	pl.dual = pl.sendsResult || pl.nSlave > 0
 	return pl
 }
 
@@ -157,7 +175,8 @@ func (p *Processor) canDistribute(in *isa.Instruction, pl distPlan) (ok bool, qu
 // physical registers, inserts the copies into dispatch queues, and predicts
 // conditional branches (footnote 2: prediction happens here, at insertion).
 func (p *Processor) distribute(item fetchItem, pl distPlan, t int64) *dynInst {
-	d := &dynInst{
+	d := p.newDynInst()
+	*d = dynInst{
 		seq:         p.nextSeq,
 		idx:         item.idx,
 		in:          item.in,
@@ -173,26 +192,30 @@ func (p *Processor) distribute(item fetchItem, pl distPlan, t int64) *dynInst {
 	}
 	p.nextSeq++
 
-	lookup := func(regs []isa.Reg, cl int) []*dynInst {
-		var out []*dynInst
-		for _, r := range regs {
-			if prod := p.rename[cl][r]; prod != nil {
-				out = append(out, prod)
+	// lookup resolves the planned source registers to their in-flight
+	// producers in cluster cl. Retired producers are skipped: their values
+	// are committed (readyIn never exceeds doneCycle), so they can never
+	// delay an issue.
+	lookup := func(u *uop, regs [2]isa.Reg, n, cl int) {
+		for i := 0; i < n; i++ {
+			if prod := p.rename[cl][regs[i]]; prod != nil && !prod.retired() {
+				u.srcs[u.nSrcs] = prod
+				u.nSrcs++
 			}
 		}
-		return out
 	}
 
-	m := &uop{
+	m := &d.mu
+	*m = uop{
 		inst:          d,
 		cluster:       pl.masterCl,
 		master:        true,
-		srcs:          lookup(pl.masterSrcs, pl.masterCl),
-		fwdOperands:   len(pl.slaveSrcs),
+		fwdOperands:   pl.nSlave,
 		sendsResult:   pl.sendsResult,
 		slotClass:     item.in.Op.Class(),
 		distributedAt: t,
 	}
+	lookup(m, pl.masterSrcs, pl.nMaster, pl.masterCl)
 	d.master = m
 	d.copies = 1
 	p.queue[pl.masterCl] = append(p.queue[pl.masterCl], m)
@@ -200,21 +223,21 @@ func (p *Processor) distribute(item fetchItem, pl distPlan, t int64) *dynInst {
 
 	if pl.dual {
 		other := 1 - pl.masterCl
-		s := &uop{
+		s := &d.su
+		*s = uop{
 			inst:          d,
 			cluster:       other,
 			master:        false,
-			srcs:          lookup(pl.slaveSrcs, other),
-			opFwdSlave:    len(pl.slaveSrcs) > 0,
+			opFwdSlave:    pl.nSlave > 0,
 			recvsResult:   pl.sendsResult,
 			slotClass:     slaveSlotClass(item.in, pl),
 			distributedAt: t,
 		}
+		lookup(s, pl.slaveSrcs, pl.nSlave, other)
 		d.slave = s
 		d.copies = 2
 		p.queue[other] = append(p.queue[other], s)
 		p.stats.Cluster[other].Distributed++
-		p.dualInFlight = append(p.dualInFlight, d)
 		p.stats.DualDist++
 		if s.opFwdSlave {
 			p.stats.OperandForwards++
@@ -272,8 +295,8 @@ func (p *Processor) distribute(item fetchItem, pl distPlan, t int64) *dynInst {
 // counts against: the file it touches (an integer read/write takes an
 // integer slot, per scenario two of §2.1).
 func slaveSlotClass(in *isa.Instruction, pl distPlan) isa.Class {
-	if pl.slaveSrcs != nil {
-		for _, r := range pl.slaveSrcs {
+	if pl.nSlave > 0 {
+		for _, r := range pl.slaveSrcs[:pl.nSlave] {
 			if r.IsFP() {
 				return isa.ClassFPOther
 			}

@@ -28,7 +28,7 @@ func (p *Processor) fetch(t int64) bool {
 
 	fetched := 0
 	lineMask := uint64(p.icache.LineSize() - 1)
-	var linesTouched []uint64
+	linesTouched := p.linesTouched[:0]
 	for fetched < p.cfg.FetchWidth {
 		item := p.peekItem()
 		if item == nil {
@@ -95,19 +95,22 @@ func (p *Processor) fetch(t int64) bool {
 			break
 		}
 	}
+	p.linesTouched = linesTouched
 	return fetched > 0
 }
 
 // peekItem returns the next instruction to distribute without consuming it:
-// replayed instructions first, then the trace.
+// replayed instructions first, then the trace. The returned pointer is into
+// the processor's pending slot, valid until the next peek.
 func (p *Processor) peekItem() *fetchItem {
-	if p.pending != nil {
-		return p.pending
+	if p.havePending {
+		return &p.pending
 	}
 	if len(p.refetch) > 0 {
-		p.pending = &p.refetch[0]
+		p.pending = p.refetch[0]
 		p.refetch = p.refetch[1:]
-		return p.pending
+		p.havePending = true
+		return &p.pending
 	}
 	if p.traceDone {
 		return nil
@@ -117,11 +120,12 @@ func (p *Processor) peekItem() *fetchItem {
 		p.traceDone = true
 		return nil
 	}
-	p.pending = &fetchItem{idx: e.Index, in: e.Instr, addr: e.Addr, taken: e.Taken}
-	return p.pending
+	p.pending = fetchItem{idx: e.Index, in: e.Instr, addr: e.Addr, taken: e.Taken}
+	p.havePending = true
+	return &p.pending
 }
 
-func (p *Processor) consumeItem() { p.pending = nil }
+func (p *Processor) consumeItem() { p.havePending = false }
 
 // replay raises an instruction-replay exception (§2.1): the oldest
 // instruction with an unissued copy is blocked — in a correctly-sized
@@ -130,31 +134,20 @@ func (p *Processor) consumeItem() { p.pending = nil }
 // releasing their queue entries, physical registers, and buffer entries,
 // and is refetched after a short restart penalty.
 func (p *Processor) replay(t int64) error {
-	var oldest *dynInst
-	for _, d := range p.active {
-		if !d.allIssued() {
-			oldest = d
-			break
-		}
-	}
+	oldest := p.oldestUnissued()
 	if oldest == nil {
 		return errDeadlock(p, t, "no unissued instruction")
 	}
-	// Collect and squash everything younger than the blocked instruction.
-	cut := -1
-	for i, d := range p.active {
-		if d.seq > oldest.seq {
-			cut = i
-			break
-		}
-	}
-	if cut < 0 {
+	// Squash everything younger than the blocked instruction (the active
+	// list is in sequence order, so that is everything past the cursor).
+	cut := p.unissuedHead + 1
+	if cut >= len(p.active) {
 		return errDeadlock(p, t, "blocked instruction has no younger instructions to squash")
 	}
 	victims := p.active[cut:]
 	p.active = p.active[:cut]
 
-	// Undo youngest-first so rename maps unwind correctly.
+	// Undo youngest-first so rename tables unwind correctly.
 	for i := len(victims) - 1; i >= 0; i-- {
 		d := victims[i]
 		d.squashed = true
@@ -167,6 +160,9 @@ func (p *Processor) replay(t int64) error {
 				}
 			}
 		}
+		// Return any transfer-buffer entries the victim still holds.
+		p.releaseHeld(d, true)
+		p.releaseHeld(d, false)
 		p.stats.ReplayedInstructions++
 	}
 	// Remove squashed copies from the dispatch queues.
@@ -179,8 +175,8 @@ func (p *Processor) replay(t int64) error {
 		}
 		p.queue[c] = kept
 	}
-	// Squashed-branch entries are pruned by resolveBranches; dual-in-flight
-	// entries by computeBufferOccupancy.
+	// Squashed-branch entries are pruned by resolveBranches; stale buffer
+	// release events are ignored by the held flags when they fire.
 
 	// Refetch the victims in program order, ahead of any not-yet-fetched
 	// pending instruction and the rest of the trace.
@@ -188,9 +184,9 @@ func (p *Processor) replay(t int64) error {
 	for _, d := range victims {
 		items = append(items, fetchItem{idx: d.idx, in: d.in, addr: d.addr, taken: d.taken})
 	}
-	if p.pending != nil {
-		items = append(items, *p.pending)
-		p.pending = nil
+	if p.havePending {
+		items = append(items, p.pending)
+		p.havePending = false
 	}
 	items = append(items, p.refetch...)
 	p.refetch = items

@@ -238,7 +238,9 @@ func machineInvariants(t testing.TB, cfg Config, entries []trace.Entry) Stats {
 	if n := p.activeLen(); n != 0 {
 		t.Fatalf("active list not drained: %d", n)
 	}
-	p.computeBufferOccupancy(p.cycle + 1)
+	// Every release event is scheduled no later than the instruction's
+	// done cycle + 1, so after a drain the full horizon has passed.
+	p.releaseBufferEntries(p.cycle + 1)
 	if p.opBufUsed[0]|p.opBufUsed[1]|p.resBufUsed[0]|p.resBufUsed[1] != 0 {
 		t.Fatalf("transfer buffers leaked: op=%v res=%v", p.opBufUsed, p.resBufUsed)
 	}

@@ -12,13 +12,16 @@ func (p *Processor) issueCluster(c int, t int64) bool {
 
 	issuedAny := false
 	kept := p.queue[c][:0]
-	for _, u := range p.queue[c] {
+	for i, u := range p.queue[c] {
 		if u.inst.squashed {
 			continue
 		}
 		if total >= rules.All {
-			kept = append(kept, u)
-			continue
+			// The cycle's issue slots are spent; the rest of the queue is
+			// kept as is (squashed copies cannot appear here — replay
+			// filters the queues when it squashes).
+			kept = append(kept, p.queue[c][i:]...)
+			break
 		}
 		ok, bufferBlocked := p.canIssue(u, c, t, rules, &classCount, fpTotal, memTotal)
 		if !ok {
@@ -150,24 +153,33 @@ func (p *Processor) doIssue(u *uop, c int, t int64) {
 		if d.destReg != isa.RegNone && d.renamed[c] {
 			d.readyIn[c] = d.resultCycle
 		}
+		if u.fwdOperands > 0 {
+			// The master has read its slave's forwarded operands; the
+			// entries are reusable the next cycle.
+			p.pushBufEvent(t+1, d, true)
+		}
 		if u.sendsResult {
 			s := d.slave
 			p.resBufUsed[s.cluster]++
+			d.resHeld = true
 			if s.opFwdSlave {
 				// Scenario 5: the suspended slave wakes when the result
 				// reaches its cluster's buffer and writes its copy.
 				d.readyIn[s.cluster] = d.resultCycle + 1
+				p.pushBufEvent(d.resultCycle+1, d, false)
 			}
 		}
 	} else {
 		if u.opFwdSlave {
 			p.opBufUsed[1-c] += d.master.fwdOperands
+			d.opHeld = true
 		}
 		if u.recvsResult && !u.opFwdSlave {
 			// Scenario 3/4 slave: reads the forwarded result out of the
 			// buffer and writes the physical register bound in its
 			// cluster.
 			d.readyIn[c] = t + 1
+			p.pushBufEvent(t+1, d, false)
 		}
 	}
 

@@ -18,26 +18,45 @@ type Processor struct {
 	dcache *cache.Cache
 	pred   *bpred.Predictor
 
-	// Per-cluster machine state.
+	// Per-cluster machine state. The rename table is a dense array indexed
+	// directly by architectural register number (Reg values are 1..NumRegs;
+	// entry 0 is RegNone and stays nil).
 	queue    [2][]*uop
-	rename   [2]map[isa.Reg]*dynInst
+	rename   [2][isa.NumRegs + 1]*dynInst
 	freeRegs [2][2]int // [cluster][0 int, 1 fp]
 	divFree  [2][]int64
 
-	// Transfer-buffer occupancy, recomputed each cycle from dualInFlight
-	// and then adjusted by same-cycle allocations (squash-safe by
-	// construction).
+	// Transfer-buffer occupancy, maintained incrementally: doIssue adds
+	// entries as they are claimed, and bufEvents (a min-heap of release
+	// times) returns them at the cycle the old per-cycle recomputation
+	// would first have stopped counting them. Squash frees held entries
+	// eagerly; the opHeld/resHeld flags make each free happen exactly once.
 	opBufUsed  [2]int
 	resBufUsed [2]int
+	bufEvents  []bufEvent
 
-	active       []*dynInst // fetch-order window (the active list)
-	dualInFlight []*dynInst
+	active []*dynInst // fetch-order window (the active list)
+	// unissuedHead is the index into active of the oldest instruction with
+	// an unissued copy, advanced lazily (everything before it is fully
+	// issued). Retire pops decrement it; squash truncation preserves it.
+	unissuedHead int
 	pendingBr    []*dynInst
 
-	reader    trace.Reader
-	pending   *fetchItem
-	refetch   []fetchItem
-	traceDone bool
+	reader      trace.Reader
+	pending     fetchItem
+	havePending bool
+	refetch     []fetchItem
+	traceDone   bool
+
+	// slab hands out dynInst storage in blocks, one allocation per
+	// dynInstSlabSize instructions. Retired instructions are not reused
+	// (in-flight consumers may still hold pointers); the GC reclaims a
+	// block once nothing references into it.
+	slab []dynInst
+
+	// linesTouched is fetch's per-cycle scratch for icache lines already
+	// accessed this cycle, kept across cycles to avoid reallocation.
+	linesTouched []uint64
 
 	nextSeq      int64
 	maxIssuedSeq int64
@@ -92,7 +111,6 @@ func New(cfg Config, r trace.Reader) (*Processor, error) {
 		p.stats.Profile = make(map[int]PCStat)
 	}
 	for c := 0; c < cfg.Clusters; c++ {
-		p.rename[c] = make(map[isa.Reg]*dynInst, isa.NumRegs)
 		p.divFree[c] = make([]int64, cfg.Rules.FPDiv)
 		p.freeRegs[c][0] = cfg.IntRegs - p.backedRegs(c, false)
 		p.freeRegs[c][1] = cfg.FPRegs - p.backedRegs(c, true)
@@ -150,7 +168,34 @@ func (p *Processor) Run() (Stats, error) {
 }
 
 func (p *Processor) drained() bool {
-	return p.traceDone && p.pending == nil && len(p.refetch) == 0 && len(p.active) == 0
+	return p.traceDone && !p.havePending && len(p.refetch) == 0 && len(p.active) == 0
+}
+
+// dynInstSlabSize is how many dynInst slots each slab block holds.
+const dynInstSlabSize = 256
+
+// newDynInst returns a zeroed dynInst from the current slab block.
+func (p *Processor) newDynInst() *dynInst {
+	if len(p.slab) == 0 {
+		p.slab = make([]dynInst, dynInstSlabSize)
+	}
+	d := &p.slab[0]
+	p.slab = p.slab[1:]
+	return d
+}
+
+// oldestUnissued advances the unissued cursor past fully-issued
+// instructions and returns the oldest one with an unissued copy, or nil.
+// The active list is in sequence order, so the cursor only moves forward
+// between retire pops.
+func (p *Processor) oldestUnissued() *dynInst {
+	for p.unissuedHead < len(p.active) && p.active[p.unissuedHead].allIssued() {
+		p.unissuedHead++
+	}
+	if p.unissuedHead < len(p.active) {
+		return p.active[p.unissuedHead]
+	}
+	return nil
 }
 
 // youngestBlocked reports whether the oldest unissued instruction is also
@@ -166,22 +211,19 @@ func (p *Processor) queueLen(c int) int { return len(p.queue[c]) }
 // activeLen returns the number of instructions in the active window.
 func (p *Processor) activeLen() int { return len(p.active) }
 
-// step advances the machine one cycle: resolve branches, recompute buffer
-// occupancy, retire, issue, fetch/distribute, then check the replay
-// watchdog.
+// step advances the machine one cycle: resolve branches, release expired
+// transfer-buffer entries, retire, issue, fetch/distribute, then check the
+// replay watchdog.
 func (p *Processor) step() error {
 	t := p.cycle
 	progress := false
 
 	p.resolveBranches(t)
-	p.computeBufferOccupancy(t)
+	p.releaseBufferEntries(t)
 
 	p.oldestUnissuedSeq = -1
-	for _, d := range p.active {
-		if !d.allIssued() {
-			p.oldestUnissuedSeq = d.seq
-			break
-		}
+	if d := p.oldestUnissued(); d != nil {
+		p.oldestUnissuedSeq = d.seq
 	}
 	p.bufBlockedNow = false
 
@@ -273,41 +315,75 @@ func (p *Processor) fetchBlockedByBranch(t int64) bool {
 	return false
 }
 
-// computeBufferOccupancy derives the operand/result transfer-buffer usage
-// for cycle t from the dual-distributed instructions in flight, pruning
-// retired and squashed entries as it goes.
-func (p *Processor) computeBufferOccupancy(t int64) {
-	p.opBufUsed[0], p.opBufUsed[1] = 0, 0
-	p.resBufUsed[0], p.resBufUsed[1] = 0, 0
-	kept := p.dualInFlight[:0]
-	for _, d := range p.dualInFlight {
-		if d.squashed || d.retired() {
-			continue
+// bufEvent schedules the return of one instruction's transfer-buffer
+// claim: its operand entries (op) or its result entry (!op) stop counting
+// against occupancy from cycle `when` on.
+type bufEvent struct {
+	when int64
+	d    *dynInst
+	op   bool
+}
+
+// pushBufEvent schedules a release on the min-heap.
+func (p *Processor) pushBufEvent(when int64, d *dynInst, op bool) {
+	h := append(p.bufEvents, bufEvent{when, d, op})
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if h[parent].when <= h[i].when {
+			break
 		}
-		kept = append(kept, d)
-		s, m := d.slave, d.master
-		if s.opFwdSlave && s.issued && s.issueCycle <= t {
-			// Operand entries live in the master's cluster until the
-			// master reads them at issue (reusable the next cycle).
-			if !m.issued || m.issueCycle >= t {
-				p.opBufUsed[m.cluster] += m.fwdOperands
-			}
-		}
-		if m.sendsResult && m.issued && m.issueCycle <= t {
-			end := int64(never)
-			if s.opFwdSlave {
-				// Scenario 5: the suspended slave reads the entry when the
-				// result arrives.
-				end = d.resultCycle
-			} else if s.issued {
-				end = s.issueCycle
-			}
-			if t <= end {
-				p.resBufUsed[s.cluster]++
-			}
-		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
 	}
-	p.dualInFlight = kept
+	p.bufEvents = h
+}
+
+// releaseBufferEntries frees every transfer-buffer claim whose release
+// time has arrived, at the start of cycle t. Claims already freed by a
+// squash are skipped via the held flags. Operand entries are occupied
+// from slave issue through master issue inclusive (released the cycle
+// after the master reads them); result entries from master issue through
+// the consuming slave's issue (scenarios 3/4) or through the result's
+// arrival (scenario 5, the suspended slave).
+func (p *Processor) releaseBufferEntries(t int64) {
+	h := p.bufEvents
+	for len(h) > 0 && h[0].when <= t {
+		e := h[0]
+		n := len(h) - 1
+		h[0] = h[n]
+		h[n] = bufEvent{} // drop the dynInst reference
+		h = h[:n]
+		for i := 0; ; {
+			l := 2*i + 1
+			if l >= n {
+				break
+			}
+			if r := l + 1; r < n && h[r].when < h[l].when {
+				l = r
+			}
+			if h[i].when <= h[l].when {
+				break
+			}
+			h[i], h[l] = h[l], h[i]
+			i = l
+		}
+		p.releaseHeld(e.d, e.op)
+	}
+	p.bufEvents = h
+}
+
+// releaseHeld returns one instruction's operand or result buffer claim,
+// exactly once.
+func (p *Processor) releaseHeld(d *dynInst, op bool) {
+	if op {
+		if d.opHeld {
+			p.opBufUsed[d.master.cluster] -= d.master.fwdOperands
+			d.opHeld = false
+		}
+	} else if d.resHeld {
+		p.resBufUsed[d.slave.cluster]--
+		d.resHeld = false
+	}
 }
 
 // retired reports whether the instruction has left the active list.
@@ -324,6 +400,9 @@ func (p *Processor) retire(t int64) bool {
 			break
 		}
 		p.active = p.active[1:]
+		if p.unissuedHead > 0 {
+			p.unissuedHead--
+		}
 		d.retiredFlag = true
 		// Drop the store-ordering entry once the store leaves the window,
 		// so the map only ever pins in-flight instructions.
@@ -357,6 +436,13 @@ func (p *Processor) retire(t int64) bool {
 		if p.observe != nil {
 			p.observe(d)
 		}
+		// A retired instruction can never be squashed and never re-checks
+		// readiness, so its back-references are dead: clearing them breaks
+		// producer chains and lets the GC reclaim old slab blocks.
+		d.prevProd[0], d.prevProd[1] = nil, nil
+		d.mu.srcs[0], d.mu.srcs[1] = nil, nil
+		d.su.srcs[0], d.su.srcs[1] = nil, nil
+		d.mu.memDep = nil
 		n++
 	}
 	return n > 0

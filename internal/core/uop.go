@@ -12,7 +12,9 @@ const never = int64(math.MaxInt64 / 4)
 
 // dynInst is one logical dynamic instruction in flight. A dual-distributed
 // instruction owns two uops (a master and a slave); a single-distributed
-// instruction owns one.
+// instruction owns one. The uops are embedded (mu, su) so a dynamic
+// instruction and its copies are a single allocation; master and slave
+// point into the same struct.
 type dynInst struct {
 	seq   int64
 	idx   int // static instruction index
@@ -26,6 +28,7 @@ type dynInst struct {
 	masterCl int
 	master   *uop
 	slave    *uop // nil unless dual
+	mu, su   uop
 
 	// resultCycle is when the master's computation completes (set at
 	// master issue).
@@ -50,6 +53,12 @@ type dynInst struct {
 	mispredicted bool
 	resolved     bool
 
+	// opHeld / resHeld track whether this instruction currently occupies
+	// operand / result transfer-buffer entries, so a squash or a release
+	// event frees each claim exactly once.
+	opHeld  bool
+	resHeld bool
+
 	squashed    bool
 	retiredFlag bool
 }
@@ -68,9 +77,12 @@ type uop struct {
 	cluster int
 	master  bool
 
-	// srcs are the local producers whose values this copy reads from its
-	// cluster's register file (nil entries filtered at build).
-	srcs []*dynInst
+	// srcs[:nSrcs] are the local producers whose values this copy reads
+	// from its cluster's register file. An instruction has at most two
+	// sources; producers already retired at distribute time are filtered
+	// (their values are architectural, readable immediately).
+	srcs  [2]*dynInst
+	nSrcs int8
 
 	// fwdOperands is, for a master, the number of operands its slave
 	// forwards through the master cluster's operand transfer buffer.
@@ -99,8 +111,8 @@ type uop struct {
 
 // srcsReady reports whether all local register sources are readable at t.
 func (u *uop) srcsReady(t int64) bool {
-	for _, p := range u.srcs {
-		if p.readyIn[u.cluster] > t {
+	for i := int8(0); i < u.nSrcs; i++ {
+		if u.srcs[i].readyIn[u.cluster] > t {
 			return false
 		}
 	}

@@ -63,6 +63,12 @@ type Generator struct {
 	done    bool
 	byName  map[string]*isa.BlockInfo
 	blockOf []*isa.BlockInfo
+
+	// succCache memoizes, per static instruction index, the successor-name
+	// list handed to the driver at that point (conditional branches and
+	// implicit fall-throughs), so the hot generate loop does not rebuild
+	// it on every dynamic execution. Drivers must treat it as read-only.
+	succCache [][]string
 }
 
 // NewGenerator builds a lazy trace over prog driven by driver, emitting at
@@ -75,6 +81,7 @@ func NewGenerator(prog *isa.Program, driver Driver, maxInstrs int64) (*Generator
 	g := &Generator{prog: prog, driver: driver, maxInstrs: maxInstrs}
 	g.byName = make(map[string]*isa.BlockInfo, len(prog.Blocks))
 	g.blockOf = make([]*isa.BlockInfo, len(prog.Instrs))
+	g.succCache = make([][]string, len(prog.Instrs))
 	for i := range prog.Blocks {
 		b := &prog.Blocks[i]
 		g.byName[b.Name] = b
@@ -162,21 +169,30 @@ func (g *Generator) nextBlock(cur *isa.BlockInfo, in *isa.Instruction) (*isa.Blo
 
 // succsOf reconstructs the successor names of a machine block: the
 // fall-through (next block in layout) and/or the branch target. For RET and
-// JMP the successor set is open (nil) and the driver chooses freely.
+// JMP the successor set is open (nil) and the driver chooses freely. The
+// list depends only on the static instruction (g.pc is not advanced until
+// after the driver is consulted), so it is built once and memoized.
 func (g *Generator) succsOf(cur *isa.BlockInfo, in *isa.Instruction) []string {
-	if in == nil {
-		// Implicit fall-through.
-		return []string{g.blockOf[cur.End].Name}
-	}
-	switch in.Op {
-	case isa.BEQ, isa.BNE:
-		fall := g.blockOf[cur.End].Name
-		taken := g.blockOf[in.Target].Name
-		return []string{fall, taken}
-	case isa.RET, isa.JMP:
+	if in != nil && (in.Op == isa.RET || in.Op == isa.JMP) {
 		return nil
 	}
-	return []string{g.blockOf[in.Target].Name}
+	if s := g.succCache[g.pc]; s != nil {
+		return s
+	}
+	var s []string
+	switch {
+	case in == nil:
+		// Implicit fall-through.
+		s = []string{g.blockOf[cur.End].Name}
+	case in.Op == isa.BEQ || in.Op == isa.BNE:
+		fall := g.blockOf[cur.End].Name
+		taken := g.blockOf[in.Target].Name
+		s = []string{fall, taken}
+	default:
+		s = []string{g.blockOf[in.Target].Name}
+	}
+	g.succCache[g.pc] = s
+	return s
 }
 
 func contains(xs []string, s string) bool {

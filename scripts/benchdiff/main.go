@@ -7,9 +7,20 @@
 //	go run ./scripts/benchdiff -out BENCH_core.json -baseline BENCH_baseline.json
 //
 // runs `go test -bench BenchmarkProcessor -benchmem ./internal/core`,
-// parses the result, writes BENCH_core.json, and exits nonzero if any
-// benchmark's ns/instr exceeds the baseline by more than -tolerance
-// (default 10%). After a deliberate perf change, refresh the baseline:
+// parses the result, writes BENCH_core.json, and exits nonzero on a
+// regression against the baseline:
+//
+//   - allocs/instr may not exceed the baseline by more than -tolerance
+//     (default 10%). Allocation counts are deterministic, so this gate
+//     never flakes and catches the most common accidental regression.
+//   - ns/instr may not exceed the baseline by more than -tolerance plus
+//     the current run's own min-to-max spread. Each benchmark runs
+//     -count times (default 3) and the fastest sample is kept (scheduler
+//     interference only ever slows a run down); the observed spread
+//     measures how noisy the machine is right now, so on a quiet box the
+//     gate is tight and on a loaded one it widens instead of crying wolf.
+//
+// After a deliberate perf change, refresh the baseline:
 //
 //	cp BENCH_core.json BENCH_baseline.json
 package main
@@ -38,6 +49,10 @@ type Result struct {
 	NsPerInstr    float64 `json:"ns_per_instr,omitempty"`
 	AllocsPerInstr float64 `json:"allocs_per_instr,omitempty"`
 	MIPS          float64 `json:"mips,omitempty"`
+	// Noise is the run's own (max-min)/min spread of ns/op across the
+	// -count samples: a live measurement of machine-load jitter that
+	// widens the ns/instr gate.
+	Noise float64 `json:"noise,omitempty"`
 }
 
 // File is the schema of BENCH_core.json / BENCH_baseline.json.
@@ -54,7 +69,7 @@ func main() {
 		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline JSON path (missing file: comparison skipped)")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional ns/instr regression before failing")
 		benchtime = flag.String("benchtime", "1s", "value for go test -benchtime")
-		count     = flag.Int("count", 1, "value for go test -count")
+		count     = flag.Int("count", 3, "value for go test -count; the fastest sample per benchmark is kept")
 	)
 	flag.Parse()
 
@@ -105,9 +120,13 @@ func main() {
 }
 
 // parseBench extracts benchmark lines from `go test -bench` output. A line
-// is the benchmark name, the iteration count, then value/unit pairs.
+// is the benchmark name, the iteration count, then value/unit pairs. With
+// -count > 1 a name appears several times; the sample with the lowest
+// ns/op wins (first occurrence keeps the ordering).
 func parseBench(raw []byte) ([]Result, error) {
 	var out []Result
+	seen := map[string]int{}
+	maxNs := map[string]float64{}
 	sc := bufio.NewScanner(bytes.NewReader(raw))
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -136,7 +155,22 @@ func parseBench(raw []byte) ([]Result, error) {
 				r.NsPerInstr = r.NsPerOp / r.InstrsPerOp
 			}
 		}
+		if r.NsPerOp > maxNs[r.Name] {
+			maxNs[r.Name] = r.NsPerOp
+		}
+		if i, dup := seen[r.Name]; dup {
+			if r.NsPerOp < out[i].NsPerOp {
+				out[i] = r
+			}
+			continue
+		}
+		seen[r.Name] = len(out)
 		out = append(out, r)
+	}
+	for i := range out {
+		if out[i].NsPerOp > 0 {
+			out[i].Noise = (maxNs[out[i].Name] - out[i].NsPerOp) / out[i].NsPerOp
+		}
 	}
 	return out, sc.Err()
 }
@@ -162,7 +196,10 @@ func readFile(path string) (File, error) {
 }
 
 // compare prints the trajectory against the baseline and reports whether
-// every benchmark stayed within tolerance. Benchmarks present on only one
+// every benchmark stayed within tolerance. Allocation counts are gated at
+// the bare tolerance (they are deterministic); wall-clock is gated at
+// tolerance plus the run's own sample spread, so machine-load jitter
+// widens the gate instead of failing it. Benchmarks present on only one
 // side are reported but never fail the run.
 func compare(base, cur File, tolerance float64) bool {
 	byName := map[string]Result{}
@@ -178,15 +215,21 @@ func compare(base, cur File, tolerance float64) bool {
 		}
 		delta := (r.NsPerInstr - b.NsPerInstr) / b.NsPerInstr
 		status := "ok"
-		if delta > tolerance {
+		if delta > tolerance+r.Noise {
 			status = "REGRESSION"
 			ok = false
 		}
-		fmt.Printf("  %-45s %8.1f -> %8.1f ns/instr (%+6.1f%%)  %6.2f -> %6.2f allocs/instr  %s\n",
-			r.Name, b.NsPerInstr, r.NsPerInstr, 100*delta, b.AllocsPerInstr, r.AllocsPerInstr, status)
+		if b.AllocsPerInstr > 0 {
+			if aDelta := (r.AllocsPerInstr - b.AllocsPerInstr) / b.AllocsPerInstr; aDelta > tolerance {
+				status = "ALLOC REGRESSION"
+				ok = false
+			}
+		}
+		fmt.Printf("  %-45s %8.1f -> %8.1f ns/instr (%+6.1f%%, spread %.0f%%)  %6.2f -> %6.2f allocs/instr  %s\n",
+			r.Name, b.NsPerInstr, r.NsPerInstr, 100*delta, 100*r.Noise, b.AllocsPerInstr, r.AllocsPerInstr, status)
 	}
 	if !ok {
-		fmt.Fprintf(os.Stderr, "benchdiff: ns/instr regressed more than %.0f%% against the baseline\n", 100*tolerance)
+		fmt.Fprintf(os.Stderr, "benchdiff: regressed more than %.0f%% against the baseline (ns/instr gate widens by the run's sample spread)\n", 100*tolerance)
 	}
 	return ok
 }
