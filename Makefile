@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify soak vet serve report clean bench fuzz
+.PHONY: build test race verify check soak vet serve report clean bench fuzz
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,20 @@ test: vet
 race:
 	$(GO) test -race ./internal/core/... ./internal/trace/... ./internal/sweep/... ./internal/faultinject/... ./internal/conc/... ./internal/experiment/...
 
-# verify is the full pre-merge gate: tier-1 plus the race detector over
-# the simulator core and the concurrent subsystems.
+# verify is the full pre-merge gate: tier-1, the race detector over the
+# simulator core and the concurrent subsystems, an explicit build/vet of
+# the metrics layer, and the golden-stats suite (which pins that probes,
+# when disabled, leave every fixture byte-identical).
 verify: build vet
+	$(GO) build ./internal/obs/... && $(GO) vet ./internal/obs/...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/... ./internal/trace/... ./internal/sweep/... ./internal/faultinject/...
+	$(GO) test -race ./internal/core/... ./internal/trace/... ./internal/sweep/... ./internal/faultinject/... ./internal/obs/...
+	$(GO) test -count=1 -run 'TestGoldenStats' ./internal/core
+
+# check is verify plus the perf gate: the core microbenchmarks compared
+# against BENCH_baseline.json, so an observability (or any other) change
+# that costs simulator throughput fails before merge.
+check: verify bench
 
 # bench runs the simulator-core microbenchmarks with -benchmem, writes the
 # perf trajectory to BENCH_core.json, and fails when allocs/instr or

@@ -18,9 +18,16 @@
 //	POST   /v1/sweeps     submit a grid (JSON), streams completed rows as NDJSON
 //	GET    /v1/table2     the paper's Table 2, served from cache (?format=json|csv|text&n=&seed=&window=&width=)
 //	GET    /v1/stats      cache/pool/job/journal counters
+//	GET    /metrics       Prometheus text exposition (core, job, pool, cache, journal)
 //	GET    /debug/vars    expvar (the "sweep" variable mirrors /v1/stats)
+//	GET    /debug/pprof/  net/http/pprof profiler (only with -pprof)
 //	GET    /healthz       liveness probe
 //	GET    /readyz        readiness probe: 503 while overloaded or draining
+//
+// Every response carries an X-Request-ID header (echoing the request's,
+// or freshly generated) and produces one structured access-log line.
+// Finished jobs are retained for polling up to -job-retention entries;
+// older finished jobs are evicted and their ids answer 404.
 //
 // Fault tolerance:
 //
@@ -47,7 +54,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -55,6 +64,7 @@ import (
 	"time"
 
 	"multicluster/internal/faultinject"
+	"multicluster/internal/obs"
 	"multicluster/internal/sweep"
 )
 
@@ -69,6 +79,8 @@ func main() {
 		retryMax     = flag.Duration("retry-max", 2*time.Second, "retry backoff cap")
 		maxLive      = flag.Int("max-live", 4096, "max admitted unfinished jobs before shedding with 429 (0 = unbounded)")
 		maxPerClient = flag.Int("max-per-client", 256, "max unfinished jobs per client id (0 = unlimited)")
+		jobRetention = flag.Int("job-retention", sweep.DefaultJobRetention, "finished jobs kept for polling before eviction (-1 = unlimited)")
+		pprofOn      = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		dataDir      = flag.String("data-dir", "", "directory for the persistent result journal (empty = in-memory only)")
 		faults       = flag.String("faults", "", "fault-injection plan, e.g. 'sim:error:0.1,journal:latency:0.5:2ms' (chaos testing)")
 		faultSeed    = flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
@@ -98,18 +110,35 @@ func main() {
 		}
 	}
 
+	metrics := sweep.NewMetrics(obs.NewRegistry())
 	svc := sweep.NewService(sweep.Config{
 		Workers:      *workers,
 		JobTimeout:   *jobTimeout,
 		Retry:        sweep.RetryPolicy{MaxAttempts: *retries, Base: *retryBase, Max: *retryMax},
 		MaxLive:      *maxLive,
 		MaxPerClient: *maxPerClient,
+		JobRetention: *jobRetention,
 		Inject:       plan,
 		Journal:      journal,
+		Metrics:      metrics,
 	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", sweep.NewServer(svc))
+	if *pprofOn {
+		// Explicit routes rather than the package's DefaultServeMux
+		// registration, so the profiler is reachable only when asked for.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("mcserved: pprof enabled at /debug/pprof/")
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: sweep.NewServer(svc),
+		Handler: withRequestLogging(logger, mux),
 		// A stalled or malicious client must not pin a connection (and its
 		// goroutine) forever: bound the header, whole-request read, and
 		// idle keep-alive phases. No WriteTimeout — sweeps stream NDJSON

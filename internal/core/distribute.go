@@ -288,6 +288,9 @@ func (p *Processor) distribute(item fetchItem, pl distPlan, t int64) *dynInst {
 
 	p.active = append(p.active, d)
 	p.stats.Fetched++
+	if p.probes != nil && p.probes.Distribute != nil {
+		p.probes.Distribute(pl.dual)
+	}
 	return d
 }
 

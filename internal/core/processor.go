@@ -88,6 +88,11 @@ type Processor struct {
 	// observe, when set, is called for every retired instruction; used by
 	// white-box timing tests and by the pipeline-diagram tooling.
 	observe func(*dynInst)
+
+	// probes, when set via SetProbes, receives per-cycle occupancy samples
+	// and stall/replay/distribution events (see probes.go). Nil-checked at
+	// every site so the disabled cost is a pointer compare.
+	probes *Probes
 }
 
 // New builds a processor for cfg reading dynamic instructions from r.
@@ -235,6 +240,12 @@ func (p *Processor) step() error {
 			progress = true
 		}
 		p.stats.Cluster[c].QueueOccupancySum += int64(len(p.queue[c]))
+	}
+	// Sample occupancy here — the same post-issue, pre-fetch point the
+	// QueueOccupancySum stat accumulates at — so the probed distribution
+	// integrates to exactly the pinned mean.
+	if p.probes != nil {
+		p.probeCycle(t)
 	}
 	if p.fetch(t) {
 		progress = true

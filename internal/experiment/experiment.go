@@ -39,6 +39,12 @@ type Options struct {
 	// Single and Dual are the processor configurations; zero values mean
 	// the paper's eight-way machines.
 	Single, Dual core.Config
+	// Probes, when non-nil, is installed on every processor Simulate
+	// constructs (see core.Probes). Probes observe without perturbing the
+	// simulation, and they are deliberately excluded from the
+	// content-addressed run keys — which also means a CachedRun served
+	// from the memo never re-simulates and therefore never fires them.
+	Probes *core.Probes
 }
 
 // DefaultOptions returns the evaluation setup used throughout: the paper's
@@ -121,6 +127,9 @@ func Simulate(mp *isa.Program, b *workload.Benchmark, cfg core.Config, opts Opti
 	p, err := core.New(cfg, gen)
 	if err != nil {
 		return core.Stats{}, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	if opts.Probes != nil {
+		p.SetProbes(opts.Probes)
 	}
 	stats, err := p.Run()
 	if err != nil {

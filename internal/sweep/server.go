@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -28,6 +29,7 @@ const maxBodyBytes = 1 << 20
 //	POST /v1/sweeps   grid sweep, streamed      -> 200 NDJSON of SweepRow
 //	GET  /v1/table2   the paper's Table 2       -> 200 rows (json|csv|text)
 //	GET  /v1/stats    service counters          -> 200 Stats
+//	GET  /metrics     Prometheus text format    -> 200 (when Config.Metrics is set)
 //	GET  /healthz     liveness                  -> 200 ok
 //	GET  /readyz      readiness (admission)     -> 200 ok | 503 overloaded/draining
 //	GET  /debug/vars  expvar                    -> 200 JSON
@@ -58,6 +60,9 @@ func NewServer(svc *Service) *Server {
 	})
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	if m := svc.metrics; m != nil {
+		s.mux.Handle("GET /metrics", m.Handler())
+	}
 	s.expvarName = publishExpvar(svc)
 	return s
 }
@@ -218,8 +223,27 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// statusClientClosedRequest is nginx's de-facto code for "the client
+// went away before we could answer". The response never reaches the
+// client; the code exists so logs and metrics don't misfile abandoned
+// requests as server errors.
+const statusClientClosedRequest = 499
+
 func (s *Server) handleTable2(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
+	// Validate the output format before anything else: an unknown format
+	// must 400 immediately, not after burning the whole multi-benchmark
+	// computation (and after the Content-Type has already been set).
+	format := q.Get("format")
+	if format == "" {
+		format = "json"
+	}
+	switch format {
+	case "json", "csv", "text":
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (json, csv, text)", format))
+		return
+	}
 	var p Table2Params
 	var err error
 	if v := q.Get("n"); v != "" {
@@ -252,12 +276,17 @@ func (s *Server) handleTable2(w http.ResponseWriter, r *http.Request) {
 	}
 	rows, err := s.svc.Table2(r.Context(), p)
 	if err != nil {
+		// A client that disconnects (or times out) mid-computation
+		// surfaces as context cancellation from the request context; that
+		// is a client-side termination, not a server error, and must not
+		// pollute the 5xx metrics.
+		if r.Context().Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			s.svc.metrics.observeClientCanceled()
+			writeError(w, statusClientClosedRequest, err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, err)
 		return
-	}
-	format := q.Get("format")
-	if format == "" {
-		format = "json"
 	}
 	switch format {
 	case "json":
@@ -267,9 +296,9 @@ func (s *Server) handleTable2(w http.ResponseWriter, r *http.Request) {
 	default:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	}
-	if err := experiment.WriteRows(w, rows, format); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-	}
+	// The format was validated up front, so the only failures left are
+	// mid-stream write errors; the status line is already committed.
+	experiment.WriteRows(w, rows, format)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"multicluster/internal/conc"
+	"multicluster/internal/core"
 	"multicluster/internal/experiment"
 	"multicluster/internal/faultinject"
 )
@@ -203,6 +204,17 @@ type Config struct {
 	MaxLive int
 	// MaxPerClient caps unfinished jobs per client id; 0 means unlimited.
 	MaxPerClient int
+	// JobRetention bounds how many finished jobs the registry keeps: once
+	// more than JobRetention jobs have reached a terminal state, the
+	// oldest-finished are evicted (their IDs return 404 from the API). A
+	// long-running daemon would otherwise leak memory linearly with
+	// traffic. 0 means DefaultJobRetention; negative means unlimited (the
+	// pre-retention behaviour, for tools that own their job lifetime).
+	JobRetention int
+	// Metrics, when set, receives the service's observability stream: job
+	// latency breakdowns, eviction/admission counters, cache/pool/journal
+	// samplers, and the simulator-core probes. One Metrics per service.
+	Metrics *Metrics
 	// Inject is the fault-injection plan for chaos testing; nil means off.
 	Inject *faultinject.Plan
 	// Journal, when set, is written through on every computed result and
@@ -228,6 +240,8 @@ type Service struct {
 	retry        RetryPolicy
 	maxLive      int
 	maxPerClient int
+	retention    int
+	metrics      *Metrics
 
 	base       context.Context
 	baseCancel context.CancelFunc
@@ -238,12 +252,22 @@ type Service struct {
 	clients  map[string]int
 	live     int
 	draining bool
+	// finishedOrder queues finished job IDs in completion order for
+	// retention eviction; orderStale counts evicted IDs still present in
+	// order, compacted away once they outnumber the live ones.
+	finishedOrder []string
+	orderStale    int
 
 	nextID    atomic.Int64
 	submitted atomic.Int64
 	shed      atomic.Int64
 	retries   atomic.Int64
+	evicted   atomic.Int64
 }
+
+// DefaultJobRetention is how many finished jobs the registry keeps when
+// Config.JobRetention is zero.
+const DefaultJobRetention = 1024
 
 // NewService starts a service with its worker pool. When cfg.Journal is
 // set, every result it recovered is seeded into the cache before the
@@ -251,10 +275,17 @@ type Service struct {
 func NewService(cfg Config) *Service {
 	exec := cfg.exec
 	if exec == nil {
-		exec = runSpec
+		// The real kernel carries the metrics' core probes into every
+		// simulation it actually runs (memoized runs never re-simulate).
+		probes := cfg.Metrics.CoreProbes()
+		exec = func(spec JobSpec) (*Result, error) { return runSpec(spec, probes) }
 	}
 	if cfg.Name == "" {
 		cfg.Name = "sweep"
+	}
+	retention := cfg.JobRetention
+	if retention == 0 {
+		retention = DefaultJobRetention
 	}
 	base, cancel := context.WithCancel(context.Background())
 	s := &Service{
@@ -267,6 +298,8 @@ func NewService(cfg Config) *Service {
 		retry:        cfg.Retry.normalized(),
 		maxLive:      cfg.MaxLive,
 		maxPerClient: cfg.MaxPerClient,
+		retention:    retention,
+		metrics:      cfg.Metrics,
 		base:         base,
 		baseCancel:   cancel,
 		jobs:         make(map[string]*Job),
@@ -279,6 +312,7 @@ func NewService(cfg Config) *Service {
 			s.cache.Seed(r.Hash, r)
 		}
 	}
+	cfg.Metrics.bindService(s)
 	return s
 }
 
@@ -286,12 +320,14 @@ func NewService(cfg Config) *Service {
 func (s *Service) Name() string { return s.name }
 
 // runSpec is the real execution kernel: compile and simulate through the
-// process-wide experiment cache.
-func runSpec(spec JobSpec) (*Result, error) {
+// process-wide experiment cache, with the service's core probes (if any)
+// installed on runs that actually simulate.
+func runSpec(spec JobSpec, probes *core.Probes) (*Result, error) {
 	cfg, opts, err := spec.Resolve()
 	if err != nil {
 		return nil, err
 	}
+	opts.Probes = probes
 	rr, err := experiment.CachedRun(spec.Benchmark, spec.Scheduler, cfg, opts)
 	if err != nil {
 		return nil, err
@@ -400,12 +436,13 @@ func (s *Service) SubmitFor(client string, spec JobSpec) (*Job, error) {
 	return job, nil
 }
 
-// finishJob records the terminal state and releases the job's admission
-// slot exactly once.
+// finishJob records the terminal state, releases the job's admission
+// slot exactly once, and applies the retention bound.
 func (s *Service) finishJob(job *Job, res *Result, hit bool, err error) {
 	if !job.finish(res, hit, err) {
 		return
 	}
+	s.metrics.observeFinished(job)
 	s.mu.Lock()
 	s.live--
 	if job.client != "" {
@@ -413,7 +450,44 @@ func (s *Service) finishJob(job *Job, res *Result, hit bool, err error) {
 			delete(s.clients, job.client)
 		}
 	}
+	s.evictFinishedLocked(job)
 	s.mu.Unlock()
+}
+
+// evictFinishedLocked enqueues the freshly finished job on the retention
+// queue and evicts the oldest-finished jobs beyond the bound, so the
+// registry holds at most live + retention jobs no matter how much
+// traffic the daemon has served. Called with s.mu held.
+func (s *Service) evictFinishedLocked(job *Job) {
+	if s.retention < 0 {
+		return // unlimited retention
+	}
+	s.finishedOrder = append(s.finishedOrder, job.ID)
+	evicted := 0
+	for len(s.finishedOrder) > s.retention {
+		id := s.finishedOrder[0]
+		s.finishedOrder = s.finishedOrder[1:]
+		delete(s.jobs, id)
+		s.orderStale++
+		evicted++
+	}
+	if evicted == 0 {
+		return
+	}
+	s.evicted.Add(int64(evicted))
+	s.metrics.observeEvicted(evicted)
+	// Compact the submission-order index once evicted IDs outnumber the
+	// retained ones, so it stays proportional to the registry.
+	if s.orderStale*2 > len(s.order) {
+		kept := make([]string, 0, len(s.jobs))
+		for _, id := range s.order {
+			if _, ok := s.jobs[id]; ok {
+				kept = append(kept, id)
+			}
+		}
+		s.order = kept
+		s.orderStale = 0
+	}
 }
 
 // Run executes one spec synchronously: through the cache, deduplicated
@@ -456,8 +530,10 @@ func (s *Service) compute(ctx context.Context, spec JobSpec, hash string, onStar
 			return nil, hit, err
 		}
 		s.retries.Add(1)
+		backoff := s.retry.backoff(hash, attempt)
+		s.metrics.observeBackoff(backoff)
 		select {
-		case <-time.After(s.retry.backoff(hash, attempt)):
+		case <-time.After(backoff):
 		case <-ctx.Done():
 			return nil, false, ctx.Err()
 		}
@@ -559,13 +635,15 @@ func (s *Service) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
-// Jobs returns snapshots of every registered job, in submission order.
+// Jobs returns snapshots of every retained job, in submission order.
+// Jobs evicted by the retention bound no longer appear.
 func (s *Service) Jobs() []JobView {
 	s.mu.Lock()
-	ids := append([]string(nil), s.order...)
-	jobs := make([]*Job, 0, len(ids))
-	for _, id := range ids {
-		jobs = append(jobs, s.jobs[id])
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
 	}
 	s.mu.Unlock()
 	views := make([]JobView, len(jobs))
@@ -594,7 +672,10 @@ type Stats struct {
 	// or per-client cap).
 	Shed int64 `json:"shed"`
 	// Retries counts transient-failure retries across all jobs.
-	Retries int64              `json:"retries"`
+	Retries int64 `json:"retries"`
+	// Evicted counts finished jobs dropped from the registry by the
+	// retention bound (their IDs return 404 from the API).
+	Evicted int64              `json:"evicted"`
 	States  map[JobState]int64 `json:"states"`
 	// Live is the number of admitted, unfinished jobs.
 	Live  int        `json:"live"`
@@ -615,6 +696,7 @@ func (s *Service) Stats() Stats {
 		Submitted: s.submitted.Load(),
 		Shed:      s.shed.Load(),
 		Retries:   s.retries.Load(),
+		Evicted:   s.evicted.Load(),
 		States:    make(map[JobState]int64),
 		Ready:     s.Ready(),
 		Pool:      s.pool.Stats(),
