@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify check soak vet serve report clean bench fuzz
+.PHONY: build test race verify check soak soak-cluster vet serve report clean bench fuzz
 
 build:
 	$(GO) build ./...
@@ -9,7 +9,7 @@ test: vet
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/trace/... ./internal/sweep/... ./internal/faultinject/... ./internal/conc/... ./internal/experiment/...
+	$(GO) test -race ./internal/core/... ./internal/trace/... ./internal/sweep/... ./internal/faultinject/... ./internal/conc/... ./internal/experiment/... ./internal/cluster/...
 
 # verify is the full pre-merge gate: tier-1, the race detector over the
 # simulator core and the concurrent subsystems, an explicit build/vet of
@@ -18,7 +18,7 @@ race:
 verify: build vet
 	$(GO) build ./internal/obs/... && $(GO) vet ./internal/obs/...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/... ./internal/trace/... ./internal/sweep/... ./internal/faultinject/... ./internal/obs/...
+	$(GO) test -race ./internal/core/... ./internal/trace/... ./internal/sweep/... ./internal/faultinject/... ./internal/obs/... ./internal/cluster/...
 	$(GO) test -count=1 -run 'TestGoldenStats' ./internal/core
 
 # check is verify plus the perf gate: the core microbenchmarks compared
@@ -44,6 +44,12 @@ fuzz:
 # crash/restart with journal replay.
 soak:
 	$(GO) test -race -count=1 -v -run 'Chaos' ./internal/sweep/...
+
+# soak-cluster exercises the multi-node layer under the race detector:
+# the two-node kill/rejoin (hinted handoff, zero loss) and the chaos
+# sweep with the forward path randomly severed.
+soak-cluster:
+	$(GO) test -race -count=1 -v -run 'TestClusterKillRejoinZeroLoss|TestClusterSoak|TestTwoNodeTable2Identical' ./internal/cluster/...
 
 vet:
 	$(GO) vet ./...

@@ -56,24 +56,37 @@ func requestID(r *http.Request) string {
 // withRequestLogging wraps next with structured access logging: one log
 // line per request with a request id (echoed back in the X-Request-ID
 // response header), method, path, status, response size, and duration.
-func withRequestLogging(logger *slog.Logger, next http.Handler) http.Handler {
+// In cluster mode every line also carries this node's id, and requests
+// forwarded by a peer name it in an origin field, so one request id can
+// be followed across the nodes that touched it.
+func withRequestLogging(logger *slog.Logger, node string, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := requestID(r)
 		w.Header().Set("X-Request-ID", id)
+		// Make the id (caller-supplied or freshly minted) visible to the
+		// handlers, so a cluster forward carries the same id onward.
+		r.Header.Set("X-Request-ID", id)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
-		logger.Info("request",
+		attrs := []any{
 			"id", id,
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", sw.status,
 			"bytes", sw.bytes,
-			"dur_ms", float64(time.Since(start).Microseconds())/1000,
+			"dur_ms", float64(time.Since(start).Microseconds()) / 1000,
 			"remote", r.RemoteAddr,
-		)
+		}
+		if node != "" {
+			attrs = append(attrs, "node", node)
+		}
+		if origin := r.Header.Get("X-MC-Origin"); origin != "" {
+			attrs = append(attrs, "origin", origin)
+		}
+		logger.Info("request", attrs...)
 	})
 }

@@ -42,7 +42,16 @@
 //     checksummed journal and replayed on startup; trailing corruption
 //     from a crash is truncated and recovery continues.
 //   - -faults injects deterministic chaos (panics, errors, latency) at the
-//     simulation, cache, and journal boundaries for soak testing.
+//     simulation, cache, journal, and forward boundaries for soak testing.
+//
+// Cluster mode (-node-id, -peers): several daemons form a sweep cluster.
+// A consistent-hash ring over virtual nodes partitions the result space
+// by spec hash; each node forwards non-owned work to its owner, serves
+// replicated results locally, and spools writes owed to a down peer into
+// hint logs replayed when it returns. Cluster peers talk over
+// /cluster/v1/{ping,run,result,status}; job ids gain a node prefix
+// ("n1-j7") so any node can route a lookup to the minting node. See the
+// README's "Cluster mode" section.
 //
 // On SIGTERM/SIGINT the daemon stops accepting work, drains in-flight and
 // queued jobs, and exits.
@@ -55,6 +64,7 @@ import (
 	"fmt"
 	"log"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -63,6 +73,7 @@ import (
 	"syscall"
 	"time"
 
+	"multicluster/internal/cluster"
 	"multicluster/internal/faultinject"
 	"multicluster/internal/obs"
 	"multicluster/internal/sweep"
@@ -84,6 +95,12 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "directory for the persistent result journal (empty = in-memory only)")
 		faults       = flag.String("faults", "", "fault-injection plan, e.g. 'sim:error:0.1,journal:latency:0.5:2ms' (chaos testing)")
 		faultSeed    = flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
+		nodeID       = flag.String("node-id", "", "cluster node id (empty = single-node mode)")
+		peers        = flag.String("peers", "", "static seed peers, comma-separated id=url pairs (cluster mode)")
+		advertise    = flag.String("advertise", "", "base URL peers reach this node at (default derived from -addr)")
+		vnodes       = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per member on the consistent-hash ring")
+		replicas     = flag.Int("replicas", 1, "nodes holding each result, primary included (cluster mode)")
+		heartbeat    = flag.Duration("heartbeat", cluster.DefaultHeartbeat, "peer heartbeat interval (cluster mode)")
 	)
 	flag.Parse()
 
@@ -110,8 +127,9 @@ func main() {
 		}
 	}
 
-	metrics := sweep.NewMetrics(obs.NewRegistry())
-	svc := sweep.NewService(sweep.Config{
+	reg := obs.NewRegistry()
+	metrics := sweep.NewMetrics(reg)
+	cfg := sweep.Config{
 		Workers:      *workers,
 		JobTimeout:   *jobTimeout,
 		Retry:        sweep.RetryPolicy{MaxAttempts: *retries, Base: *retryBase, Max: *retryMax},
@@ -121,10 +139,61 @@ func main() {
 		Inject:       plan,
 		Journal:      journal,
 		Metrics:      metrics,
-	})
+	}
 
+	// Cluster mode: join the hash ring and route non-owned work to its
+	// owner; single-node mode when -node-id is unset.
+	var node *cluster.Node
+	if *nodeID != "" {
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "mcserved: cluster mode (-node-id) requires -data-dir for hinted handoff")
+			os.Exit(2)
+		}
+		seeds, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcserved: %v\n", err)
+			os.Exit(2)
+		}
+		adv := *advertise
+		if adv == "" {
+			host, port, err := net.SplitHostPort(*addr)
+			if err != nil || port == "" {
+				fmt.Fprintln(os.Stderr, "mcserved: cluster mode needs -advertise (could not derive from -addr)")
+				os.Exit(2)
+			}
+			if host == "" {
+				host = "127.0.0.1"
+			}
+			adv = fmt.Sprintf("http://%s", net.JoinHostPort(host, port))
+		}
+		node, err = cluster.NewNode(cluster.Config{
+			Self:      cluster.Member{ID: *nodeID, URL: adv},
+			Seeds:     seeds,
+			VNodes:    *vnodes,
+			Replicas:  *replicas,
+			HintDir:   filepath.Join(*dataDir, "hints"),
+			Heartbeat: *heartbeat,
+			Metrics:   cluster.NewMetrics(reg),
+			Inject:    plan,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcserved: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.NodeID = *nodeID
+		cfg.Remote = node
+		log.Printf("mcserved: cluster node %s at %s (%d seed peers, %d replicas)", *nodeID, adv, len(seeds), *replicas)
+	}
+
+	svc := sweep.NewService(cfg)
+
+	var handler http.Handler = sweep.NewServer(svc)
+	if node != nil {
+		node.AttachService(svc)
+		handler = node.Handler(handler)
+	}
 	mux := http.NewServeMux()
-	mux.Handle("/", sweep.NewServer(svc))
+	mux.Handle("/", handler)
 	if *pprofOn {
 		// Explicit routes rather than the package's DefaultServeMux
 		// registration, so the profiler is reachable only when asked for.
@@ -138,7 +207,7 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: withRequestLogging(logger, mux),
+		Handler: withRequestLogging(logger, *nodeID, mux),
 		// A stalled or malicious client must not pin a connection (and its
 		// goroutine) forever: bound the header, whole-request read, and
 		// idle keep-alive phases. No WriteTimeout — sweeps stream NDJSON
@@ -154,6 +223,12 @@ func main() {
 		errc <- srv.ListenAndServe()
 	}()
 
+	runCtx, runCancel := context.WithCancel(context.Background())
+	defer runCancel()
+	if node != nil {
+		node.Start(runCtx)
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
 
@@ -165,6 +240,7 @@ func main() {
 		os.Exit(1)
 	}
 
+	runCancel() // stop heartbeats and hint replay before draining
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"multicluster/internal/sweep"
+)
+
+// HintLog is the hinted-handoff spool: results owed to a peer that
+// cannot receive them right now are appended to a per-peer log on local
+// disk and replayed when the peer returns. Each log is a sweep.Journal
+// — the same length-prefixed CRC32 record format as the result journal
+// — so hints survive a crash of the hinting node and a torn tail from a
+// crash mid-append is truncated on reopen, exactly like the journal.
+//
+// Delivery is at-least-once: a replay that fails partway keeps the
+// whole log for the next attempt. Duplicates are harmless — results are
+// content-addressed and stores are idempotent.
+type HintLog struct {
+	dir     string
+	metrics *Metrics
+
+	mu   sync.Mutex
+	logs map[string]*hintFile
+}
+
+// hintFile is one peer's spool. Its own lock serializes appends and
+// replays per peer without blocking traffic to other peers.
+type hintFile struct {
+	mu   sync.Mutex
+	path string
+	j    *sweep.Journal // nil until the first spool (or recovery scan)
+}
+
+const hintSuffix = ".hints"
+
+// OpenHintLog opens the spool directory, recovering any hint logs left
+// by a previous process so their backlog is counted and replayable
+// immediately.
+func OpenHintLog(dir string, metrics *Metrics) (*HintLog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: hint dir: %w", err)
+	}
+	h := &HintLog{dir: dir, metrics: metrics, logs: make(map[string]*hintFile)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: hint dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, hintSuffix) {
+			continue
+		}
+		peer, err := url.PathUnescape(strings.TrimSuffix(name, hintSuffix))
+		if err != nil {
+			continue
+		}
+		// Opening replays the records (counting them) and truncates any
+		// torn tail from a crash mid-append.
+		j, err := sweep.OpenJournal(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: recovering hints for %s: %w", peer, err)
+		}
+		h.logs[peer] = &hintFile{path: j.Path(), j: j}
+	}
+	return h, nil
+}
+
+func (h *HintLog) file(peer string) *hintFile {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f := h.logs[peer]
+	if f == nil {
+		f = &hintFile{path: filepath.Join(h.dir, url.PathEscape(peer)+hintSuffix)}
+		h.logs[peer] = f
+	}
+	return f
+}
+
+// Spool appends one result to peer's hint log, creating it on first
+// use. The record is fsynced before Spool returns.
+func (h *HintLog) Spool(peer string, res *sweep.Result) error {
+	f := h.file(peer)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.j == nil {
+		j, err := sweep.OpenJournal(f.path)
+		if err != nil {
+			h.metrics.hintSpoolErrors.Inc()
+			return fmt.Errorf("cluster: opening hint log for %s: %w", peer, err)
+		}
+		f.j = j
+	}
+	if err := f.j.Append(res); err != nil {
+		h.metrics.hintSpoolErrors.Inc()
+		return err
+	}
+	h.metrics.hintsSpooled.Inc()
+	return nil
+}
+
+// PendingFor returns the number of hints spooled for peer.
+func (h *HintLog) PendingFor(peer string) int64 {
+	h.mu.Lock()
+	f := h.logs[peer]
+	h.mu.Unlock()
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.j == nil {
+		return 0
+	}
+	return f.j.Stats().Records
+}
+
+// Pending returns the total hint backlog across all peers — the
+// cluster_hints_pending gauge.
+func (h *HintLog) Pending() int64 {
+	h.mu.Lock()
+	files := make([]*hintFile, 0, len(h.logs))
+	for _, f := range h.logs {
+		files = append(files, f)
+	}
+	h.mu.Unlock()
+	var n int64
+	for _, f := range files {
+		f.mu.Lock()
+		if f.j != nil {
+			n += f.j.Stats().Records
+		}
+		f.mu.Unlock()
+	}
+	return n
+}
+
+// Peers lists every peer with a spooled backlog.
+func (h *HintLog) Peers() []string {
+	h.mu.Lock()
+	peers := make([]string, 0, len(h.logs))
+	for p := range h.logs {
+		peers = append(peers, p)
+	}
+	h.mu.Unlock()
+	out := peers[:0]
+	for _, p := range peers {
+		if h.PendingFor(p) > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Replay delivers every hint spooled for peer through send, in append
+// order, and deletes the log once all are delivered. If any send fails
+// the log is kept intact (already-sent hints included — delivery is
+// at-least-once and stores are idempotent) and Replay returns how many
+// were delivered before the failure.
+func (h *HintLog) Replay(peer string, send func(*sweep.Result) error) (int, error) {
+	f := h.file(peer)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.j == nil {
+		return 0, nil
+	}
+	// Reopen for a consistent read of everything appended so far; the
+	// reopened journal is positioned for appends, so a failed replay
+	// leaves the log usable for further spooling.
+	if err := f.j.Close(); err != nil {
+		return 0, fmt.Errorf("cluster: closing hint log for %s: %w", peer, err)
+	}
+	j, err := sweep.OpenJournal(f.path)
+	if err != nil {
+		f.j = nil
+		return 0, fmt.Errorf("cluster: reopening hint log for %s: %w", peer, err)
+	}
+	f.j = j
+	sent := 0
+	for _, res := range j.Recovered() {
+		if err := send(res); err != nil {
+			h.metrics.hintReplayErrors.Inc()
+			h.metrics.hintsReplayed.Add(int64(sent))
+			return sent, err
+		}
+		sent++
+	}
+	j.Close()
+	f.j = nil
+	if err := os.Remove(f.path); err != nil && !os.IsNotExist(err) {
+		return sent, fmt.Errorf("cluster: removing drained hint log for %s: %w", peer, err)
+	}
+	h.metrics.hintsReplayed.Add(int64(sent))
+	return sent, nil
+}

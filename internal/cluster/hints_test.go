@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"multicluster/internal/obs"
+	"multicluster/internal/sweep"
+)
+
+func testHintLog(t *testing.T) *HintLog {
+	t.Helper()
+	h, err := OpenHintLog(t.TempDir(), NewMetrics(obs.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func hintResult(i int) *sweep.Result {
+	return &sweep.Result{
+		Spec: sweep.JobSpec{Benchmark: "compress", Seed: int64(i + 1)},
+		Hash: fmt.Sprintf("hash-%04d", i),
+	}
+}
+
+func TestHintSpoolReplayRoundtrip(t *testing.T) {
+	h := testHintLog(t)
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := h.Spool("n2", hintResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.PendingFor("n2"); got != n {
+		t.Fatalf("PendingFor = %d, want %d", got, n)
+	}
+	if peers := h.Peers(); len(peers) != 1 || peers[0] != "n2" {
+		t.Fatalf("Peers = %v", peers)
+	}
+
+	var delivered []string
+	sent, err := h.Replay("n2", func(r *sweep.Result) error {
+		delivered = append(delivered, r.Hash)
+		return nil
+	})
+	if err != nil || sent != n {
+		t.Fatalf("Replay = %d, %v; want %d, nil", sent, err, n)
+	}
+	for i, hash := range delivered {
+		if want := fmt.Sprintf("hash-%04d", i); hash != want {
+			t.Fatalf("replay out of order: delivered[%d] = %s, want %s", i, hash, want)
+		}
+	}
+	if got := h.PendingFor("n2"); got != 0 {
+		t.Fatalf("backlog after full replay = %d, want 0", got)
+	}
+	if _, err := os.Stat(filepath.Join(h.dir, "n2"+hintSuffix)); !os.IsNotExist(err) {
+		t.Errorf("drained hint log should be deleted, stat err = %v", err)
+	}
+}
+
+func TestHintReplayFailureKeepsLog(t *testing.T) {
+	h := testHintLog(t)
+	const n = 3
+	for i := 0; i < n; i++ {
+		if err := h.Spool("n2", hintResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boom := errors.New("peer vanished again")
+	calls := 0
+	sent, err := h.Replay("n2", func(*sweep.Result) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || sent != 1 {
+		t.Fatalf("Replay = %d, %v; want 1, %v", sent, err, boom)
+	}
+	// At-least-once: the whole log survives a partial replay, and a later
+	// attempt delivers everything (duplicates are idempotent downstream).
+	if got := h.PendingFor("n2"); got != n {
+		t.Fatalf("backlog after failed replay = %d, want %d", got, n)
+	}
+	sent, err = h.Replay("n2", func(*sweep.Result) error { return nil })
+	if err != nil || sent != n {
+		t.Fatalf("retry Replay = %d, %v; want %d, nil", sent, err, n)
+	}
+}
+
+// TestHintLogRestartRecovery proves a restart of the hinting node keeps
+// its obligations: a fresh HintLog over the same directory counts and
+// replays the backlog spooled by its predecessor.
+func TestHintLogRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	m := NewMetrics(obs.NewRegistry())
+	h, err := OpenHintLog(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := h.Spool("n2", hintResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Crash: no close, just a new HintLog over the same directory.
+	h2, err := OpenHintLog(dir, NewMetrics(obs.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.PendingFor("n2"); got != 4 {
+		t.Fatalf("recovered backlog = %d, want 4", got)
+	}
+	if got := h2.Pending(); got != 4 {
+		t.Fatalf("total recovered backlog = %d, want 4", got)
+	}
+	sent, err := h2.Replay("n2", func(*sweep.Result) error { return nil })
+	if err != nil || sent != 4 {
+		t.Fatalf("Replay after restart = %d, %v; want 4, nil", sent, err)
+	}
+}
+
+// TestHintLogTornTailRecovery mirrors the journal's corruption tests: a
+// crash mid-append leaves a truncated final record, and reopening the
+// hint log drops exactly that record, keeping every fully written hint.
+func TestHintLogTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	h, err := OpenHintLog(dir, NewMetrics(obs.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := h.Spool("n2", hintResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, "n2"+hintSuffix)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record mid-body, as a crash between write and sync
+	// would.
+	if err := os.Truncate(path, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	h2, err := OpenHintLog(dir, NewMetrics(obs.NewRegistry()))
+	if err != nil {
+		t.Fatalf("reopening a torn hint log must recover, not fail: %v", err)
+	}
+	if got := h2.PendingFor("n2"); got != 2 {
+		t.Fatalf("backlog after torn-tail recovery = %d, want 2", got)
+	}
+	var hashes []string
+	sent, err := h2.Replay("n2", func(r *sweep.Result) error {
+		hashes = append(hashes, r.Hash)
+		return nil
+	})
+	if err != nil || sent != 2 {
+		t.Fatalf("Replay = %d, %v; want 2, nil", sent, err)
+	}
+	if hashes[0] != "hash-0000" || hashes[1] != "hash-0001" {
+		t.Fatalf("surviving hints = %v, want the two fully written ones", hashes)
+	}
+
+	// The log stays usable for new hints after recovery-by-truncation.
+	if err := h2.Spool("n2", hintResult(9)); err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.PendingFor("n2"); got != 1 {
+		t.Fatalf("backlog after post-recovery spool = %d, want 1", got)
+	}
+}

@@ -1,0 +1,353 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// PeerState is a peer's liveness as judged by this node.
+type PeerState string
+
+const (
+	// PeerUp means the peer is answering heartbeats (or was never yet
+	// probed — peers start optimistically up so routing is attempted
+	// immediately and the first failures demote them).
+	PeerUp PeerState = "up"
+	// PeerDown means FailThreshold consecutive probes (or forwards)
+	// failed; writes owed to the peer spool as hints until it returns.
+	PeerDown PeerState = "down"
+)
+
+// DefaultHeartbeat is the probe interval when Config.Heartbeat is zero.
+const DefaultHeartbeat = 2 * time.Second
+
+// DefaultFailThreshold is how many consecutive failures mark a peer
+// down when Config.FailThreshold is zero.
+const DefaultFailThreshold = 3
+
+type peerEntry struct {
+	id       string
+	state    PeerState
+	failures int
+	lastSeen time.Time
+	ringSeen uint64 // the peer's ring version we last integrated
+}
+
+// PeerView is the serializable snapshot of one peer for status APIs.
+type PeerView struct {
+	ID       string    `json:"id"`
+	URL      string    `json:"url"`
+	State    PeerState `json:"state"`
+	Failures int       `json:"failures,omitempty"`
+	LastSeen time.Time `json:"last_seen,omitzero"`
+}
+
+// Membership tracks peer liveness with periodic HTTP heartbeats against
+// each peer's ping endpoint and exchanges partition-map deltas on every
+// probe. Failure detection is purely local: a peer is marked down after
+// FailThreshold consecutive failures and up again on the first success
+// (or on receiving any ping from it), and transitions never mutate the
+// ring — ownership stays put and hinted handoff bridges the outage.
+type Membership struct {
+	self          Member
+	ring          *Ring
+	client        *http.Client
+	interval      time.Duration
+	failThreshold int
+	metrics       *Metrics
+	// onUp fires on every down→up transition (probe success or inbound
+	// ping), synchronously — the node replays hints from it.
+	onUp func(id string)
+
+	mu    sync.Mutex
+	peers map[string]*peerEntry
+}
+
+func newMembership(self Member, ring *Ring, seeds []Member, client *http.Client, interval time.Duration, failThreshold int, metrics *Metrics, onUp func(string)) *Membership {
+	if interval <= 0 {
+		interval = DefaultHeartbeat
+	}
+	if failThreshold <= 0 {
+		failThreshold = DefaultFailThreshold
+	}
+	m := &Membership{
+		self:          self,
+		ring:          ring,
+		client:        client,
+		interval:      interval,
+		failThreshold: failThreshold,
+		metrics:       metrics,
+		onUp:          onUp,
+		peers:         make(map[string]*peerEntry),
+	}
+	ring.Add(self)
+	for _, s := range seeds {
+		m.addMember(s)
+	}
+	return m
+}
+
+// addMember installs a discovered or seeded member into the ring and
+// peer table. Self is never a peer.
+func (m *Membership) addMember(mem Member) {
+	if mem.ID == "" || mem.ID == m.self.ID {
+		return
+	}
+	m.ring.Add(mem)
+	m.mu.Lock()
+	if m.peers[mem.ID] == nil {
+		m.peers[mem.ID] = &peerEntry{id: mem.ID, state: PeerUp}
+	}
+	m.mu.Unlock()
+}
+
+// removeMember drops a member announced as removed by a peer delta.
+func (m *Membership) removeMember(id string) {
+	if id == "" || id == m.self.ID {
+		return
+	}
+	m.ring.Remove(id)
+	m.mu.Lock()
+	delete(m.peers, id)
+	m.mu.Unlock()
+}
+
+// State returns this node's judgement of peer id; unknown peers are
+// down (there is nowhere to send their traffic).
+func (m *Membership) State(id string) PeerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p := m.peers[id]; p != nil {
+		return p.state
+	}
+	return PeerDown
+}
+
+// Peers snapshots every known peer, for the status endpoint and the
+// node's hint-replay sweep.
+func (m *Membership) Peers() []PeerView {
+	m.mu.Lock()
+	views := make([]PeerView, 0, len(m.peers))
+	for _, p := range m.peers {
+		views = append(views, PeerView{ID: p.id, State: p.state, Failures: p.failures, LastSeen: p.lastSeen})
+	}
+	m.mu.Unlock()
+	for i := range views {
+		if u, ok := m.ring.URL(views[i].ID); ok {
+			views[i].URL = u
+		}
+	}
+	return views
+}
+
+func (m *Membership) countState(s PeerState) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, p := range m.peers {
+		if p.state == s {
+			n++
+		}
+	}
+	return n
+}
+
+// Observe records direct evidence of life from a peer — an inbound ping
+// names its sender — adding unknown members to the ring (transitive
+// discovery through seed peers) and marking the sender up.
+func (m *Membership) Observe(mem Member) {
+	if mem.ID == "" || mem.ID == m.self.ID {
+		return
+	}
+	m.addMember(mem)
+	m.reportSuccess(mem.ID)
+}
+
+// ReportFailure feeds passive failure detection: a failed forward or
+// push counts like a failed heartbeat, so a dead peer is demoted by the
+// traffic it is breaking, not only by the next probe.
+func (m *Membership) ReportFailure(id string) {
+	m.mu.Lock()
+	p := m.peers[id]
+	if p == nil {
+		m.mu.Unlock()
+		return
+	}
+	p.failures++
+	transition := p.state == PeerUp && p.failures >= m.failThreshold
+	if transition {
+		p.state = PeerDown
+	}
+	m.mu.Unlock()
+	if transition {
+		m.metrics.peerDown.Inc()
+	}
+}
+
+// reportSuccess resets the failure count and promotes the peer,
+// firing onUp on a down→up transition.
+func (m *Membership) reportSuccess(id string) {
+	m.mu.Lock()
+	p := m.peers[id]
+	if p == nil {
+		m.mu.Unlock()
+		return
+	}
+	p.failures = 0
+	p.lastSeen = time.Now()
+	transition := p.state == PeerDown
+	if transition {
+		p.state = PeerUp
+	}
+	m.mu.Unlock()
+	if transition {
+		m.metrics.peerUp.Inc()
+		if m.onUp != nil {
+			m.onUp(id)
+		}
+	}
+}
+
+// pingResponse is the heartbeat exchange: the responder identifies
+// itself, reports its partition-map version, and catches the caller up
+// with deltas — or a full snapshot when the caller is too far behind.
+type pingResponse struct {
+	Node        string     `json:"node"`
+	RingVersion uint64     `json:"ring_version"`
+	Deltas      []Delta    `json:"deltas,omitempty"`
+	Snapshot    *RingState `json:"snapshot,omitempty"`
+}
+
+// Tick probes every known peer once, concurrently, and returns when all
+// probes have resolved. The heartbeat loop calls it on an interval;
+// tests call it directly for deterministic control.
+func (m *Membership) Tick(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, p := range m.Peers() {
+		if p.URL == "" {
+			continue
+		}
+		wg.Add(1)
+		go func(p PeerView) {
+			defer wg.Done()
+			m.probe(ctx, p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// Start runs the heartbeat loop until ctx is done.
+func (m *Membership) Start(ctx context.Context) {
+	go func() {
+		t := time.NewTicker(m.interval)
+		defer t.Stop()
+		for {
+			m.Tick(ctx)
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+// probe heartbeats one peer: GET its ping endpoint, identifying
+// ourselves (so the peer learns us and marks us up) and naming the last
+// ring version of theirs we integrated, then applies the delta or
+// snapshot the response carries.
+func (m *Membership) probe(ctx context.Context, p PeerView) {
+	m.mu.Lock()
+	var since uint64
+	if e := m.peers[p.ID]; e != nil {
+		since = e.ringSeen
+	}
+	m.mu.Unlock()
+
+	u := fmt.Sprintf("%s/cluster/v1/ping?from=%s&url=%s&ring=%d",
+		p.URL, url.QueryEscape(m.self.ID), url.QueryEscape(m.self.URL), since)
+	ctx, cancel := context.WithTimeout(ctx, m.interval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		m.probeFailed(p.ID)
+		return
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		m.probeFailed(p.ID)
+		return
+	}
+	defer resp.Body.Close()
+	var pr pingResponse
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&pr) != nil {
+		m.probeFailed(p.ID)
+		return
+	}
+	m.metrics.heartbeats.Inc()
+	m.integrate(p.ID, &pr)
+	m.reportSuccess(p.ID)
+}
+
+func (m *Membership) probeFailed(id string) {
+	m.metrics.heartbeatErrs.Inc()
+	m.ReportFailure(id)
+}
+
+// integrate applies a heartbeat response's partition-map changes: adds
+// and removals from the delta list, or the union of a full snapshot.
+// Snapshots only ever add — removals must arrive as explicit deltas, so
+// a stale snapshot can never evict live members (or ourselves).
+func (m *Membership) integrate(id string, pr *pingResponse) {
+	if pr.Snapshot != nil {
+		for _, mem := range pr.Snapshot.Members {
+			m.addMember(mem)
+		}
+		m.metrics.snapshotsTaken.Inc()
+	}
+	for _, d := range pr.Deltas {
+		if d.Add != nil {
+			m.addMember(*d.Add)
+		}
+		if d.Remove != "" {
+			m.removeMember(d.Remove)
+		}
+		m.metrics.deltasApplied.Inc()
+	}
+	m.mu.Lock()
+	if p := m.peers[id]; p != nil {
+		p.ringSeen = pr.RingVersion
+	}
+	m.mu.Unlock()
+}
+
+// handlePing builds the response to an inbound heartbeat: our identity
+// and ring version, plus the catch-up for the caller's since version.
+func (m *Membership) handlePing(from, fromURL string, since uint64) pingResponse {
+	if from != "" {
+		m.Observe(Member{ID: from, URL: fromURL})
+	}
+	pr := pingResponse{Node: m.self.ID, RingVersion: m.ring.Version()}
+	if deltas, ok := m.ring.DeltasSince(since); ok {
+		pr.Deltas = deltas
+	} else {
+		snap := m.ring.Snapshot()
+		pr.Snapshot = &snap
+	}
+	return pr
+}
+
+// parseSince parses the ring query parameter of a ping.
+func parseSince(s string) uint64 {
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}

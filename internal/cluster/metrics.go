@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"multicluster/internal/obs"
+)
+
+// Metrics is the cluster layer's observability surface, registered in
+// the same obs.Registry as the sweep instruments so one GET /metrics
+// scrape covers the whole node. NewNode synthesizes a private registry
+// when the caller does not supply one, so inside the package a node's
+// metrics are never nil.
+type Metrics struct {
+	reg *obs.Registry
+
+	forwards       *obs.Counter // runs forwarded to their owner
+	forwardErrors  *obs.Counter // forwards that failed (fell back local)
+	localFallbacks *obs.Counter // non-owned cells computed locally
+	proxied        *obs.Counter // job lookups proxied to the owning node
+
+	replications     *obs.Counter
+	replicationErrs  *obs.Counter
+	storedResults    *obs.Counter // results accepted from peers
+	hintsSpooled     *obs.Counter
+	hintsReplayed    *obs.Counter
+	hintReplayErrors *obs.Counter
+	hintSpoolErrors  *obs.Counter
+
+	heartbeats     *obs.Counter
+	heartbeatErrs  *obs.Counter
+	peerUp         *obs.Counter
+	peerDown       *obs.Counter
+	deltasApplied  *obs.Counter
+	snapshotsTaken *obs.Counter
+}
+
+// NewMetrics registers the cluster instrument families in reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{reg: reg}
+	m.forwards = reg.Counter("cluster_forwards_total",
+		"Runs forwarded to the owning node.")
+	m.forwardErrors = reg.Counter("cluster_forward_errors_total",
+		"Forwarded runs that failed and fell back to local computation.")
+	m.localFallbacks = reg.Counter("cluster_local_fallbacks_total",
+		"Non-owned cells computed locally because the owner was unreachable.")
+	m.proxied = reg.Counter("cluster_lookups_proxied_total",
+		"Job lookups proxied to the node that owns the job id.")
+	m.replications = reg.Counter("cluster_replications_total",
+		"Results pushed to peers (replica fan-out and owner handback).")
+	m.replicationErrs = reg.Counter("cluster_replication_errors_total",
+		"Result pushes that failed and were spooled as hints instead.")
+	m.storedResults = reg.Counter("cluster_results_stored_total",
+		"Results accepted from peers (replication pushes and hint replays).")
+	m.hintsSpooled = reg.Counter("cluster_hints_spooled_total",
+		"Results spooled into per-peer hint logs for later handoff.")
+	m.hintsReplayed = reg.Counter("cluster_hints_replayed_total",
+		"Hinted results delivered to their owner after it returned.")
+	m.hintReplayErrors = reg.Counter("cluster_hint_replay_errors_total",
+		"Hint replay rounds that failed and kept their log for retry.")
+	m.hintSpoolErrors = reg.Counter("cluster_hint_spool_errors_total",
+		"Hints that could not be written to the local hint log.")
+	m.heartbeats = reg.Counter("cluster_heartbeats_total",
+		"Successful peer heartbeats.")
+	m.heartbeatErrs = reg.Counter("cluster_heartbeat_errors_total",
+		"Failed peer heartbeats.")
+	m.peerUp = reg.Counter("cluster_peer_transitions_total",
+		"Peer state transitions, by new state.", obs.L("to", "up"))
+	m.peerDown = reg.Counter("cluster_peer_transitions_total",
+		"Peer state transitions, by new state.", obs.L("to", "down"))
+	m.deltasApplied = reg.Counter("cluster_ring_deltas_applied_total",
+		"Partition-map deltas applied from peer heartbeats.")
+	m.snapshotsTaken = reg.Counter("cluster_ring_snapshots_total",
+		"Full partition-map snapshots applied because the delta history was exhausted.")
+	return m
+}
+
+// bindNode registers the scrape-time samplers that read the node's
+// live state: ring version, peer counts by state, and hint backlog.
+func (m *Metrics) bindNode(n *Node) {
+	if m == nil {
+		return
+	}
+	m.reg.GaugeFunc("cluster_ring_version",
+		"Local version of the consistent-hash partition map.",
+		func() float64 { return float64(n.ring.Version()) })
+	m.reg.GaugeFunc("cluster_ring_members",
+		"Members of the consistent-hash ring, this node included.",
+		func() float64 { return float64(n.ring.Size()) })
+	m.reg.GaugeFunc("cluster_peers",
+		"Known peers by liveness state.",
+		func() float64 { return float64(n.members.countState(PeerUp)) }, obs.L("state", "up"))
+	m.reg.GaugeFunc("cluster_peers",
+		"Known peers by liveness state.",
+		func() float64 { return float64(n.members.countState(PeerDown)) }, obs.L("state", "down"))
+	m.reg.GaugeFunc("cluster_hints_pending",
+		"Hinted results spooled locally, awaiting their owner's return.",
+		func() float64 { return float64(n.hints.Pending()) })
+}

@@ -1,0 +1,364 @@
+// Package cluster turns mcserved into an N-node sweep cluster: a
+// virtual-node consistent-hash ring partitions the content-addressed
+// result space across nodes by JobSpec hash, a membership layer tracks
+// peer liveness with HTTP heartbeats and exchanges partition-map deltas,
+// a stateless routing layer forwards non-owned work to its owner (and
+// proxies job lookups by id), and hinted handoff spools writes owed to a
+// down node into local CRC32 logs that replay when the peer returns.
+//
+// The layering follows the control-plane/data-plane split of the
+// SNIPPETS.md design docs: routing is stateless (any node can serve any
+// request, forwarding as needed), ownership is a pure function of the
+// member set, and map updates travel as cheap deltas rather than
+// whole-table broadcasts. Failure handling prefers availability: when an
+// owner is unreachable the receiving node computes the cell itself and
+// hands the result back through the hint log, so a mid-sweep node kill
+// loses no results.
+//
+// A Node plugs into internal/sweep as its Remote: every job, sweep cell,
+// and Table 2 cell funnels through Service.compute, which consults the
+// ring and either computes locally, serves a replicated cache hit, or
+// forwards to the owner.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"multicluster/internal/faultinject"
+	"multicluster/internal/obs"
+	"multicluster/internal/sweep"
+)
+
+// ParsePeers parses a -peers flag value: comma-separated id=url pairs,
+// e.g. "n1=http://10.0.0.1:8742,n2=http://10.0.0.2:8742".
+func ParsePeers(s string) ([]Member, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var members []Member
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, u, ok := strings.Cut(part, "=")
+		if !ok || id == "" || u == "" {
+			return nil, fmt.Errorf("cluster: bad peer %q (want id=url)", part)
+		}
+		members = append(members, Member{ID: id, URL: strings.TrimRight(u, "/")})
+	}
+	return members, nil
+}
+
+// Config configures a cluster node.
+type Config struct {
+	// Self is this node's id and the base URL peers reach it at.
+	Self Member
+	// Seeds are the statically configured peers; more may be learned
+	// transitively through heartbeat delta exchange.
+	Seeds []Member
+	// VNodes is the virtual-node count per member (0 = DefaultVNodes).
+	VNodes int
+	// Replicas is the total number of nodes that hold each owned result,
+	// primary included; <= 1 means no replica fan-out.
+	Replicas int
+	// HintDir is the directory for per-peer hint logs.
+	HintDir string
+	// Heartbeat is the peer probe interval (0 = DefaultHeartbeat).
+	Heartbeat time.Duration
+	// FailThreshold is the consecutive-failure count that marks a peer
+	// down (0 = DefaultFailThreshold).
+	FailThreshold int
+	// Metrics receives the cluster_* instruments; nil means a private
+	// registry (instruments still work, nothing is exposed).
+	Metrics *Metrics
+	// Inject is the fault-injection plan shared with the sweep service;
+	// the forwarding boundary checks the "forward" site. Nil means off.
+	Inject *faultinject.Plan
+	// Client issues forwards, pushes, and heartbeats; nil means a client
+	// with sane timeouts.
+	Client *http.Client
+	// PushTimeout bounds one replication/hint-replay push (0 = 5s).
+	PushTimeout time.Duration
+}
+
+// Node is one member of the sweep cluster. It implements sweep.Remote,
+// so a sweep.Service constructed with Config.Remote pointing here routes
+// every computation through the ring.
+type Node struct {
+	self        Member
+	ring        *Ring
+	members     *Membership
+	hints       *HintLog
+	metrics     *Metrics
+	inject      *faultinject.Plan
+	client      *http.Client
+	replicas    int
+	pushTimeout time.Duration
+
+	svc *sweep.Service
+}
+
+// NewNode builds a node: ring seeded with self and peers, hint logs
+// recovered from HintDir, membership ready to probe. Call AttachService
+// with the node's sweep.Service before serving traffic, and Start to
+// begin heartbeats.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Self.ID == "" {
+		return nil, errors.New("cluster: node id required")
+	}
+	if cfg.HintDir == "" {
+		return nil, errors.New("cluster: hint directory required (hinted handoff needs disk)")
+	}
+	metrics := cfg.Metrics
+	if metrics == nil {
+		metrics = NewMetrics(obs.NewRegistry())
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 0} // per-request contexts bound every call
+	}
+	pushTimeout := cfg.PushTimeout
+	if pushTimeout <= 0 {
+		pushTimeout = 5 * time.Second
+	}
+	replicas := cfg.Replicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	hints, err := OpenHintLog(cfg.HintDir, metrics)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		self:        cfg.Self,
+		ring:        NewRing(cfg.VNodes),
+		hints:       hints,
+		metrics:     metrics,
+		inject:      cfg.Inject,
+		client:      client,
+		replicas:    replicas,
+		pushTimeout: pushTimeout,
+	}
+	n.members = newMembership(cfg.Self, n.ring, cfg.Seeds, client, cfg.Heartbeat, cfg.FailThreshold, metrics, n.replayHintsFor)
+	metrics.bindNode(n)
+	return n, nil
+}
+
+// AttachService binds the local sweep service the node serves forwarded
+// runs and stored results through. Must be called before the node's
+// HTTP handler receives traffic.
+func (n *Node) AttachService(svc *sweep.Service) { n.svc = svc }
+
+// ID returns the node's id.
+func (n *Node) ID() string { return n.self.ID }
+
+// Ring returns the node's partition map.
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Members returns the node's membership layer.
+func (n *Node) Members() *Membership { return n.members }
+
+// Hints returns the node's hint log.
+func (n *Node) Hints() *HintLog { return n.hints }
+
+// Start launches the heartbeat loop and the periodic hint-replay sweep
+// until ctx is done.
+func (n *Node) Start(ctx context.Context) {
+	n.members.Start(ctx)
+	go func() {
+		t := time.NewTicker(n.members.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				n.ReplayPending()
+			}
+		}
+	}()
+}
+
+// Sync runs one synchronous round of the background work — probe every
+// peer, then replay any hint backlog whose owner is up. Tests and
+// operators use it for deterministic convergence.
+func (n *Node) Sync(ctx context.Context) {
+	n.members.Tick(ctx)
+	n.ReplayPending()
+}
+
+// ReplayPending replays the hint backlog of every up peer.
+func (n *Node) ReplayPending() {
+	for _, peer := range n.hints.Peers() {
+		if n.members.State(peer) == PeerUp {
+			n.replayHintsFor(peer)
+		}
+	}
+}
+
+// replayHintsFor drains one peer's hint log into its result endpoint.
+// Fired on down→up transitions and by the periodic sweep; a failure
+// keeps the log for the next round.
+func (n *Node) replayHintsFor(peer string) {
+	if n.hints.PendingFor(peer) == 0 {
+		return
+	}
+	_, err := n.hints.Replay(peer, func(res *sweep.Result) error {
+		return n.push(peer, res)
+	})
+	if err != nil {
+		n.members.ReportFailure(peer)
+	}
+}
+
+// Route implements sweep.Remote: the ring owner of the content hash,
+// and whether that is us (an empty ring or unknown owner degrades to
+// local).
+func (n *Node) Route(hash string) (string, bool) {
+	owner := n.ring.Owner(hash)
+	return owner, owner == "" || owner == n.self.ID
+}
+
+// RunRemote implements sweep.Remote: execute spec on the owner node,
+// propagating ctx's deadline plus the request id and client id it
+// carries. The caller (Service.compute) falls back to local computation
+// on any error.
+func (n *Node) RunRemote(ctx context.Context, node string, spec sweep.JobSpec) (*sweep.Result, error) {
+	if n.members.State(node) != PeerUp {
+		n.metrics.forwardErrors.Inc()
+		n.metrics.localFallbacks.Inc()
+		return nil, fmt.Errorf("cluster: owner %s is down", node)
+	}
+	base, ok := n.ring.URL(node)
+	if !ok || base == "" {
+		n.metrics.forwardErrors.Inc()
+		n.metrics.localFallbacks.Inc()
+		return nil, fmt.Errorf("cluster: no URL for owner %s", node)
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encoding forwarded spec: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/cluster/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(headerOrigin, n.self.ID)
+	if id := sweep.RequestIDFrom(ctx); id != "" {
+		req.Header.Set("X-Request-ID", id)
+	}
+	if client := sweep.ClientIDFrom(ctx); client != "" {
+		req.Header.Set("X-Client-ID", client)
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		req.Header.Set(headerDeadline, strconv.FormatInt(deadline.UnixMicro(), 10))
+	}
+	n.metrics.forwards.Inc()
+	resp, err := n.client.Do(req)
+	if err != nil {
+		n.metrics.forwardErrors.Inc()
+		n.metrics.localFallbacks.Inc()
+		n.members.ReportFailure(node)
+		return nil, fmt.Errorf("cluster: forwarding to %s: %w", node, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		n.metrics.forwardErrors.Inc()
+		n.metrics.localFallbacks.Inc()
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("cluster: owner %s answered %d: %s", node, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var res sweep.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		n.metrics.forwardErrors.Inc()
+		n.metrics.localFallbacks.Inc()
+		return nil, fmt.Errorf("cluster: decoding forwarded result from %s: %w", node, err)
+	}
+	return &res, nil
+}
+
+// Completed implements sweep.Remote: called for every locally computed
+// result. On the owner it fans the result out to the replica set; on a
+// non-owner (a local fallback while the owner was unreachable) it hands
+// the result to the owner's shard — pushed directly when the peer looks
+// up, spooled as a hint otherwise.
+func (n *Node) Completed(res *sweep.Result) {
+	if res == nil || res.Hash == "" || n.ring.Size() < 2 {
+		return
+	}
+	owners := n.ring.Owners(res.Hash, n.replicas)
+	if len(owners) == 0 {
+		return
+	}
+	if owners[0] == n.self.ID {
+		for _, rep := range owners[1:] {
+			n.deliver(rep, res)
+		}
+		return
+	}
+	// We computed a cell we do not own; its shard (and replicas) must
+	// still converge on holding it.
+	for _, owner := range owners {
+		if owner != n.self.ID {
+			n.deliver(owner, res)
+		}
+	}
+}
+
+// deliver gets one result to one peer: an immediate push when the peer
+// is believed up, the hint log otherwise (or when the push fails).
+func (n *Node) deliver(peer string, res *sweep.Result) {
+	if n.members.State(peer) == PeerUp {
+		if err := n.push(peer, res); err == nil {
+			return
+		}
+		n.members.ReportFailure(peer)
+	}
+	n.hints.Spool(peer, res)
+}
+
+// push POSTs one result to peer's result endpoint, bounded by the push
+// timeout. Used for replica fan-out and hint replay; the receiving side
+// is idempotent.
+func (n *Node) push(peer string, res *sweep.Result) error {
+	base, ok := n.ring.URL(peer)
+	if !ok || base == "" {
+		return fmt.Errorf("cluster: no URL for peer %s", peer)
+	}
+	body, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding result: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.pushTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/cluster/v1/result", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(headerOrigin, n.self.ID)
+	resp, err := n.client.Do(req)
+	if err != nil {
+		n.metrics.replicationErrs.Inc()
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		n.metrics.replicationErrs.Inc()
+		return fmt.Errorf("cluster: peer %s refused result: %d", peer, resp.StatusCode)
+	}
+	n.metrics.replications.Inc()
+	return nil
+}

@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Member is one node of the partition map: a stable id and the base URL
+// its HTTP endpoints are served from.
+type Member struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// Delta is one versioned change to the partition map — the unit peers
+// exchange on heartbeats instead of re-broadcasting the whole member
+// table. Version is the ring's version after the change was applied, in
+// the originating node's own monotonic sequence.
+type Delta struct {
+	Version uint64  `json:"version"`
+	Add     *Member `json:"add,omitempty"`
+	Remove  string  `json:"remove,omitempty"`
+}
+
+// RingState is a full snapshot of the partition map, sent only when a
+// peer has fallen too far behind the bounded delta history.
+type RingState struct {
+	Version uint64   `json:"version"`
+	Members []Member `json:"members"`
+}
+
+// DefaultVNodes is the virtual-node count per member when Config.VNodes
+// is zero: enough points that three-to-eight-node rings split the key
+// space within a few percent of even.
+const DefaultVNodes = 64
+
+// maxDeltaHistory bounds the retained delta log; a peer asking for older
+// history receives a full snapshot instead.
+const maxDeltaHistory = 64
+
+type ringPoint struct {
+	point uint64
+	node  string
+}
+
+// Ring is a virtual-node consistent-hash ring over the cluster members,
+// keyed by JobSpec content hash. Each member contributes vnodes points;
+// a key is owned by the member whose point follows the key's point
+// clockwise. Every mutation bumps a local version and appends a Delta,
+// so peers can catch up with cheap change-sets rather than whole-table
+// broadcasts (the Hazelcast partition-migration lesson).
+//
+// Ownership is a function of the member set only — a member that is
+// down keeps its partitions, and writes owed to it spool as hints until
+// it returns. That keeps the map stable under flapping and makes hinted
+// handoff, not rebalancing, the failure-time mechanism.
+type Ring struct {
+	mu      sync.RWMutex
+	vnodes  int
+	version uint64
+	members map[string]Member
+	points  []ringPoint
+	history []Delta
+}
+
+// NewRing returns an empty ring with the given virtual-node count per
+// member (<= 0 means DefaultVNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]Member)}
+}
+
+// hashPoint maps a string to a ring position. FNV-64a alone has weak
+// avalanche in its high bits when inputs differ only in a short suffix
+// ("n1#0" vs "n1#1"), which would bunch a member's vnodes together, so
+// the sum is passed through a splitmix64 finalizer.
+func hashPoint(s string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, s)
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add installs (or updates the URL of) a member, reporting whether the
+// ring changed. A new member bumps the version and records a delta.
+func (r *Ring) Add(m Member) bool {
+	if m.ID == "" {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.members[m.ID]; ok {
+		if old.URL == m.URL || m.URL == "" {
+			return false
+		}
+		// URL change only: placement is untouched, no new points.
+		r.members[m.ID] = m
+		r.record(Delta{Add: &m})
+		return true
+	}
+	r.members[m.ID] = m
+	r.record(Delta{Add: &m})
+	r.rebuildLocked()
+	return true
+}
+
+// Remove drops a member, reporting whether the ring changed.
+func (r *Ring) Remove(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[id]; !ok {
+		return false
+	}
+	delete(r.members, id)
+	r.record(Delta{Remove: id})
+	r.rebuildLocked()
+	return true
+}
+
+// record bumps the version and appends d to the bounded history. Called
+// with r.mu held.
+func (r *Ring) record(d Delta) {
+	r.version++
+	d.Version = r.version
+	r.history = append(r.history, d)
+	if len(r.history) > maxDeltaHistory {
+		r.history = r.history[len(r.history)-maxDeltaHistory:]
+	}
+}
+
+// rebuildLocked regenerates the sorted point list from the member set.
+// Member counts are small (a handful of nodes), so a full rebuild per
+// mutation is cheaper than it looks and trivially correct.
+func (r *Ring) rebuildLocked() {
+	r.points = r.points[:0]
+	for id := range r.members {
+		for i := 0; i < r.vnodes; i++ {
+			r.points = append(r.points, ringPoint{hashPoint(id + "#" + strconv.Itoa(i)), id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].point != r.points[j].point {
+			return r.points[i].point < r.points[j].point
+		}
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// Owner returns the member owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.searchLocked(key)].node
+}
+
+// Owners returns up to n distinct members for key, primary first,
+// walking the ring clockwise — the replica set of the key.
+func (r *Ring) Owners(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	owners := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i, start := 0, r.searchLocked(key); len(owners) < n && i < len(r.points); i++ {
+		node := r.points[(start+i)%len(r.points)].node
+		if !seen[node] {
+			seen[node] = true
+			owners = append(owners, node)
+		}
+	}
+	return owners
+}
+
+// searchLocked finds the index of the first point at or after key's
+// position, wrapping to 0. Called with r.mu held (read or write).
+func (r *Ring) searchLocked(key string) int {
+	p := hashPoint(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].point >= p })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// Version returns the ring's local version.
+func (r *Ring) Version() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.version
+}
+
+// Members returns the member set sorted by id.
+func (r *Ring) Members() []Member {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Member, 0, len(r.members))
+	for _, m := range r.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// URL returns the base URL of a member.
+func (r *Ring) URL(id string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.members[id]
+	return m.URL, ok
+}
+
+// Size returns the number of members.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// DeltasSince returns the changes after version v, oldest first. ok is
+// false when v predates the retained history (or is from the future of
+// a restarted peer) — the caller should send or request a full snapshot
+// instead.
+func (r *Ring) DeltasSince(v uint64) ([]Delta, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if v > r.version {
+		return nil, false
+	}
+	if v == r.version {
+		return nil, true
+	}
+	// history covers (version-len(history), version]
+	if len(r.history) == 0 || r.history[0].Version > v+1 {
+		return nil, false
+	}
+	out := make([]Delta, 0, r.version-v)
+	for _, d := range r.history {
+		if d.Version > v {
+			out = append(out, d)
+		}
+	}
+	return out, true
+}
+
+// Snapshot returns the full partition map.
+func (r *Ring) Snapshot() RingState {
+	return RingState{Version: r.Version(), Members: r.Members()}
+}

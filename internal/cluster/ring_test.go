@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringMembers(n int) []Member {
+	ms := make([]Member, n)
+	for i := range ms {
+		ms[i] = Member{ID: fmt.Sprintf("n%d", i+1), URL: fmt.Sprintf("http://node%d", i+1)}
+	}
+	return ms
+}
+
+func keys(n int) []string {
+	ks := make([]string, n)
+	for i := range ks {
+		ks[i] = fmt.Sprintf("%016x", hashPoint(fmt.Sprintf("key-%d", i)))
+	}
+	return ks
+}
+
+func TestRingOwnerDeterministicAcrossInsertOrder(t *testing.T) {
+	a, b := NewRing(0), NewRing(0)
+	ms := ringMembers(5)
+	for _, m := range ms {
+		a.Add(m)
+	}
+	for i := len(ms) - 1; i >= 0; i-- {
+		b.Add(ms[i])
+	}
+	for _, k := range keys(500) {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("owner of %s depends on insertion order: %s vs %s", k, ao, bo)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(0)
+	for _, m := range ringMembers(3) {
+		r.Add(m)
+	}
+	counts := make(map[string]int)
+	ks := keys(3000)
+	for _, k := range ks {
+		counts[r.Owner(k)]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("expected keys across all 3 members, got %v", counts)
+	}
+	for id, c := range counts {
+		// A perfectly even split is 1000; virtual nodes should keep every
+		// member within a loose factor of it.
+		if c < len(ks)/6 || c > len(ks)/2+len(ks)/6 {
+			t.Errorf("member %s owns %d of %d keys — distribution too skewed: %v", id, c, len(ks), counts)
+		}
+	}
+}
+
+func TestRingAddMovesOnlyToNewMember(t *testing.T) {
+	r := NewRing(0)
+	for _, m := range ringMembers(3) {
+		r.Add(m)
+	}
+	ks := keys(2000)
+	before := make(map[string]string, len(ks))
+	for _, k := range ks {
+		before[k] = r.Owner(k)
+	}
+	r.Add(Member{ID: "n4", URL: "http://node4"})
+	moved := 0
+	for _, k := range ks {
+		after := r.Owner(k)
+		if after == before[k] {
+			continue
+		}
+		moved++
+		if after != "n4" {
+			t.Fatalf("key %s moved from %s to %s, not to the new member", k, before[k], after)
+		}
+	}
+	// Consistent hashing moves ~1/4 of keys to the 4th member; a naive
+	// mod-N rehash would move ~3/4.
+	if moved == 0 || moved > len(ks)/2 {
+		t.Errorf("adding a member moved %d of %d keys (want roughly %d)", moved, len(ks), len(ks)/4)
+	}
+}
+
+func TestRingOwnersDistinct(t *testing.T) {
+	r := NewRing(0)
+	for _, m := range ringMembers(3) {
+		r.Add(m)
+	}
+	for _, k := range keys(100) {
+		owners := r.Owners(k, 3)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%s, 3) = %v, want all 3 members", k, owners)
+		}
+		seen := make(map[string]bool)
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("Owners(%s, 3) repeats %s: %v", k, o, owners)
+			}
+			seen[o] = true
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("Owners[0] = %s but Owner = %s", owners[0], r.Owner(k))
+		}
+	}
+	if got := r.Owners(keys(1)[0], 10); len(got) != 3 {
+		t.Fatalf("Owners with n beyond the member count = %v, want 3 distinct members", got)
+	}
+}
+
+func TestRingDeltaHistory(t *testing.T) {
+	r := NewRing(4)
+	r.Add(Member{ID: "n1", URL: "u1"})
+	v1 := r.Version()
+	r.Add(Member{ID: "n2", URL: "u2"})
+	r.Remove("n1")
+
+	deltas, ok := r.DeltasSince(v1)
+	if !ok {
+		t.Fatalf("DeltasSince(%d) fell back to snapshot within history", v1)
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("expected 2 deltas since v%d, got %v", v1, deltas)
+	}
+	if deltas[0].Add == nil || deltas[0].Add.ID != "n2" {
+		t.Errorf("first delta should add n2: %+v", deltas[0])
+	}
+	if deltas[1].Remove != "n1" {
+		t.Errorf("second delta should remove n1: %+v", deltas[1])
+	}
+
+	// A caller already at the current version needs nothing.
+	if deltas, ok := r.DeltasSince(r.Version()); !ok || len(deltas) != 0 {
+		t.Errorf("DeltasSince(current) = %v, %v; want empty, true", deltas, ok)
+	}
+
+	// Push enough changes to evict v1 from the bounded history: now only
+	// a snapshot can catch that caller up.
+	for i := 0; i < maxDeltaHistory+1; i++ {
+		r.Add(Member{ID: fmt.Sprintf("m%d", i), URL: "u"})
+	}
+	if _, ok := r.DeltasSince(v1); ok {
+		t.Error("DeltasSince should demand a snapshot once the history is exhausted")
+	}
+}
+
+func TestRingDeltaConvergence(t *testing.T) {
+	src := NewRing(8)
+	for _, m := range ringMembers(4) {
+		src.Add(m)
+	}
+	src.Remove("n3")
+
+	// A fresh follower applies the snapshot, then later deltas.
+	dst := NewRing(8)
+	for _, m := range src.Snapshot().Members {
+		dst.Add(m)
+	}
+	seen := src.Version()
+	src.Add(Member{ID: "n5", URL: "http://node5"})
+	src.Remove("n1")
+	deltas, ok := src.DeltasSince(seen)
+	if !ok {
+		t.Fatal("expected deltas, got snapshot fallback")
+	}
+	for _, d := range deltas {
+		if d.Add != nil {
+			dst.Add(*d.Add)
+		}
+		if d.Remove != "" {
+			dst.Remove(d.Remove)
+		}
+	}
+	srcM, dstM := src.Members(), dst.Members()
+	if len(srcM) != len(dstM) {
+		t.Fatalf("follower diverged: %v vs %v", srcM, dstM)
+	}
+	for i := range srcM {
+		if srcM[i] != dstM[i] {
+			t.Fatalf("follower diverged at %d: %v vs %v", i, srcM, dstM)
+		}
+	}
+	for _, k := range keys(300) {
+		if src.Owner(k) != dst.Owner(k) {
+			t.Fatalf("ownership diverged for %s: %s vs %s", k, src.Owner(k), dst.Owner(k))
+		}
+	}
+}
+
+func TestRingURLChangeKeepsOwnership(t *testing.T) {
+	r := NewRing(0)
+	for _, m := range ringMembers(3) {
+		r.Add(m)
+	}
+	ks := keys(500)
+	before := make(map[string]string, len(ks))
+	for _, k := range ks {
+		before[k] = r.Owner(k)
+	}
+	v := r.Version()
+	if !r.Add(Member{ID: "n2", URL: "http://node2-rehomed"}) {
+		t.Fatal("re-adding a member with a new URL should record a change")
+	}
+	if r.Version() == v {
+		t.Error("URL change should bump the map version so peers learn it")
+	}
+	if u, _ := r.URL("n2"); u != "http://node2-rehomed" {
+		t.Errorf("URL(n2) = %q after rehome", u)
+	}
+	for _, k := range ks {
+		if r.Owner(k) != before[k] {
+			t.Fatalf("URL change moved key %s from %s to %s", k, before[k], r.Owner(k))
+		}
+	}
+	if r.Add(Member{ID: "n2", URL: "http://node2-rehomed"}) {
+		t.Error("re-adding an identical member should be a no-op")
+	}
+}

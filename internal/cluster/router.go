@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"multicluster/internal/sweep"
+)
+
+// Forwarding headers. Origin names the node a request was forwarded
+// from (one hop only — a request carrying it is always served locally,
+// so routing can never loop); Deadline carries the forwarder's context
+// deadline as unix microseconds so the owner enforces the same budget.
+const (
+	headerOrigin   = "X-MC-Origin"
+	headerDeadline = "X-MC-Deadline"
+)
+
+// maxForwardBody caps forwarded specs and pushed results. Results carry
+// a full stats snapshot but stay well under a megabyte.
+const maxForwardBody = 4 << 20
+
+// Handler wraps the node's local HTTP surface (the sweep server) with
+// the cluster layer: the /cluster/v1/* peer endpoints, and cross-node
+// routing of job lookups whose node-prefixed ids name another owner.
+// Everything else — submissions, sweeps, table2 — is served by the
+// local handler, whose computations route through the ring internally.
+func (n *Node) Handler(local http.Handler) http.Handler {
+	r := &router{node: n, local: local, mux: http.NewServeMux()}
+	r.mux.HandleFunc("GET /cluster/v1/ping", r.handlePing)
+	r.mux.HandleFunc("POST /cluster/v1/run", r.handleRun)
+	r.mux.HandleFunc("POST /cluster/v1/result", r.handleResult)
+	r.mux.HandleFunc("GET /cluster/v1/status", r.handleStatus)
+	r.mux.HandleFunc("GET /v1/jobs/{id}", r.handleJob)
+	r.mux.HandleFunc("DELETE /v1/jobs/{id}", r.handleJob)
+	r.mux.Handle("/", local)
+	return r
+}
+
+type router struct {
+	node  *Node
+	local http.Handler
+	mux   *http.ServeMux
+}
+
+func (r *router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	r.mux.ServeHTTP(w, req)
+}
+
+func (r *router) writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// handlePing answers a peer heartbeat: identity, ring version, and the
+// caller's partition-map catch-up. Receiving a ping is also direct
+// evidence the caller is alive, so it marks the sender up (prompting
+// hint replay on a rejoin without waiting for our next probe).
+func (r *router) handlePing(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	pr := r.node.members.handlePing(q.Get("from"), q.Get("url"), parseSince(q.Get("ring")))
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(pr)
+}
+
+// handleRun executes a forwarded spec locally — never re-forwarding —
+// under the forwarder's deadline, with its request id and client id
+// threaded into the execution context.
+func (r *router) handleRun(w http.ResponseWriter, req *http.Request) {
+	if r.node.svc == nil {
+		r.writeError(w, http.StatusServiceUnavailable, errors.New("cluster: node has no service attached"))
+		return
+	}
+	var spec sweep.JobSpec
+	req.Body = http.MaxBytesReader(w, req.Body, maxForwardBody)
+	if err := json.NewDecoder(req.Body).Decode(&spec); err != nil {
+		r.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding forwarded spec: %w", err))
+		return
+	}
+	ctx := req.Context()
+	if v := req.Header.Get(headerDeadline); v != "" {
+		if micros, err := strconv.ParseInt(v, 10, 64); err == nil {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, time.UnixMicro(micros))
+			defer cancel()
+		}
+	}
+	if id := req.Header.Get("X-Request-ID"); id != "" {
+		ctx = sweep.WithRequestID(ctx, id)
+	}
+	if client := req.Header.Get("X-Client-ID"); client != "" {
+		ctx = sweep.WithClientID(ctx, client)
+	}
+	res, _, err := r.node.svc.RunLocal(ctx, spec)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		r.writeError(w, status, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(res)
+}
+
+// handleResult accepts a result from a peer — replica fan-out or a
+// replayed hint — and installs it in the local cache and journal.
+// Idempotent: a duplicate store is a no-op, which is what makes
+// at-least-once hint replay safe.
+func (r *router) handleResult(w http.ResponseWriter, req *http.Request) {
+	if r.node.svc == nil {
+		r.writeError(w, http.StatusServiceUnavailable, errors.New("cluster: node has no service attached"))
+		return
+	}
+	var res sweep.Result
+	req.Body = http.MaxBytesReader(w, req.Body, maxForwardBody)
+	if err := json.NewDecoder(req.Body).Decode(&res); err != nil {
+		r.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding pushed result: %w", err))
+		return
+	}
+	if err := r.node.svc.StoreResult(&res); err != nil {
+		r.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	r.node.metrics.storedResults.Inc()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// statusView is the cluster introspection document.
+type statusView struct {
+	Node         string           `json:"node"`
+	RingVersion  uint64           `json:"ring_version"`
+	Members      []Member         `json:"members"`
+	Peers        []PeerView       `json:"peers"`
+	HintsPending map[string]int64 `json:"hints_pending,omitempty"`
+}
+
+func (r *router) handleStatus(w http.ResponseWriter, req *http.Request) {
+	n := r.node
+	sv := statusView{
+		Node:        n.self.ID,
+		RingVersion: n.ring.Version(),
+		Members:     n.ring.Members(),
+		Peers:       n.members.Peers(),
+	}
+	for _, peer := range n.hints.Peers() {
+		if sv.HintsPending == nil {
+			sv.HintsPending = make(map[string]int64)
+		}
+		sv.HintsPending[peer] = n.hints.PendingFor(peer)
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(sv)
+}
+
+// splitJobID extracts the owning node from a node-prefixed job id
+// ("n2-j17" → "n2"). ok is false for unprefixed (single-node) ids.
+func splitJobID(id string) (node string, ok bool) {
+	i := strings.LastIndex(id, "-j")
+	if i <= 0 {
+		return "", false
+	}
+	seq := id[i+2:]
+	if seq == "" {
+		return "", false
+	}
+	for _, c := range seq {
+		if c < '0' || c > '9' {
+			return "", false
+		}
+	}
+	return id[:i], true
+}
+
+// handleJob routes a job lookup or cancel by its node-prefixed id: ids
+// minted by another node are proxied to it (one hop), everything else
+// is served locally.
+func (r *router) handleJob(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	node, ok := splitJobID(id)
+	if !ok || node == r.node.self.ID || req.Header.Get(headerOrigin) != "" {
+		r.local.ServeHTTP(w, req)
+		return
+	}
+	base, known := r.node.ring.URL(node)
+	if !known || base == "" {
+		// Not a member we know — let the local registry answer (404).
+		r.local.ServeHTTP(w, req)
+		return
+	}
+	if r.node.members.State(node) != PeerUp {
+		w.Header().Set("Retry-After", "1")
+		r.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("cluster: owning node %s is down", node))
+		return
+	}
+	r.proxyJob(w, req, node, base)
+}
+
+// proxyJob forwards one job lookup/cancel to the owning node verbatim,
+// propagating the request id and client identity and marking the hop.
+func (r *router) proxyJob(w http.ResponseWriter, req *http.Request, node, base string) {
+	out, err := http.NewRequestWithContext(req.Context(), req.Method, base+req.URL.Path, nil)
+	if err != nil {
+		r.writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	out.Header.Set(headerOrigin, r.node.self.ID)
+	if id := req.Header.Get("X-Request-ID"); id != "" {
+		out.Header.Set("X-Request-ID", id)
+	}
+	if client := req.Header.Get("X-Client-ID"); client != "" {
+		out.Header.Set("X-Client-ID", client)
+	}
+	r.node.metrics.proxied.Inc()
+	resp, err := r.node.client.Do(out)
+	if err != nil {
+		r.node.members.ReportFailure(node)
+		r.writeError(w, http.StatusBadGateway, fmt.Errorf("cluster: proxying to %s: %w", node, err))
+		return
+	}
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}

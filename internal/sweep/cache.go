@@ -106,6 +106,18 @@ func (c *Cache) Seed(hash string, res *Result) bool {
 	return c.memo.Seed(hash, res)
 }
 
+// Store installs a result computed elsewhere (a cluster replication or
+// hint replay) and, when it is newly installed, writes it through to
+// the journal so it survives a restart like a local computation would.
+// It reports whether the hash was newly installed.
+func (c *Cache) Store(res *Result) bool {
+	if !c.memo.Seed(res.Hash, res) {
+		return false
+	}
+	c.persist(res, res.Hash)
+	return true
+}
+
 // Stats snapshots the counters.
 func (c *Cache) Stats() CacheStats {
 	return CacheStats{

@@ -1,0 +1,240 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeRemote scripts the cluster hook: it claims every hash is owned by
+// "peer" (unless local is true), answers RunRemote from a canned result
+// or error, and records everything it sees.
+type fakeRemote struct {
+	mu        sync.Mutex
+	local     bool
+	err       error
+	runs      int
+	completed []*Result
+	reqIDs    []string
+	clientIDs []string
+}
+
+func (f *fakeRemote) Route(hash string) (string, bool) {
+	return "peer", f.local
+}
+
+func (f *fakeRemote) RunRemote(ctx context.Context, node string, spec JobSpec) (*Result, error) {
+	f.mu.Lock()
+	f.runs++
+	f.reqIDs = append(f.reqIDs, RequestIDFrom(ctx))
+	f.clientIDs = append(f.clientIDs, ClientIDFrom(ctx))
+	err := f.err
+	f.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	norm, nerr := spec.Normalize()
+	if nerr != nil {
+		return nil, nerr
+	}
+	hash, nerr := norm.Hash()
+	if nerr != nil {
+		return nil, nerr
+	}
+	return &Result{Spec: norm, Hash: hash}, nil
+}
+
+func (f *fakeRemote) Completed(res *Result) {
+	f.mu.Lock()
+	f.completed = append(f.completed, res)
+	f.mu.Unlock()
+}
+
+func (f *fakeRemote) counts() (runs, completed int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.runs, len(f.completed)
+}
+
+func TestServiceForwardsNonOwnedToRemote(t *testing.T) {
+	fr := &fakeRemote{}
+	stub := &stubExec{}
+	svc := NewService(Config{Workers: 1, Remote: fr, exec: stub.exec})
+	defer svc.Close()
+
+	res, hit, err := svc.Run(context.Background(), JobSpec{Benchmark: "compress"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first routed run reported a cache hit")
+	}
+	if res == nil || res.Hash == "" {
+		t.Fatal("forwarded run returned no result")
+	}
+	runs, completed := fr.counts()
+	if runs != 1 {
+		t.Errorf("RunRemote calls = %d, want 1", runs)
+	}
+	if completed != 0 {
+		t.Error("a forwarded result must not be re-offered for replication")
+	}
+	if got := int(stub.calls.Load()); got != 0 {
+		t.Errorf("local executions = %d for a forwarded run", got)
+	}
+
+	// The forwarded result is seeded locally: the repeat is a cache hit
+	// with no second network trip.
+	_, hit, err = svc.Run(context.Background(), JobSpec{Benchmark: "compress"})
+	if err != nil || !hit {
+		t.Fatalf("repeat = hit %v, %v; want cache hit", hit, err)
+	}
+	if runs, _ := fr.counts(); runs != 1 {
+		t.Errorf("repeat re-forwarded: %d calls", runs)
+	}
+}
+
+func TestServiceFallsBackLocalWhenForwardFails(t *testing.T) {
+	fr := &fakeRemote{err: errors.New("owner unreachable")}
+	stub := &stubExec{}
+	svc := NewService(Config{Workers: 1, Remote: fr, exec: stub.exec})
+	defer svc.Close()
+
+	res, hit, err := svc.Run(context.Background(), JobSpec{Benchmark: "compress"})
+	if err != nil {
+		t.Fatalf("fallback run failed: %v", err)
+	}
+	if hit || res == nil {
+		t.Fatalf("fallback: hit=%v res=%v", hit, res)
+	}
+	if got := int(stub.calls.Load()); got != 1 {
+		t.Errorf("local executions = %d, want 1 (the fallback)", got)
+	}
+	// The locally computed non-owned result is offered back to the
+	// cluster — that is the hinted-handoff entry point.
+	if _, completed := fr.counts(); completed != 1 {
+		t.Errorf("Completed calls = %d, want 1", completed)
+	}
+}
+
+func TestServiceCompletedFiresOncePerFreshCompute(t *testing.T) {
+	fr := &fakeRemote{local: true}
+	stub := &stubExec{}
+	svc := NewService(Config{Workers: 1, Remote: fr, exec: stub.exec})
+	defer svc.Close()
+
+	if _, _, err := svc.Run(context.Background(), JobSpec{Benchmark: "compress"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.Run(context.Background(), JobSpec{Benchmark: "compress"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, completed := fr.counts(); completed != 1 {
+		t.Errorf("Completed calls = %d, want exactly 1 (cache hits must not replicate again)", completed)
+	}
+}
+
+func TestRunLocalNeverForwards(t *testing.T) {
+	fr := &fakeRemote{} // claims everything is remote-owned
+	stub := &stubExec{}
+	svc := NewService(Config{Workers: 1, Remote: fr, exec: stub.exec})
+	defer svc.Close()
+
+	if _, _, err := svc.RunLocal(context.Background(), JobSpec{Benchmark: "compress"}); err != nil {
+		t.Fatal(err)
+	}
+	if runs, _ := fr.counts(); runs != 0 {
+		t.Errorf("RunLocal forwarded (%d calls) — forwarded work would loop", runs)
+	}
+	if got := int(stub.calls.Load()); got != 1 {
+		t.Errorf("local executions = %d, want 1", got)
+	}
+}
+
+func TestNodeIDPrefixesJobIDs(t *testing.T) {
+	stub := &stubExec{}
+	svc := NewService(Config{Workers: 1, NodeID: "n7", exec: stub.exec})
+	defer svc.Close()
+
+	job, err := svc.Submit(JobSpec{Benchmark: "compress"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(job.ID, "n7-j") {
+		t.Errorf("job id %q lacks the node prefix", job.ID)
+	}
+	<-job.Done()
+
+	// Without a node id the pre-cluster format is preserved.
+	svc2 := NewService(Config{Workers: 1, exec: stub.exec})
+	defer svc2.Close()
+	job2, err := svc2.Submit(JobSpec{Benchmark: "compress"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(job2.ID, "j") || strings.Contains(job2.ID, "-") {
+		t.Errorf("single-node job id %q changed format", job2.ID)
+	}
+	<-job2.Done()
+}
+
+func TestSubmitCtxCarriesRequestMetadata(t *testing.T) {
+	fr := &fakeRemote{}
+	stub := &stubExec{}
+	svc := NewService(Config{Workers: 1, Remote: fr, exec: stub.exec})
+	defer svc.Close()
+
+	ctx := WithRequestID(context.Background(), "req-77")
+	ctx = WithClientID(ctx, "tenant-3")
+	job, err := svc.SubmitCtx(ctx, "tenant-3", JobSpec{Benchmark: "compress"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("job did not finish")
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if len(fr.reqIDs) != 1 || fr.reqIDs[0] != "req-77" {
+		t.Errorf("forwarded request ids = %v, want [req-77]", fr.reqIDs)
+	}
+	if len(fr.clientIDs) != 1 || fr.clientIDs[0] != "tenant-3" {
+		t.Errorf("forwarded client ids = %v, want [tenant-3]", fr.clientIDs)
+	}
+}
+
+func TestStoreResultValidatesHash(t *testing.T) {
+	stub := &stubExec{}
+	svc := NewService(Config{Workers: 1, exec: stub.exec})
+	defer svc.Close()
+
+	norm, err := JobSpec{Benchmark: "compress"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := norm.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.StoreResult(&Result{Spec: norm, Hash: "forged"}); err == nil {
+		t.Error("a result whose hash does not match its spec must be refused")
+	}
+	if err := svc.StoreResult(&Result{Spec: norm}); err == nil {
+		t.Error("a result without a hash must be refused")
+	}
+	if err := svc.StoreResult(&Result{Spec: norm, Hash: hash}); err != nil {
+		t.Fatalf("valid stored result refused: %v", err)
+	}
+	if res, ok := svc.Cached(hash); !ok || res.Hash != hash {
+		t.Error("stored result not retrievable from the cache")
+	}
+	// Idempotent: storing again succeeds and the first copy wins.
+	if err := svc.StoreResult(&Result{Spec: norm, Hash: hash}); err != nil {
+		t.Fatalf("duplicate store refused: %v", err)
+	}
+}

@@ -1,0 +1,50 @@
+package sweep
+
+import "context"
+
+// Request metadata travels by context so it survives the trip through
+// the service into the cluster layer: a forwarded computation carries
+// the originating request id and client id to the owning node, where
+// they land in its access logs and admission accounting.
+
+type ctxKey int
+
+const (
+	ctxRequestID ctxKey = iota
+	ctxClientID
+)
+
+// WithRequestID attaches the originating request id to ctx.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxRequestID, id)
+}
+
+// RequestIDFrom returns the request id attached to ctx, if any.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxRequestID).(string)
+	return id
+}
+
+// WithClientID attaches the submitting client's id to ctx.
+func WithClientID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxClientID, id)
+}
+
+// ClientIDFrom returns the client id attached to ctx, if any.
+func ClientIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxClientID).(string)
+	return id
+}
+
+// copyMeta carries the request metadata of src onto dst — used when a
+// job's execution context is derived from the service's base context
+// rather than the submitting request's.
+func copyMeta(dst, src context.Context) context.Context {
+	if id := RequestIDFrom(src); id != "" {
+		dst = WithRequestID(dst, id)
+	}
+	if id := ClientIDFrom(src); id != "" {
+		dst = WithClientID(dst, id)
+	}
+	return dst
+}

@@ -143,12 +143,23 @@ func clientID(r *http.Request) string {
 	return host
 }
 
+// reqCtx decorates the request context with the request's id and client
+// identity, so a computation forwarded to another cluster node carries
+// them (into its access log and admission accounting).
+func reqCtx(r *http.Request) context.Context {
+	ctx := WithClientID(r.Context(), clientID(r))
+	if id := r.Header.Get("X-Request-ID"); id != "" {
+		ctx = WithRequestID(ctx, id)
+	}
+	return ctx
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	if !decodeBody(w, r, &spec) {
 		return
 	}
-	job, err := s.svc.SubmitFor(clientID(r), spec)
+	job, err := s.svc.SubmitCtx(reqCtx(r), clientID(r), spec)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, job.View())
@@ -204,7 +215,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &grid) {
 		return
 	}
-	rows, _, err := s.svc.Sweep(r.Context(), grid)
+	rows, _, err := s.svc.Sweep(reqCtx(r), grid)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -274,7 +285,7 @@ func (s *Server) handleTable2(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	rows, err := s.svc.Table2(r.Context(), p)
+	rows, err := s.svc.Table2(reqCtx(r), p)
 	if err != nil {
 		// A client that disconnects (or times out) mid-computation
 		// surfaces as context cancellation from the request context; that

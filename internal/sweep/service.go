@@ -53,11 +53,11 @@ type Job struct {
 
 // JobView is the serializable snapshot of a job for the HTTP API.
 type JobView struct {
-	ID       string    `json:"id"`
-	Hash     string    `json:"hash"`
-	State    JobState  `json:"state"`
-	Spec     JobSpec   `json:"spec"`
-	CacheHit bool      `json:"cache_hit"`
+	ID       string   `json:"id"`
+	Hash     string   `json:"hash"`
+	State    JobState `json:"state"`
+	Spec     JobSpec  `json:"spec"`
+	CacheHit bool     `json:"cache_hit"`
 	// Attempts is how many executions the job needed; > 1 means transient
 	// failures were retried.
 	Attempts int       `json:"attempts,omitempty"`
@@ -186,6 +186,25 @@ func (p RetryPolicy) backoff(hash string, attempt int) time.Duration {
 	return time.Duration(float64(d) * frac)
 }
 
+// Remote is the cluster hook: when a Service has one, every computation
+// consults it for ownership of the spec's content hash and forwards
+// non-owned work to the owning node. internal/cluster's Node implements
+// it; the interface lives here so sweep does not import the cluster.
+type Remote interface {
+	// Route returns the owner of hash and whether this node should
+	// compute it locally (because it is the owner, or ownership is
+	// undecidable and local is the safe default).
+	Route(hash string) (node string, local bool)
+	// RunRemote executes spec on the owning node. Any error makes the
+	// service fall back to computing locally — availability over
+	// placement.
+	RunRemote(ctx context.Context, node string, spec JobSpec) (*Result, error)
+	// Completed is called once for every result this node freshly
+	// computed, so the cluster layer can replicate it or hand it back to
+	// its owner.
+	Completed(res *Result)
+}
+
 // Config configures a Service.
 type Config struct {
 	// Workers bounds the worker pool; < 1 means GOMAXPROCS.
@@ -220,6 +239,13 @@ type Config struct {
 	// Journal, when set, is written through on every computed result and
 	// its recovered records seed the cache at construction.
 	Journal *Journal
+	// NodeID, when set, prefixes job IDs ("n1-j42") so any cluster node
+	// can route a lookup by id back to the node that minted it.
+	NodeID string
+	// Remote, when set, routes computations through the cluster: cells
+	// owned by a peer are forwarded to it, and fresh local results are
+	// offered back for replication. Nil means single-node.
+	Remote Remote
 	// exec overrides the execution kernel; tests use it to observe or
 	// sabotage job execution.
 	exec func(spec JobSpec) (*Result, error)
@@ -234,6 +260,8 @@ type Service struct {
 	exec    func(spec JobSpec) (*Result, error)
 	inject  *faultinject.Plan
 	journal *Journal
+	remote  Remote
+	nodeID  string
 
 	name         string
 	jobTimeout   time.Duration
@@ -293,6 +321,8 @@ func NewService(cfg Config) *Service {
 		exec:         exec,
 		inject:       cfg.Inject,
 		journal:      cfg.Journal,
+		remote:       cfg.Remote,
+		nodeID:       cfg.NodeID,
 		name:         cfg.Name,
 		jobTimeout:   cfg.JobTimeout,
 		retry:        cfg.Retry.normalized(),
@@ -361,6 +391,26 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) { return s.SubmitFor("", sp
 // client over its in-flight cap is refused with ErrClientBusy, and both
 // are counted as shed.
 func (s *Service) SubmitFor(client string, spec JobSpec) (*Job, error) {
+	return s.SubmitCtx(context.Background(), client, spec)
+}
+
+// jobID mints the next job id, prefixed with the node id in cluster
+// mode so the minting node is recoverable from the id alone.
+func (s *Service) jobID() string {
+	n := s.nextID.Add(1)
+	if s.nodeID != "" {
+		return fmt.Sprintf("%s-j%d", s.nodeID, n)
+	}
+	return fmt.Sprintf("j%d", n)
+}
+
+// SubmitCtx is SubmitFor with request metadata: the request id and
+// client id attached to ctx ride along into the job's execution context
+// (and across a cluster forward). ctx contributes only values — the
+// job's lifetime is still governed by the service and its own timeout,
+// not by ctx's cancellation, so a submitter disconnecting does not kill
+// the job it was promised.
+func (s *Service) SubmitCtx(ctx context.Context, client string, spec JobSpec) (*Job, error) {
 	norm, err := spec.Normalize()
 	if err != nil {
 		return nil, err
@@ -373,8 +423,9 @@ func (s *Service) SubmitFor(client string, spec JobSpec) (*Job, error) {
 	if timeout := norm.Timeout(s.jobTimeout); timeout > 0 {
 		jctx, cancel = context.WithTimeout(s.base, timeout)
 	}
+	jctx = copyMeta(jctx, ctx)
 	job := &Job{
-		ID:      fmt.Sprintf("j%d", s.nextID.Add(1)),
+		ID:      s.jobID(),
 		Spec:    norm,
 		Hash:    hash,
 		client:  client,
@@ -420,7 +471,7 @@ func (s *Service) SubmitFor(client string, spec JobSpec) (*Job, error) {
 		}
 		ch := make(chan out, 1)
 		go func() {
-			res, hit, err := s.compute(jctx, norm, hash, job.markRunning)
+			res, hit, err := s.compute(jctx, norm, hash, job.markRunning, true)
 			ch <- out{res, hit, err}
 		}()
 		select {
@@ -493,8 +544,20 @@ func (s *Service) evictFinishedLocked(job *Job) {
 // Run executes one spec synchronously: through the cache, deduplicated
 // with any concurrent identical request, on the worker pool, with the
 // same deadline and retry behaviour as submitted jobs. hit reports
-// whether the result came from the cache.
+// whether the result came from the cache. In cluster mode the
+// computation routes to the owning node.
 func (s *Service) Run(ctx context.Context, spec JobSpec) (res *Result, hit bool, err error) {
+	return s.run(ctx, spec, true)
+}
+
+// RunLocal is Run pinned to this node: the cluster's forwarded-run
+// handler uses it, so a forwarded computation can never forward again
+// (routing terminates in one hop even with a divergent partition map).
+func (s *Service) RunLocal(ctx context.Context, spec JobSpec) (res *Result, hit bool, err error) {
+	return s.run(ctx, spec, false)
+}
+
+func (s *Service) run(ctx context.Context, spec JobSpec, routed bool) (res *Result, hit bool, err error) {
 	norm, err := spec.Normalize()
 	if err != nil {
 		return nil, false, err
@@ -508,7 +571,34 @@ func (s *Service) Run(ctx context.Context, spec JobSpec) (res *Result, hit bool,
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	return s.compute(ctx, norm, hash, nil)
+	return s.compute(ctx, norm, hash, nil, routed)
+}
+
+// Cached returns the completed result for a content hash, if the cache
+// holds one, without computing or routing anything.
+func (s *Service) Cached(hash string) (*Result, bool) { return s.cache.Get(hash) }
+
+// StoreResult installs a result computed elsewhere — a replication push
+// or a replayed hint from a peer — into the cache and journal, after
+// verifying the result's content hash matches its spec. Idempotent: a
+// hash already cached is left untouched.
+func (s *Service) StoreResult(res *Result) error {
+	if res == nil || res.Hash == "" {
+		return errors.New("sweep: result missing content hash")
+	}
+	norm, err := res.Spec.Normalize()
+	if err != nil {
+		return fmt.Errorf("sweep: stored result spec invalid: %w", err)
+	}
+	hash, err := norm.Hash()
+	if err != nil {
+		return err
+	}
+	if hash != res.Hash {
+		return fmt.Errorf("sweep: stored result hash %.12s does not match its spec (%.12s)", res.Hash, hash)
+	}
+	s.cache.Store(res)
+	return nil
 }
 
 // compute drives one spec to completion through the retry loop: each
@@ -517,12 +607,45 @@ func (s *Service) Run(ctx context.Context, spec JobSpec) (res *Result, hit bool,
 // strike). Transient failures back off and retry; terminal failures —
 // deterministic simulator errors, cancellation, deadline — return
 // immediately.
-func (s *Service) compute(ctx context.Context, spec JobSpec, hash string, onStart func()) (*Result, bool, error) {
+//
+// When routed and the service has a Remote, ownership is consulted
+// first: a cell owned by a peer is served from the local replica cache
+// if present, forwarded to its owner otherwise, and computed locally as
+// the fallback when the forward fails. Fresh local computations are
+// offered to the Remote for replication or handback.
+func (s *Service) compute(ctx context.Context, spec JobSpec, hash string, onStart func(), routed bool) (*Result, bool, error) {
+	if routed && s.remote != nil {
+		if owner, local := s.remote.Route(hash); !local {
+			if res, ok := s.cache.Get(hash); ok {
+				// Replicated (or previously forwarded) copy — serve it
+				// without a network hop.
+				return res, true, nil
+			}
+			if onStart != nil {
+				onStart()
+				onStart = nil
+			}
+			res, err := s.forward(ctx, owner, spec, hash)
+			if err == nil {
+				s.cache.Seed(hash, res)
+				return res, false, nil
+			}
+			if ctx.Err() != nil {
+				return nil, false, ctx.Err()
+			}
+			// Owner unreachable: compute the cell ourselves. Completed
+			// below hands the result back to the owner's shard (directly
+			// or through the hint log).
+		}
+	}
 	var lastErr error
 	for attempt := 0; attempt < s.retry.MaxAttempts; attempt++ {
 		key := fmt.Sprintf("%s#%d", hash, attempt)
 		res, hit, err := s.attempt(ctx, spec, hash, key, onStart)
 		if err == nil {
+			if !hit && s.remote != nil {
+				s.remote.Completed(res)
+			}
 			return res, hit, nil
 		}
 		lastErr = err
@@ -539,6 +662,23 @@ func (s *Service) compute(ctx context.Context, spec JobSpec, hash string, onStar
 		}
 	}
 	return nil, false, lastErr
+}
+
+// forward sends one computation to the owning node through the Remote,
+// converting an escaped panic to a *PanicError like any other boundary.
+// The "forward" fault-injection site strikes here, keyed by content
+// hash, so chaos tests can sever the forwarding path deterministically.
+func (s *Service) forward(ctx context.Context, node string, spec JobSpec, hash string) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &PanicError{Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	if err := s.inject.Check("forward", hash); err != nil {
+		return nil, err
+	}
+	return s.remote.RunRemote(ctx, node, spec)
 }
 
 // attempt is one pass through cache and pool. A panic escaping the cache
@@ -667,7 +807,7 @@ func (s *Service) Ready() bool {
 
 // Stats aggregates every counter the service exposes.
 type Stats struct {
-	Submitted int64              `json:"submitted"`
+	Submitted int64 `json:"submitted"`
 	// Shed counts submissions refused by admission control (full service
 	// or per-client cap).
 	Shed int64 `json:"shed"`
