@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify check soak soak-cluster vet serve report clean bench fuzz
+.PHONY: build test race verify check soak soak-cluster soak-rebalance vet serve report clean bench fuzz
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,7 @@ verify: build vet
 	$(GO) test ./...
 	$(GO) test -race ./internal/core/... ./internal/trace/... ./internal/sweep/... ./internal/faultinject/... ./internal/obs/... ./internal/cluster/...
 	$(GO) test -count=1 -run 'TestGoldenStats' ./internal/core
+	$(MAKE) soak-rebalance
 
 # check is verify plus the perf gate: the core microbenchmarks compared
 # against BENCH_baseline.json, so an observability (or any other) change
@@ -50,6 +51,14 @@ soak:
 # sweep with the forward path randomly severed.
 soak-cluster:
 	$(GO) test -race -count=1 -v -run 'TestClusterKillRejoinZeroLoss|TestClusterSoak|TestTwoNodeTable2Identical' ./internal/cluster/...
+
+# soak-rebalance exercises the self-healing paths under the race
+# detector: planned decommission mid-sweep (zero loss, byte-identical
+# table2), anti-entropy convergence after a healed partition with a
+# truncated hint log, a warm join that pulls its owned ranges without
+# recomputation, and replica read-repair.
+soak-rebalance:
+	$(GO) test -race -count=1 -v -run 'TestDecommissionMidSweepZeroLoss|TestAntiEntropyHealsPartition|TestJoinPullsOwnedRangesNoRecompute|TestReadRepairRefreshesOwner' ./internal/cluster/...
 
 vet:
 	$(GO) vet ./...

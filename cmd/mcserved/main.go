@@ -22,7 +22,8 @@
 //	GET    /debug/vars    expvar (the "sweep" variable mirrors /v1/stats)
 //	GET    /debug/pprof/  net/http/pprof profiler (only with -pprof)
 //	GET    /healthz       liveness probe
-//	GET    /readyz        readiness probe: 503 while overloaded or draining
+//	GET    /readyz        readiness probe: 503 while overloaded, draining,
+//	                      leaving the cluster, or cut off from a peer majority
 //
 // Every response carries an X-Request-ID header (echoing the request's,
 // or freshly generated) and produces one structured access-log line.
@@ -49,12 +50,21 @@
 // by spec hash; each node forwards non-owned work to its owner, serves
 // replicated results locally, and spools writes owed to a down peer into
 // hint logs replayed when it returns. Cluster peers talk over
-// /cluster/v1/{ping,run,result,status}; job ids gain a node prefix
-// ("n1-j7") so any node can route a lookup to the minting node. See the
-// README's "Cluster mode" section.
+// /cluster/v1/{ping,run,result,digest,leave,member,status}; job ids gain
+// a node prefix ("n1-j7") so any node can route a lookup to the minting
+// node. A background anti-entropy reconciler (-antientropy) exchanges
+// per-range digests with peers so replicas converge even when hints were
+// lost, and replica-local cache hits trigger asynchronous read-repair of
+// the owner's copy. See the README's "Cluster mode" and "Cluster
+// operations" sections.
 //
 // On SIGTERM/SIGINT the daemon stops accepting work, drains in-flight and
-// queued jobs, and exits.
+// queued jobs, and exits. With -decommission (cluster mode), shutdown
+// first executes a graceful leave: the node marks itself leaving,
+// streams every cached result to the members inheriting its ranges, and
+// removes itself from the ring — a planned scale-down loses nothing and
+// leaves no hint backlog behind. POST /cluster/v1/leave does the same
+// without stopping the process.
 package main
 
 import (
@@ -101,6 +111,10 @@ func main() {
 		vnodes       = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per member on the consistent-hash ring")
 		replicas     = flag.Int("replicas", 1, "nodes holding each result, primary included (cluster mode)")
 		heartbeat    = flag.Duration("heartbeat", cluster.DefaultHeartbeat, "peer heartbeat interval (cluster mode)")
+		antiEntropy  = flag.Duration("antientropy", cluster.DefaultAntiEntropy, "anti-entropy digest-exchange interval (cluster mode; negative disables)")
+		hintMaxRecs  = flag.Int64("hint-max-records", cluster.DefaultHintMaxRecords, "per-peer hint log record bound (negative = unbounded)")
+		hintMaxBytes = flag.Int64("hint-max-bytes", cluster.DefaultHintMaxBytes, "per-peer hint log byte bound (negative = unbounded)")
+		decommission = flag.Bool("decommission", false, "on SIGTERM, gracefully leave the cluster before draining (cluster mode)")
 	)
 	flag.Parse()
 
@@ -167,14 +181,17 @@ func main() {
 			adv = fmt.Sprintf("http://%s", net.JoinHostPort(host, port))
 		}
 		node, err = cluster.NewNode(cluster.Config{
-			Self:      cluster.Member{ID: *nodeID, URL: adv},
-			Seeds:     seeds,
-			VNodes:    *vnodes,
-			Replicas:  *replicas,
-			HintDir:   filepath.Join(*dataDir, "hints"),
-			Heartbeat: *heartbeat,
-			Metrics:   cluster.NewMetrics(reg),
-			Inject:    plan,
+			Self:           cluster.Member{ID: *nodeID, URL: adv},
+			Seeds:          seeds,
+			VNodes:         *vnodes,
+			Replicas:       *replicas,
+			HintDir:        filepath.Join(*dataDir, "hints"),
+			Heartbeat:      *heartbeat,
+			AntiEntropy:    *antiEntropy,
+			HintMaxRecords: *hintMaxRecs,
+			HintMaxBytes:   *hintMaxBytes,
+			Metrics:        cluster.NewMetrics(reg),
+			Inject:         plan,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mcserved: %v\n", err)
@@ -243,6 +260,20 @@ func main() {
 	runCancel() // stop heartbeats and hint replay before draining
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if node != nil && *decommission {
+		// Graceful leave before shutdown: hand every owned result to the
+		// members inheriting the ranges, then drop out of the ring. A
+		// failed drain keeps us in the ring (marked leaving) — the data
+		// is safer with the process still answering peers.
+		rep, err := node.Decommission(ctx)
+		if err != nil {
+			log.Printf("mcserved: decommission: %v", err)
+		}
+		if rep != nil {
+			log.Printf("mcserved: decommission: streamed %d results, %d failed, removed=%v",
+				rep.Streamed, rep.Failed, rep.Removed)
+		}
+	}
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("mcserved: http shutdown: %v", err)
 	}

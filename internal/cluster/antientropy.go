@@ -1,0 +1,333 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+
+	"multicluster/internal/sweep"
+)
+
+// Anti-entropy is the convergence backstop: hinted handoff repairs the
+// outages it saw, but hints can be lost (a truncated log, a crashed
+// hinter, a partition neither side noticed). The reconciler exchanges
+// compact per-range digests with each up peer and transfers only the
+// results the digests prove missing, so replicas converge without ever
+// shipping the whole cache. A joining node gets its warm start from the
+// same mechanism — its first round pulls every range it now owns.
+//
+// The key space is cut into digestBuckets ranges by the top bits of the
+// ring position, so a bucket corresponds to a contiguous arc of the
+// ring and a single ownership change dirties few buckets.
+const digestBuckets = 64
+
+// digestBucket maps a content hash to its range bucket.
+func digestBucket(hash string) int {
+	return int(hashPoint(hash) >> 58)
+}
+
+// rangeDigest folds a sorted hash list into one comparable value.
+func rangeDigest(hashes []string) uint64 {
+	h := fnv.New64a()
+	for _, s := range hashes {
+		io.WriteString(h, s)
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// bucketDigest summarizes one non-empty range bucket.
+type bucketDigest struct {
+	Bucket int    `json:"bucket"`
+	Count  int    `json:"count"`
+	Digest uint64 `json:"digest"`
+}
+
+// digestView is the digest endpoint's document: the responder's summary
+// of every cached result the `for` node should hold, bucketed by ring
+// range, plus full hash lists for any explicitly requested buckets.
+type digestView struct {
+	Node        string           `json:"node"`
+	For         string           `json:"for"`
+	RingVersion uint64           `json:"ring_version"`
+	Total       int              `json:"total"`
+	Buckets     []bucketDigest   `json:"buckets,omitempty"`
+	Hashes      map[int][]string `json:"hashes,omitempty"`
+}
+
+// dueBuckets returns, bucketed and sorted, every locally cached hash
+// whose replica set includes forID — the results forID should hold.
+func (n *Node) dueBuckets(forID string) map[int][]string {
+	out := make(map[int][]string)
+	if n.svc == nil {
+		return out
+	}
+	for _, h := range n.svc.CachedHashes() {
+		for _, o := range n.ring.Owners(h, n.replicas) {
+			if o == forID {
+				b := digestBucket(h)
+				out[b] = append(out[b], h)
+				break
+			}
+		}
+	}
+	for b := range out {
+		sort.Strings(out[b])
+	}
+	return out
+}
+
+// digestFor builds the digest document for forID, listing full hash
+// contents for the requested buckets.
+func (n *Node) digestFor(forID string, list []int) digestView {
+	due := n.dueBuckets(forID)
+	dv := digestView{Node: n.self.ID, For: forID, RingVersion: n.ring.Version()}
+	buckets := make([]int, 0, len(due))
+	for b := range due {
+		buckets = append(buckets, b)
+	}
+	sort.Ints(buckets)
+	for _, b := range buckets {
+		dv.Total += len(due[b])
+		dv.Buckets = append(dv.Buckets, bucketDigest{Bucket: b, Count: len(due[b]), Digest: rangeDigest(due[b])})
+	}
+	for _, b := range list {
+		if hashes, ok := due[b]; ok {
+			if dv.Hashes == nil {
+				dv.Hashes = make(map[int][]string)
+			}
+			dv.Hashes[b] = hashes
+		}
+	}
+	return dv
+}
+
+// AntiEntropyRound reconciles once with every up peer: for each peer, a
+// push leg (results the peer should hold and lacks travel to it) and a
+// pull leg (results we should hold and lack travel to us). A peer error
+// abandons that peer's exchange — the next round retries.
+func (n *Node) AntiEntropyRound(ctx context.Context) {
+	if n.svc == nil {
+		return
+	}
+	for _, p := range n.members.Peers() {
+		if p.URL == "" || p.State != PeerUp {
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		n.antiEntropyWith(ctx, p)
+	}
+}
+
+func (n *Node) antiEntropyWith(ctx context.Context, p PeerView) {
+	n.metrics.aeRounds.Inc()
+	if err := n.aePush(ctx, p); err != nil {
+		n.metrics.aeErrors.Inc()
+		n.members.ReportFailure(p.ID)
+		return
+	}
+	if err := n.aePull(ctx, p); err != nil {
+		n.metrics.aeErrors.Inc()
+		n.members.ReportFailure(p.ID)
+	}
+}
+
+// aePush closes the peer's gaps: of the results the peer should hold,
+// push those we hold and its digest proves it lacks.
+func (n *Node) aePush(ctx context.Context, p PeerView) error {
+	mine := n.dueBuckets(p.ID)
+	if len(mine) == 0 {
+		return nil
+	}
+	theirs, err := n.fetchDigest(ctx, p.URL, p.ID, nil)
+	if err != nil {
+		return err
+	}
+	mismatched := diffBuckets(mine, theirs.Buckets)
+	if len(mismatched) == 0 {
+		return nil
+	}
+	n.metrics.digestMismatches.Add(int64(len(mismatched)))
+	listed, err := n.fetchDigest(ctx, p.URL, p.ID, mismatched)
+	if err != nil {
+		return err
+	}
+	for _, b := range mismatched {
+		theirSet := make(map[string]bool, len(listed.Hashes[b]))
+		for _, h := range listed.Hashes[b] {
+			theirSet[h] = true
+		}
+		for _, h := range mine[b] {
+			if theirSet[h] {
+				continue
+			}
+			res, ok := n.svc.Cached(h)
+			if !ok {
+				continue
+			}
+			if err := n.push(p.ID, res); err != nil {
+				return err
+			}
+			n.metrics.aePushed.Inc()
+		}
+	}
+	return nil
+}
+
+// aePull closes our own gaps: of the results we should hold, fetch
+// those the peer's digest proves it holds and we lack.
+func (n *Node) aePull(ctx context.Context, p PeerView) error {
+	mine := n.dueBuckets(n.self.ID)
+	theirs, err := n.fetchDigest(ctx, p.URL, n.self.ID, nil)
+	if err != nil {
+		return err
+	}
+	if theirs.Total == 0 {
+		return nil
+	}
+	mismatched := diffBuckets(mine, theirs.Buckets)
+	if len(mismatched) == 0 {
+		return nil
+	}
+	n.metrics.digestMismatches.Add(int64(len(mismatched)))
+	listed, err := n.fetchDigest(ctx, p.URL, n.self.ID, mismatched)
+	if err != nil {
+		return err
+	}
+	for _, b := range mismatched {
+		mySet := make(map[string]bool, len(mine[b]))
+		for _, h := range mine[b] {
+			mySet[h] = true
+		}
+		for _, h := range listed.Hashes[b] {
+			if mySet[h] {
+				continue
+			}
+			res, err := n.fetchResult(ctx, p.URL, h)
+			if err != nil {
+				return err
+			}
+			if res == nil {
+				continue // evicted between digest and fetch
+			}
+			if err := n.svc.StoreResult(res); err != nil {
+				continue // corrupt transfer; the digest stays unequal and the next round retries
+			}
+			n.metrics.aePulled.Inc()
+		}
+	}
+	return nil
+}
+
+// diffBuckets returns, sorted, every bucket where mine and theirs
+// disagree and at least one side has content.
+func diffBuckets(mine map[int][]string, theirs []bucketDigest) []int {
+	theirMap := make(map[int]bucketDigest, len(theirs))
+	for _, b := range theirs {
+		theirMap[b.Bucket] = b
+	}
+	var out []int
+	for b := 0; b < digestBuckets; b++ {
+		m, t := mine[b], theirMap[b]
+		if len(m) == 0 && t.Count == 0 {
+			continue
+		}
+		if len(m) != t.Count || (len(m) > 0 && rangeDigest(m) != t.Digest) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// fetchDigest GETs a peer's digest document for forID, asking for the
+// hash lists of the listed buckets.
+func (n *Node) fetchDigest(ctx context.Context, base, forID string, list []int) (*digestView, error) {
+	u := base + "/cluster/v1/digest?for=" + url.QueryEscape(forID)
+	if len(list) > 0 {
+		parts := make([]string, len(list))
+		for i, b := range list {
+			parts[i] = strconv.Itoa(b)
+		}
+		u += "&list=" + strings.Join(parts, ",")
+	}
+	ctx, cancel := context.WithTimeout(ctx, n.pushTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(headerOrigin, n.self.ID)
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: digest from %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("cluster: digest from %s: status %d", base, resp.StatusCode)
+	}
+	var dv digestView
+	if err := json.NewDecoder(resp.Body).Decode(&dv); err != nil {
+		return nil, fmt.Errorf("cluster: decoding digest from %s: %w", base, err)
+	}
+	return &dv, nil
+}
+
+// fetchResult GETs one cached result from a peer; a 404 (evicted or
+// never held) returns nil without error.
+func (n *Node) fetchResult(ctx context.Context, base, hash string) (*sweep.Result, error) {
+	ctx, cancel := context.WithTimeout(ctx, n.pushTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/cluster/v1/result/"+url.PathEscape(hash), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(headerOrigin, n.self.ID)
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetching result from %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("cluster: fetching result from %s: status %d", base, resp.StatusCode)
+	}
+	var res sweep.Result
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxForwardBody)).Decode(&res); err != nil {
+		return nil, fmt.Errorf("cluster: decoding fetched result from %s: %w", base, err)
+	}
+	return &res, nil
+}
+
+// parseBucketList parses the digest endpoint's list parameter: a
+// comma-separated bucket index list. Out-of-range and malformed entries
+// are dropped.
+func parseBucketList(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || b < 0 || b >= digestBuckets {
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}

@@ -36,9 +36,10 @@ type testNode struct {
 }
 
 type nodeOpts struct {
-	replicas int
-	inject   *faultinject.Plan
-	wrap     func(http.Handler) http.Handler
+	replicas       int
+	hintMaxRecords int64
+	inject         *faultinject.Plan
+	wrap           func(http.Handler) http.Handler
 }
 
 // startNode boots one member. addr "" picks a fresh port; passing a
@@ -65,10 +66,11 @@ func startNode(t *testing.T, id, addr, dir string, seeds []Member, opts nodeOpts
 		HintDir:  filepath.Join(dir, "hints"),
 		// Probes are driven explicitly with Sync; the huge interval only
 		// sets the probe timeout.
-		Heartbeat:     time.Hour,
-		FailThreshold: 1,
-		Metrics:       NewMetrics(reg),
-		Inject:        opts.inject,
+		Heartbeat:      time.Hour,
+		FailThreshold:  1,
+		HintMaxRecords: opts.hintMaxRecords,
+		Metrics:        NewMetrics(reg),
+		Inject:         opts.inject,
 	})
 	if err != nil {
 		t.Fatal(err)

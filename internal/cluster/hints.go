@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/url"
 	"os"
@@ -21,9 +22,17 @@ import (
 // Delivery is at-least-once: a replay that fails partway keeps the
 // whole log for the next attempt. Duplicates are harmless — results are
 // content-addressed and stores are idempotent.
+//
+// Each per-peer log is bounded in records and bytes: a peer that stays
+// down does not grow an unbounded spool on every node that owes it
+// writes. When a bound is exceeded the oldest hints are dropped
+// (counted by cluster_hints_dropped_total) — anti-entropy is the
+// backstop that re-converges whatever truncation lost.
 type HintLog struct {
-	dir     string
-	metrics *Metrics
+	dir        string
+	maxRecords int64 // per-peer record bound; <= 0 means unbounded
+	maxBytes   int64 // per-peer byte bound; <= 0 means unbounded
+	metrics    *Metrics
 
 	mu   sync.Mutex
 	logs map[string]*hintFile
@@ -41,12 +50,13 @@ const hintSuffix = ".hints"
 
 // OpenHintLog opens the spool directory, recovering any hint logs left
 // by a previous process so their backlog is counted and replayable
-// immediately.
-func OpenHintLog(dir string, metrics *Metrics) (*HintLog, error) {
+// immediately. maxRecords and maxBytes bound each per-peer log (<= 0
+// means unbounded on that axis).
+func OpenHintLog(dir string, maxRecords int64, maxBytes int64, metrics *Metrics) (*HintLog, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cluster: hint dir: %w", err)
 	}
-	h := &HintLog{dir: dir, metrics: metrics, logs: make(map[string]*hintFile)}
+	h := &HintLog{dir: dir, maxRecords: maxRecords, maxBytes: maxBytes, metrics: metrics, logs: make(map[string]*hintFile)}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: hint dir: %w", err)
@@ -101,7 +111,125 @@ func (h *HintLog) Spool(peer string, res *sweep.Result) error {
 		return err
 	}
 	h.metrics.hintsSpooled.Inc()
+	h.enforceBoundsLocked(f)
 	return nil
+}
+
+// enforceBoundsLocked compacts f's log when it exceeds either bound,
+// dropping the oldest hints. Called with f.mu held, after a successful
+// append. Compaction targets three quarters of each bound so the cost
+// is amortized — one rewrite absorbs a quarter-bound of further growth
+// — rather than paid on every append at the ceiling. Best-effort: a
+// compaction failure keeps (or reopens) the oversized log, and the next
+// append retries.
+func (h *HintLog) enforceBoundsLocked(f *hintFile) {
+	if h.maxRecords <= 0 && h.maxBytes <= 0 {
+		return
+	}
+	overRecords := h.maxRecords > 0 && f.j.Stats().Records > h.maxRecords
+	overBytes := false
+	if h.maxBytes > 0 {
+		if fi, err := os.Stat(f.path); err == nil && fi.Size() > h.maxBytes {
+			overBytes = true
+		}
+	}
+	if !overRecords && !overBytes {
+		return
+	}
+
+	// Reopen for a consistent read of every record, pick the newest
+	// suffix that fits comfortably under both bounds, and atomically
+	// replace the log with a rewrite of just that suffix.
+	if err := f.j.Close(); err != nil {
+		f.j = nil
+		return
+	}
+	j, err := sweep.OpenJournal(f.path)
+	if err != nil {
+		f.j = nil
+		return
+	}
+	all := j.Recovered()
+	j.Close()
+	f.j = nil
+
+	keepFrom := 0
+	if h.maxRecords > 0 {
+		target := h.maxRecords - h.maxRecords/4
+		if int64(len(all)) > target {
+			keepFrom = len(all) - int(target)
+		}
+	}
+	if h.maxBytes > 0 {
+		target := h.maxBytes - h.maxBytes/4
+		var total int64
+		from := len(all)
+		for i := len(all) - 1; i >= keepFrom; i-- {
+			b, err := json.Marshal(all[i])
+			if err != nil {
+				break
+			}
+			// 8 bytes of length+CRC framing per journal record.
+			rec := int64(len(b)) + 8
+			if total+rec > target {
+				break
+			}
+			total += rec
+			from = i
+		}
+		// A bound smaller than a single record must not wipe the log:
+		// the newest hint always survives.
+		if from == len(all) && len(all) > 0 {
+			from = len(all) - 1
+		}
+		keepFrom = from
+	}
+	if keepFrom == 0 {
+		// Bounds were exceeded but the headroom walk kept everything
+		// (e.g. unmarshalable estimate); reopen and move on.
+		if j, err := sweep.OpenJournal(f.path); err == nil {
+			f.j = j
+		}
+		return
+	}
+
+	tmp := f.path + ".compact"
+	os.Remove(tmp)
+	nj, err := sweep.OpenJournal(tmp)
+	if err != nil {
+		if j, err := sweep.OpenJournal(f.path); err == nil {
+			f.j = j
+		}
+		return
+	}
+	for _, res := range all[keepFrom:] {
+		if err := nj.Append(res); err != nil {
+			nj.Close()
+			os.Remove(tmp)
+			if j, err := sweep.OpenJournal(f.path); err == nil {
+				f.j = j
+			}
+			return
+		}
+	}
+	if err := nj.Close(); err != nil {
+		os.Remove(tmp)
+		if j, err := sweep.OpenJournal(f.path); err == nil {
+			f.j = j
+		}
+		return
+	}
+	if err := os.Rename(tmp, f.path); err != nil {
+		os.Remove(tmp)
+		if j, err := sweep.OpenJournal(f.path); err == nil {
+			f.j = j
+		}
+		return
+	}
+	if j, err := sweep.OpenJournal(f.path); err == nil {
+		f.j = j
+	}
+	h.metrics.hintsDropped.Add(int64(keepFrom))
 }
 
 // PendingFor returns the number of hints spooled for peer.

@@ -13,7 +13,7 @@ import (
 
 func testHintLog(t *testing.T) *HintLog {
 	t.Helper()
-	h, err := OpenHintLog(t.TempDir(), NewMetrics(obs.NewRegistry()))
+	h, err := OpenHintLog(t.TempDir(), 0, 0, NewMetrics(obs.NewRegistry()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestHintReplayFailureKeepsLog(t *testing.T) {
 func TestHintLogRestartRecovery(t *testing.T) {
 	dir := t.TempDir()
 	m := NewMetrics(obs.NewRegistry())
-	h, err := OpenHintLog(dir, m)
+	h, err := OpenHintLog(dir, 0, 0, m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestHintLogRestartRecovery(t *testing.T) {
 	}
 
 	// Crash: no close, just a new HintLog over the same directory.
-	h2, err := OpenHintLog(dir, NewMetrics(obs.NewRegistry()))
+	h2, err := OpenHintLog(dir, 0, 0, NewMetrics(obs.NewRegistry()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,12 +127,89 @@ func TestHintLogRestartRecovery(t *testing.T) {
 	}
 }
 
+// TestHintLogRecordBound: a per-peer log over its record bound drops
+// its oldest hints (compacting to three quarters of the bound) and
+// counts every drop.
+func TestHintLogRecordBound(t *testing.T) {
+	m := NewMetrics(obs.NewRegistry())
+	h, err := OpenHintLog(t.TempDir(), 4, 0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 10
+	for i := 0; i < total; i++ {
+		if err := h.Spool("n2", hintResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pending := h.PendingFor("n2")
+	if pending != 4 {
+		t.Fatalf("bounded backlog = %d, want 4", pending)
+	}
+	if got := m.hintsDropped.Value(); got != total-pending {
+		t.Errorf("cluster_hints_dropped_total = %d, want %d", got, total-pending)
+	}
+	// The survivors are the newest hints, still in append order.
+	var hashes []string
+	if _, err := h.Replay("n2", func(r *sweep.Result) error {
+		hashes = append(hashes, r.Hash)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, hash := range hashes {
+		if want := fmt.Sprintf("hash-%04d", total-int(pending)+i); hash != want {
+			t.Fatalf("survivor %d = %s, want %s (oldest-first truncation)", i, hash, want)
+		}
+	}
+}
+
+// TestHintLogByteBound: the byte axis truncates the same way, keeping a
+// newest suffix that fits under the bound.
+func TestHintLogByteBound(t *testing.T) {
+	m := NewMetrics(obs.NewRegistry())
+	const maxBytes = 4 << 10
+	dir := t.TempDir()
+	h, err := OpenHintLog(dir, 0, maxBytes, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 20
+	for i := 0; i < total; i++ {
+		if err := h.Spool("n2", hintResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pending := h.PendingFor("n2")
+	if pending == total || pending == 0 {
+		t.Fatalf("byte bound left %d of %d hints — no truncation happened", pending, total)
+	}
+	if m.hintsDropped.Value() != total-pending {
+		t.Errorf("cluster_hints_dropped_total = %d, want %d", m.hintsDropped.Value(), total-pending)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "n2"+hintSuffix)); err != nil || fi.Size() > maxBytes {
+		t.Errorf("hint log size %d over the %d bound (stat err %v)", fi.Size(), maxBytes, err)
+	}
+	var hashes []string
+	if _, err := h.Replay("n2", func(r *sweep.Result) error {
+		hashes = append(hashes, r.Hash)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, hash := range hashes {
+		if want := fmt.Sprintf("hash-%04d", total-int(pending)+i); hash != want {
+			t.Fatalf("survivor %d = %s, want %s", i, hash, want)
+		}
+	}
+}
+
 // TestHintLogTornTailRecovery mirrors the journal's corruption tests: a
 // crash mid-append leaves a truncated final record, and reopening the
 // hint log drops exactly that record, keeping every fully written hint.
 func TestHintLogTornTailRecovery(t *testing.T) {
 	dir := t.TempDir()
-	h, err := OpenHintLog(dir, NewMetrics(obs.NewRegistry()))
+	h, err := OpenHintLog(dir, 0, 0, NewMetrics(obs.NewRegistry()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +229,7 @@ func TestHintLogTornTailRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	h2, err := OpenHintLog(dir, NewMetrics(obs.NewRegistry()))
+	h2, err := OpenHintLog(dir, 0, 0, NewMetrics(obs.NewRegistry()))
 	if err != nil {
 		t.Fatalf("reopening a torn hint log must recover, not fail: %v", err)
 	}

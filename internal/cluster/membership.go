@@ -27,6 +27,21 @@ const (
 // DefaultHeartbeat is the probe interval when Config.Heartbeat is zero.
 const DefaultHeartbeat = 2 * time.Second
 
+// jitteredInterval spreads a per-node interval deterministically into
+// [85%, 115%) of d, keyed by the node id. Identically configured nodes
+// would otherwise probe in lockstep — every heartbeat tick across the
+// cluster landing in the same instant — and a synchronized thundering
+// herd is exactly what a struggling peer does not need. Deterministic
+// (no RNG) so a node's cadence is stable across restarts and
+// reproducible in tests.
+func jitteredInterval(id string, d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	frac := 0.85 + 0.3*float64(hashPoint("heartbeat-jitter:"+id)>>11)/float64(1<<53)
+	return time.Duration(float64(d) * frac)
+}
+
 // DefaultFailThreshold is how many consecutive failures mark a peer
 // down when Config.FailThreshold is zero.
 const DefaultFailThreshold = 3
@@ -55,10 +70,13 @@ type PeerView struct {
 // (or on receiving any ping from it), and transitions never mutate the
 // ring — ownership stays put and hinted handoff bridges the outage.
 type Membership struct {
-	self          Member
-	ring          *Ring
-	client        *http.Client
+	self   Member
+	ring   *Ring
+	client *http.Client
+	// interval is the configured probe interval (and per-probe timeout);
+	// tick is the jittered loop period actually slept between rounds.
 	interval      time.Duration
+	tick          time.Duration
 	failThreshold int
 	metrics       *Metrics
 	// onUp fires on every down→up transition (probe success or inbound
@@ -81,6 +99,7 @@ func newMembership(self Member, ring *Ring, seeds []Member, client *http.Client,
 		ring:          ring,
 		client:        client,
 		interval:      interval,
+		tick:          jitteredInterval(self.ID, interval),
 		failThreshold: failThreshold,
 		metrics:       metrics,
 		onUp:          onUp,
@@ -156,6 +175,27 @@ func (m *Membership) countState(s PeerState) int {
 		}
 	}
 	return n
+}
+
+// DownMajority reports whether a majority of known peers are down —
+// the degraded signal surfaced through /readyz and the cluster status
+// endpoint. A node that cannot reach most of its cluster is more
+// likely isolated than surrounded by failures, and a load balancer
+// should stop routing to it. A node with no peers (single-node mode,
+// or a seed list not yet learned) is never degraded.
+func (m *Membership) DownMajority() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.peers) == 0 {
+		return false
+	}
+	down := 0
+	for _, p := range m.peers {
+		if p.state == PeerDown {
+			down++
+		}
+	}
+	return down*2 > len(m.peers)
 }
 
 // Observe records direct evidence of life from a peer — an inbound ping
@@ -242,10 +282,13 @@ func (m *Membership) Tick(ctx context.Context) {
 	wg.Wait()
 }
 
-// Start runs the heartbeat loop until ctx is done.
+// Start runs the heartbeat loop until ctx is done. The loop period is
+// the configured interval with a deterministic per-node jitter, so a
+// fleet of identically configured nodes fans its probes out across the
+// window instead of thundering in unison.
 func (m *Membership) Start(ctx context.Context) {
 	go func() {
-		t := time.NewTicker(m.interval)
+		t := time.NewTicker(m.tick)
 		defer t.Stop()
 		for {
 			m.Tick(ctx)
@@ -314,6 +357,11 @@ func (m *Membership) integrate(id string, pr *pingResponse) {
 	for _, d := range pr.Deltas {
 		if d.Add != nil {
 			m.addMember(*d.Add)
+		}
+		if d.Leave != "" && d.Leave != m.self.ID {
+			// A stale "we are leaving" replay must not strand a rejoined
+			// node; only our own decommission marks us leaving.
+			m.ring.SetLeaving(d.Leave)
 		}
 		if d.Remove != "" {
 			m.removeMember(d.Remove)

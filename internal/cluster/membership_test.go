@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"multicluster/internal/obs"
+)
+
+func testMembership(onUp func(string)) *Membership {
+	ring := NewRing(8)
+	self := Member{ID: "self", URL: "http://self"}
+	seeds := []Member{
+		{ID: "p1", URL: "http://p1"},
+		{ID: "p2", URL: "http://p2"},
+	}
+	return newMembership(self, ring, seeds, &http.Client{}, time.Hour, 3, NewMetrics(obs.NewRegistry()), onUp)
+}
+
+func TestJitteredIntervalDeterministicAndBounded(t *testing.T) {
+	const d = 2 * time.Second
+	if jitteredInterval("n1", d) != jitteredInterval("n1", d) {
+		t.Error("jitter must be deterministic per id")
+	}
+	lo, hi := time.Duration(float64(d)*0.85), time.Duration(float64(d)*1.15)
+	distinct := make(map[time.Duration]bool)
+	for i := 0; i < 32; i++ {
+		id := fmt.Sprintf("node-%d", i)
+		j := jitteredInterval(id, d)
+		if j < lo || j >= hi {
+			t.Errorf("jitteredInterval(%s) = %v outside [%v, %v)", id, j, lo, hi)
+		}
+		distinct[j] = true
+	}
+	// The whole point: identically configured nodes do not tick in
+	// lockstep.
+	if len(distinct) < 28 {
+		t.Errorf("only %d distinct intervals across 32 ids — jitter is not spreading", len(distinct))
+	}
+	if jitteredInterval("n1", 0) != 0 {
+		t.Error("non-positive intervals pass through untouched")
+	}
+}
+
+func TestMembershipFailureThresholdAndOnUp(t *testing.T) {
+	var mu sync.Mutex
+	var ups []string
+	m := testMembership(func(id string) {
+		mu.Lock()
+		ups = append(ups, id)
+		mu.Unlock()
+	})
+
+	// Below the threshold nothing transitions.
+	m.ReportFailure("p1")
+	m.ReportFailure("p1")
+	if st := m.State("p1"); st != PeerUp {
+		t.Fatalf("state after 2 of 3 failures = %s", st)
+	}
+	m.ReportFailure("p1")
+	if st := m.State("p1"); st != PeerDown {
+		t.Fatalf("state after 3 failures = %s", st)
+	}
+	// Success resets and fires onUp exactly once.
+	m.reportSuccess("p1")
+	m.reportSuccess("p1")
+	if st := m.State("p1"); st != PeerUp {
+		t.Fatalf("state after recovery = %s", st)
+	}
+	mu.Lock()
+	got := append([]string(nil), ups...)
+	mu.Unlock()
+	if len(got) != 1 || got[0] != "p1" {
+		t.Errorf("onUp fired %v, want exactly one p1", got)
+	}
+	// A single failure after recovery does not re-demote.
+	m.ReportFailure("p1")
+	if st := m.State("p1"); st != PeerUp {
+		t.Errorf("one failure after recovery demoted the peer")
+	}
+	// Unknown peers are reported down and mutations on them are no-ops.
+	if st := m.State("ghost"); st != PeerDown {
+		t.Errorf("unknown peer state = %s, want down", st)
+	}
+	m.ReportFailure("ghost")
+	m.reportSuccess("ghost")
+}
+
+// TestMembershipConcurrentFailureSuccess hammers the failure detector
+// from many goroutines — ReportFailure, reportSuccess, Observe, and
+// every reader interleaved — and checks the table stays consistent.
+// Run under -race this is the interleaving proof the detector needs.
+func TestMembershipConcurrentFailureSuccess(t *testing.T) {
+	// onUp runs outside the peer lock; touching the membership from the
+	// hook must not deadlock (the node's hook replays hints, which
+	// reads peer state).
+	var m *Membership
+	m = testMembership(func(id string) {
+		m.State(id)
+		m.DownMajority()
+	})
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			peer := "p1"
+			if g%2 == 1 {
+				peer = "p2"
+			}
+			for i := 0; i < 400; i++ {
+				switch i % 5 {
+				case 0:
+					m.ReportFailure(peer)
+				case 1:
+					m.reportSuccess(peer)
+				case 2:
+					m.Observe(Member{ID: peer, URL: "http://" + peer})
+				case 3:
+					m.State(peer)
+					m.DownMajority()
+				case 4:
+					m.Peers()
+					m.countState(PeerDown)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	views := m.Peers()
+	if len(views) != 2 {
+		t.Fatalf("peer table corrupted: %v", views)
+	}
+	for _, p := range views {
+		if p.State != PeerUp && p.State != PeerDown {
+			t.Errorf("peer %s in impossible state %q", p.ID, p.State)
+		}
+		if p.Failures < 0 {
+			t.Errorf("peer %s has negative failures %d", p.ID, p.Failures)
+		}
+	}
+}
+
+func TestDownMajority(t *testing.T) {
+	m := testMembership(nil)
+	if m.DownMajority() {
+		t.Error("all peers up: not degraded")
+	}
+	// 1 of 2 down is not a majority.
+	for i := 0; i < 3; i++ {
+		m.ReportFailure("p1")
+	}
+	if m.DownMajority() {
+		t.Error("half down is not a majority")
+	}
+	for i := 0; i < 3; i++ {
+		m.ReportFailure("p2")
+	}
+	if !m.DownMajority() {
+		t.Error("2 of 2 down must be degraded")
+	}
+	m.reportSuccess("p1")
+	if m.DownMajority() {
+		t.Error("recovery should clear the degraded signal")
+	}
+
+	// A node with no peers is never degraded.
+	lone := newMembership(Member{ID: "solo"}, NewRing(8), nil, &http.Client{}, time.Hour, 3, NewMetrics(obs.NewRegistry()), nil)
+	if lone.DownMajority() {
+		t.Error("peerless node reported degraded")
+	}
+}

@@ -24,6 +24,15 @@ type Metrics struct {
 	hintsReplayed    *obs.Counter
 	hintReplayErrors *obs.Counter
 	hintSpoolErrors  *obs.Counter
+	hintsDropped     *obs.Counter // hints truncated oldest-first by the log bound
+
+	readRepairs       *obs.Counter // missing copies refreshed after a replica hit
+	aeRounds          *obs.Counter // per-peer anti-entropy reconciliations
+	aeErrors          *obs.Counter // reconciliations abandoned on a peer error
+	aePushed          *obs.Counter // results pushed to a peer that lacked them
+	aePulled          *obs.Counter // results pulled from a peer holding them
+	digestMismatches  *obs.Counter // digest buckets that differed and forced a hash exchange
+	rebalanceStreamed *obs.Counter // results streamed to new owners on decommission
 
 	heartbeats     *obs.Counter
 	heartbeatErrs  *obs.Counter
@@ -58,6 +67,22 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		"Hint replay rounds that failed and kept their log for retry.")
 	m.hintSpoolErrors = reg.Counter("cluster_hint_spool_errors_total",
 		"Hints that could not be written to the local hint log.")
+	m.hintsDropped = reg.Counter("cluster_hints_dropped_total",
+		"Hints truncated oldest-first because a per-peer hint log exceeded its record or byte bound.")
+	m.readRepairs = reg.Counter("cluster_read_repairs_total",
+		"Results pushed to a replica-set member found missing its copy after a replica-local read.")
+	m.aeRounds = reg.Counter("cluster_antientropy_rounds_total",
+		"Per-peer anti-entropy reconciliation rounds.")
+	m.aeErrors = reg.Counter("cluster_antientropy_errors_total",
+		"Anti-entropy rounds abandoned because the peer failed mid-exchange.")
+	m.aePushed = reg.Counter("cluster_antientropy_pushed_total",
+		"Results pushed to a peer that should hold them but did not.")
+	m.aePulled = reg.Counter("cluster_antientropy_pulled_total",
+		"Results pulled from a peer because this node should hold them but did not.")
+	m.digestMismatches = reg.Counter("cluster_digest_mismatch_buckets_total",
+		"Anti-entropy digest buckets that differed and forced a per-hash exchange.")
+	m.rebalanceStreamed = reg.Counter("cluster_rebalance_streamed_total",
+		"Results streamed to their new owners during a graceful decommission.")
 	m.heartbeats = reg.Counter("cluster_heartbeats_total",
 		"Successful peer heartbeats.")
 	m.heartbeatErrs = reg.Counter("cluster_heartbeat_errors_total",
@@ -94,4 +119,12 @@ func (m *Metrics) bindNode(n *Node) {
 	m.reg.GaugeFunc("cluster_hints_pending",
 		"Hinted results spooled locally, awaiting their owner's return.",
 		func() float64 { return float64(n.hints.Pending()) })
+	m.reg.GaugeFunc("cluster_degraded",
+		"1 when this node is leaving the ring or a majority of its known peers are down.",
+		func() float64 {
+			if n.Healthy() {
+				return 0
+			}
+			return 1
+		})
 }

@@ -31,6 +31,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"multicluster/internal/faultinject"
@@ -89,7 +91,29 @@ type Config struct {
 	Client *http.Client
 	// PushTimeout bounds one replication/hint-replay push (0 = 5s).
 	PushTimeout time.Duration
+	// AntiEntropy is the interval between background digest-exchange
+	// rounds (0 = DefaultAntiEntropy, negative disables the background
+	// loop; Sync still reconciles on demand).
+	AntiEntropy time.Duration
+	// HintMaxRecords bounds each per-peer hint log in records
+	// (0 = DefaultHintMaxRecords, negative means unbounded).
+	HintMaxRecords int64
+	// HintMaxBytes bounds each per-peer hint log in bytes
+	// (0 = DefaultHintMaxBytes, negative means unbounded).
+	HintMaxBytes int64
 }
+
+// DefaultAntiEntropy is the digest-exchange interval when
+// Config.AntiEntropy is zero.
+const DefaultAntiEntropy = 15 * time.Second
+
+// DefaultHintMaxRecords bounds a per-peer hint log to this many records
+// when Config.HintMaxRecords is zero.
+const DefaultHintMaxRecords = 4096
+
+// DefaultHintMaxBytes bounds a per-peer hint log to this many bytes
+// when Config.HintMaxBytes is zero.
+const DefaultHintMaxBytes = 32 << 20
 
 // Node is one member of the sweep cluster. It implements sweep.Remote,
 // so a sweep.Service constructed with Config.Remote pointing here routes
@@ -104,6 +128,17 @@ type Node struct {
 	client      *http.Client
 	replicas    int
 	pushTimeout time.Duration
+	antiEntropy time.Duration
+
+	// leaving flips once Decommission starts and never clears; decomMu
+	// serializes concurrent decommission requests.
+	leaving atomic.Bool
+	decomMu sync.Mutex
+
+	// repaired dedups read-repair probes per hash so a hot replica-local
+	// key verifies the owner once, not on every hit.
+	repairMu sync.Mutex
+	repaired map[string]struct{}
 
 	svc *sweep.Service
 }
@@ -135,7 +170,28 @@ func NewNode(cfg Config) (*Node, error) {
 	if replicas < 1 {
 		replicas = 1
 	}
-	hints, err := OpenHintLog(cfg.HintDir, metrics)
+	antiEntropy := cfg.AntiEntropy
+	switch {
+	case antiEntropy == 0:
+		antiEntropy = DefaultAntiEntropy
+	case antiEntropy < 0:
+		antiEntropy = 0
+	}
+	hintMaxRecords := cfg.HintMaxRecords
+	switch {
+	case hintMaxRecords == 0:
+		hintMaxRecords = DefaultHintMaxRecords
+	case hintMaxRecords < 0:
+		hintMaxRecords = 0
+	}
+	hintMaxBytes := cfg.HintMaxBytes
+	switch {
+	case hintMaxBytes == 0:
+		hintMaxBytes = DefaultHintMaxBytes
+	case hintMaxBytes < 0:
+		hintMaxBytes = 0
+	}
+	hints, err := OpenHintLog(cfg.HintDir, hintMaxRecords, hintMaxBytes, metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -148,6 +204,8 @@ func NewNode(cfg Config) (*Node, error) {
 		client:      client,
 		replicas:    replicas,
 		pushTimeout: pushTimeout,
+		antiEntropy: antiEntropy,
+		repaired:    make(map[string]struct{}),
 	}
 	n.members = newMembership(cfg.Self, n.ring, cfg.Seeds, client, cfg.Heartbeat, cfg.FailThreshold, metrics, n.replayHintsFor)
 	metrics.bindNode(n)
@@ -171,12 +229,12 @@ func (n *Node) Members() *Membership { return n.members }
 // Hints returns the node's hint log.
 func (n *Node) Hints() *HintLog { return n.hints }
 
-// Start launches the heartbeat loop and the periodic hint-replay sweep
-// until ctx is done.
+// Start launches the heartbeat loop, the periodic hint-replay sweep,
+// and (unless disabled) the anti-entropy reconciler, until ctx is done.
 func (n *Node) Start(ctx context.Context) {
 	n.members.Start(ctx)
 	go func() {
-		t := time.NewTicker(n.members.interval)
+		t := time.NewTicker(n.members.tick)
 		defer t.Stop()
 		for {
 			select {
@@ -187,15 +245,45 @@ func (n *Node) Start(ctx context.Context) {
 			}
 		}
 	}()
+	if n.antiEntropy > 0 {
+		go func() {
+			// One synchronous round up front: the Tick inside Sync
+			// introduces a joining node to its peers, and the
+			// anti-entropy round that follows pulls the key ranges the
+			// join now owns — a new node starts warm instead of cold.
+			n.Sync(ctx)
+			t := time.NewTicker(jitteredInterval(n.self.ID, n.antiEntropy))
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					n.AntiEntropyRound(ctx)
+				}
+			}
+		}()
+	}
 }
 
 // Sync runs one synchronous round of the background work — probe every
-// peer, then replay any hint backlog whose owner is up. Tests and
-// operators use it for deterministic convergence.
+// peer, replay any hint backlog whose owner is up, then reconcile
+// digests with every up peer. Tests and operators use it for
+// deterministic convergence.
 func (n *Node) Sync(ctx context.Context) {
 	n.members.Tick(ctx)
 	n.ReplayPending()
+	n.AntiEntropyRound(ctx)
 }
+
+// Healthy reports whether this node should receive traffic: it is not
+// mid-decommission and can reach at least half of its known peers.
+func (n *Node) Healthy() bool {
+	return !n.leaving.Load() && !n.members.DownMajority()
+}
+
+// Leaving reports whether this node has begun a graceful decommission.
+func (n *Node) Leaving() bool { return n.leaving.Load() }
 
 // ReplayPending replays the hint backlog of every up peer.
 func (n *Node) ReplayPending() {
@@ -294,11 +382,15 @@ func (n *Node) RunRemote(ctx context.Context, node string, spec sweep.JobSpec) (
 // the result to the owner's shard — pushed directly when the peer looks
 // up, spooled as a hint otherwise.
 func (n *Node) Completed(res *sweep.Result) {
-	if res == nil || res.Hash == "" || n.ring.Size() < 2 {
+	if res == nil || res.Hash == "" {
 		return
 	}
 	owners := n.ring.Owners(res.Hash, n.replicas)
-	if len(owners) == 0 {
+	// Nobody else to converge with: an empty ring, or we are the whole
+	// replica set. (Size is deliberately not the guard — after a peer
+	// decommissions out of a two-node ring, results computed for it
+	// mid-drain must still reach it.)
+	if len(owners) == 0 || (len(owners) == 1 && owners[0] == n.self.ID) {
 		return
 	}
 	if owners[0] == n.self.ID {
@@ -361,4 +453,68 @@ func (n *Node) push(peer string, res *sweep.Result) error {
 	}
 	n.metrics.replications.Inc()
 	return nil
+}
+
+// maxRepairDedup bounds the read-repair dedup set; when full it is
+// reset wholesale — a re-probe of an already-verified hash is an
+// idempotent no-op, so occasional forgetting only costs a GET.
+const maxRepairDedup = 8192
+
+// ReadRepair implements sweep.Remote: called when a request for a
+// non-owned hash was served from the local replica cache. It verifies
+// asynchronously that every up member of the hash's replica set still
+// holds the result, pushing our copy to any that lost it (a rebuilt
+// disk, a truncated hint log). Each hash is verified once per dedup
+// epoch; the serving path is never blocked.
+func (n *Node) ReadRepair(res *sweep.Result) {
+	if res == nil || res.Hash == "" || n.ring.Size() < 2 {
+		return
+	}
+	if !n.markRepaired(res.Hash) {
+		return
+	}
+	go n.readRepair(res)
+}
+
+// markRepaired records hash in the dedup set, reporting whether this is
+// the first sighting this epoch.
+func (n *Node) markRepaired(hash string) bool {
+	n.repairMu.Lock()
+	defer n.repairMu.Unlock()
+	if _, ok := n.repaired[hash]; ok {
+		return false
+	}
+	if len(n.repaired) >= maxRepairDedup {
+		n.repaired = make(map[string]struct{})
+	}
+	n.repaired[hash] = struct{}{}
+	return true
+}
+
+// readRepair performs one asynchronous verification pass for res.
+func (n *Node) readRepair(res *sweep.Result) {
+	for _, owner := range n.ring.Owners(res.Hash, n.replicas) {
+		if owner == n.self.ID || n.members.State(owner) != PeerUp {
+			continue
+		}
+		base, ok := n.ring.URL(owner)
+		if !ok || base == "" {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), n.pushTimeout)
+		have, err := n.fetchResult(ctx, base, res.Hash)
+		cancel()
+		if err != nil {
+			n.members.ReportFailure(owner)
+			continue
+		}
+		if have != nil {
+			continue
+		}
+		if err := n.push(owner, res); err == nil {
+			n.metrics.readRepairs.Inc()
+		} else {
+			n.members.ReportFailure(owner)
+		}
+	}
 }

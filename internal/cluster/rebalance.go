@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"multicluster/internal/sweep"
+)
+
+// DecommissionReport summarizes a graceful leave for the operator.
+type DecommissionReport struct {
+	Node string `json:"node"`
+	// Streamed counts owned results delivered to the members that
+	// inherit them.
+	Streamed int `json:"streamed"`
+	// Failed counts results no remaining member would accept; when
+	// non-zero the node stays in the ring (marked leaving) so a retry
+	// can finish the drain.
+	Failed int `json:"failed"`
+	// Remaining is the active member count after the leave.
+	Remaining int  `json:"remaining"`
+	Removed   bool `json:"removed"`
+}
+
+// memberEvent is the planned-membership-change announcement POSTed to
+// /cluster/v1/member on every peer: "leaving" marks the node as
+// draining (it owns nothing but stays addressable), "left" removes it.
+// Receivers record the change in their own delta history, so one
+// successful delivery is enough for the event to gossip everywhere —
+// the leaver's own history dies with it.
+type memberEvent struct {
+	ID    string `json:"id"`
+	Event string `json:"event"`
+}
+
+// Decommission executes a planned, graceful leave: mark this node
+// leaving (locally and on every reachable peer), stream every cached
+// result to the members that now own it, and — only if nothing failed
+// to stream — remove the node from the ring and announce the removal.
+//
+// Every result goes to every member of its new replica set; a result
+// whose whole replica set is unreachable goes to any up member instead
+// (anti-entropy relocates it from there), and only counts as failed
+// when no member at all would take it. A failed drain leaves the node
+// in the leaving state: it owns nothing, keeps serving, and a retried
+// Decommission picks up where this one stopped (deliveries are
+// idempotent).
+func (n *Node) Decommission(ctx context.Context) (*DecommissionReport, error) {
+	n.decomMu.Lock()
+	defer n.decomMu.Unlock()
+
+	rep := &DecommissionReport{Node: n.self.ID}
+	n.leaving.Store(true)
+	n.ring.SetLeaving(n.self.ID)
+	n.broadcast(ctx, memberEvent{ID: n.self.ID, Event: "leaving"})
+
+	if n.svc != nil && n.ring.Active() > 0 {
+		for _, hash := range n.svc.CachedHashes() {
+			if err := ctx.Err(); err != nil {
+				return rep, fmt.Errorf("cluster: decommission interrupted after %d results: %w", rep.Streamed, err)
+			}
+			res, ok := n.svc.Cached(hash)
+			if !ok {
+				continue
+			}
+			if n.stream(res) {
+				rep.Streamed++
+				n.metrics.rebalanceStreamed.Inc()
+			} else {
+				rep.Failed++
+			}
+		}
+	}
+	if rep.Failed > 0 {
+		rep.Remaining = n.ring.Active()
+		return rep, fmt.Errorf("cluster: decommission incomplete: %d of %d results not delivered; node stays in leaving state, retry to finish the drain",
+			rep.Failed, rep.Failed+rep.Streamed)
+	}
+
+	n.ring.Remove(n.self.ID)
+	n.broadcast(ctx, memberEvent{ID: n.self.ID, Event: "left"})
+	rep.Remaining = n.ring.Active()
+	rep.Removed = true
+	return rep, nil
+}
+
+// stream delivers one result during a drain, reporting success when at
+// least one member accepted it. Preference order: the members of the
+// result's new replica set, then — if none of them took it — any up
+// member at all, trusting anti-entropy to relocate it.
+func (n *Node) stream(res *sweep.Result) bool {
+	owners := n.ring.Owners(res.Hash, n.replicas)
+	delivered := false
+	for _, o := range owners {
+		if o == n.self.ID {
+			continue
+		}
+		if n.members.State(o) == PeerUp && n.push(o, res) == nil {
+			delivered = true
+		}
+	}
+	if delivered {
+		return true
+	}
+	isOwner := make(map[string]bool, len(owners))
+	for _, o := range owners {
+		isOwner[o] = true
+	}
+	for _, p := range n.members.Peers() {
+		if isOwner[p.ID] || p.State != PeerUp || n.ring.Leaving(p.ID) {
+			continue
+		}
+		if n.push(p.ID, res) == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// broadcast POSTs a membership event to every other member,
+// best-effort: a member that misses it learns through gossip from one
+// that did not.
+func (n *Node) broadcast(ctx context.Context, ev memberEvent) {
+	body, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	for _, m := range n.ring.Members() {
+		if m.ID == n.self.ID || m.URL == "" {
+			continue
+		}
+		cctx, cancel := context.WithTimeout(ctx, n.pushTimeout)
+		req, err := http.NewRequestWithContext(cctx, http.MethodPost, m.URL+"/cluster/v1/member", bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(headerOrigin, n.self.ID)
+		resp, err := n.client.Do(req)
+		cancel()
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}
+}

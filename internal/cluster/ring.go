@@ -9,20 +9,27 @@ import (
 )
 
 // Member is one node of the partition map: a stable id and the base URL
-// its HTTP endpoints are served from.
+// its HTTP endpoints are served from. A member marked Leaving is mid
+// graceful decommission: it stays reachable (its URL still resolves,
+// hints still drain to it) but owns nothing — ownership is a function
+// of the non-leaving member set, so new work routes to the members that
+// inherit its ranges while it streams its data away.
 type Member struct {
-	ID  string `json:"id"`
-	URL string `json:"url"`
+	ID      string `json:"id"`
+	URL     string `json:"url"`
+	Leaving bool   `json:"leaving,omitempty"`
 }
 
 // Delta is one versioned change to the partition map — the unit peers
 // exchange on heartbeats instead of re-broadcasting the whole member
 // table. Version is the ring's version after the change was applied, in
-// the originating node's own monotonic sequence.
+// the originating node's own monotonic sequence. Leave marks a member
+// as gracefully leaving without removing it.
 type Delta struct {
 	Version uint64  `json:"version"`
 	Add     *Member `json:"add,omitempty"`
 	Remove  string  `json:"remove,omitempty"`
+	Leave   string  `json:"leave,omitempty"`
 }
 
 // RingState is a full snapshot of the partition map, sent only when a
@@ -53,15 +60,19 @@ type ringPoint struct {
 // so peers can catch up with cheap change-sets rather than whole-table
 // broadcasts (the Hazelcast partition-migration lesson).
 //
-// Ownership is a function of the member set only — a member that is
-// down keeps its partitions, and writes owed to it spool as hints until
-// it returns. That keeps the map stable under flapping and makes hinted
-// handoff, not rebalancing, the failure-time mechanism.
+// Ownership is a function of the non-leaving member set only — a
+// member that is down keeps its partitions, and writes owed to it spool
+// as hints until it returns. That keeps the map stable under flapping
+// and makes hinted handoff, not rebalancing, the failure-time
+// mechanism. Rebalancing happens only on planned change: a member
+// marked leaving (graceful decommission) drops out of ownership while
+// staying addressable, and a removal retires it entirely.
 type Ring struct {
 	mu      sync.RWMutex
 	vnodes  int
 	version uint64
 	members map[string]Member
+	active  int // members contributing points (not leaving)
 	points  []ringPoint
 	history []Delta
 }
@@ -91,8 +102,15 @@ func hashPoint(s string) uint64 {
 	return x
 }
 
-// Add installs (or updates the URL of) a member, reporting whether the
-// ring changed. A new member bumps the version and records a delta.
+// Add installs (or updates the URL or leaving flag of) a member,
+// reporting whether the ring changed. A new member bumps the version
+// and records a delta. Add never clears an existing Leaving flag —
+// leaving is one-way until the member is removed, so a stale snapshot
+// or seed list cannot resurrect ownership a decommission already gave
+// away. (A member that missed the removal and then sees the node
+// rejoin keeps it marked leaving until the remove+add deltas arrive;
+// the cost is misrouted forwards, not lost data, exactly like the
+// documented snapshot-removal limitation.)
 func (r *Ring) Add(m Member) bool {
 	if m.ID == "" {
 		return false
@@ -100,18 +118,53 @@ func (r *Ring) Add(m Member) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if old, ok := r.members[m.ID]; ok {
-		if old.URL == m.URL || m.URL == "" {
+		leaving := old.Leaving || m.Leaving
+		urlChanged := m.URL != "" && m.URL != old.URL
+		if !urlChanged && leaving == old.Leaving {
 			return false
 		}
-		// URL change only: placement is untouched, no new points.
+		if m.URL == "" {
+			m.URL = old.URL
+		}
+		m.Leaving = leaving
 		r.members[m.ID] = m
 		r.record(Delta{Add: &m})
+		if leaving != old.Leaving {
+			// Placement changed: the member's points leave the ring.
+			r.rebuildLocked()
+		}
 		return true
 	}
 	r.members[m.ID] = m
 	r.record(Delta{Add: &m})
 	r.rebuildLocked()
 	return true
+}
+
+// SetLeaving marks a member as gracefully leaving: it keeps its URL and
+// peer entry but contributes no points, so every key it owned routes to
+// the members that inherit its ranges. Reports whether the ring
+// changed.
+func (r *Ring) SetLeaving(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.members[id]
+	if !ok || m.Leaving {
+		return false
+	}
+	m.Leaving = true
+	r.members[id] = m
+	r.record(Delta{Leave: id})
+	r.rebuildLocked()
+	return true
+}
+
+// Leaving reports whether id is a member marked as leaving.
+func (r *Ring) Leaving(id string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.members[id]
+	return ok && m.Leaving
 }
 
 // Remove drops a member, reporting whether the ring changed.
@@ -139,11 +192,18 @@ func (r *Ring) record(d Delta) {
 }
 
 // rebuildLocked regenerates the sorted point list from the member set.
-// Member counts are small (a handful of nodes), so a full rebuild per
-// mutation is cheaper than it looks and trivially correct.
+// Leaving members contribute no points — they own nothing while they
+// stream their data to the inheritors. Member counts are small (a
+// handful of nodes), so a full rebuild per mutation is cheaper than it
+// looks and trivially correct.
 func (r *Ring) rebuildLocked() {
 	r.points = r.points[:0]
-	for id := range r.members {
+	r.active = 0
+	for id, m := range r.members {
+		if m.Leaving {
+			continue
+		}
+		r.active++
 		for i := 0; i < r.vnodes; i++ {
 			r.points = append(r.points, ringPoint{hashPoint(id + "#" + strconv.Itoa(i)), id})
 		}
@@ -174,8 +234,8 @@ func (r *Ring) Owners(key string, n int) []string {
 	if len(r.points) == 0 || n <= 0 {
 		return nil
 	}
-	if n > len(r.members) {
-		n = len(r.members)
+	if n > r.active {
+		n = r.active
 	}
 	owners := make([]string, 0, n)
 	seen := make(map[string]bool, n)
@@ -227,11 +287,19 @@ func (r *Ring) URL(id string) (string, bool) {
 	return m.URL, ok
 }
 
-// Size returns the number of members.
+// Size returns the number of members, leaving ones included.
 func (r *Ring) Size() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.members)
+}
+
+// Active returns the number of members currently contributing
+// ownership points (not marked leaving).
+func (r *Ring) Active() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.active
 }
 
 // DeltasSince returns the changes after version v, oldest first. ok is

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -187,6 +188,188 @@ func TestRingDeltaConvergence(t *testing.T) {
 		}
 	}
 	for _, k := range keys(300) {
+		if src.Owner(k) != dst.Owner(k) {
+			t.Fatalf("ownership diverged for %s: %s vs %s", k, src.Owner(k), dst.Owner(k))
+		}
+	}
+}
+
+// TestRingLeavingSemantics: a leaving member drops out of ownership but
+// stays addressable, the flag is one-way until removal, and only keys
+// it owned move.
+func TestRingLeavingSemantics(t *testing.T) {
+	r := NewRing(0)
+	for _, m := range ringMembers(3) {
+		r.Add(m)
+	}
+	ks := keys(1500)
+	before := make(map[string]string, len(ks))
+	for _, k := range ks {
+		before[k] = r.Owner(k)
+	}
+
+	v := r.Version()
+	if !r.SetLeaving("n2") {
+		t.Fatal("SetLeaving on a live member should change the ring")
+	}
+	if r.Version() == v {
+		t.Error("leaving must bump the version so peers learn it")
+	}
+	if !r.Leaving("n2") {
+		t.Error("Leaving(n2) should report true")
+	}
+	if r.Size() != 3 || r.Active() != 2 {
+		t.Errorf("size/active = %d/%d, want 3/2 (leaving members stay members)", r.Size(), r.Active())
+	}
+	if u, ok := r.URL("n2"); !ok || u == "" {
+		t.Error("a leaving member must stay addressable")
+	}
+	for _, k := range ks {
+		o := r.Owner(k)
+		if o == "n2" {
+			t.Fatalf("leaving member still owns %s", k)
+		}
+		if before[k] != "n2" && o != before[k] {
+			t.Fatalf("key %s not owned by the leaver moved %s -> %s", k, before[k], o)
+		}
+	}
+	for _, k := range ks[:100] {
+		for _, o := range r.Owners(k, 3) {
+			if o == "n2" {
+				t.Fatalf("Owners(%s) includes the leaving member", k)
+			}
+		}
+	}
+
+	// One-way: a stale add cannot resurrect ownership mid-drain.
+	r.Add(Member{ID: "n2", URL: "http://node2"})
+	if !r.Leaving("n2") {
+		t.Error("Add cleared the leaving flag")
+	}
+	v = r.Version()
+	if r.SetLeaving("n2") || r.Version() != v {
+		t.Error("SetLeaving on an already-leaving member should be a no-op")
+	}
+
+	// Removal retires it; a genuine rejoin afterwards starts clean.
+	r.Remove("n2")
+	r.Add(Member{ID: "n2", URL: "http://node2"})
+	if r.Leaving("n2") {
+		t.Error("a member re-added after removal must not inherit the leaving flag")
+	}
+	if r.Active() != 3 {
+		t.Errorf("active after rejoin = %d, want 3", r.Active())
+	}
+}
+
+// TestRingSnapshotFallbackUnderChurn drives a follower through the
+// delta-history protocol while the source churns concurrently: fast
+// polls ride the delta path, a slow poll outlives the bounded history
+// and must take the snapshot fallback, and the follower still converges
+// — members, leaving flags, and ownership all equal. Run under -race
+// this also proves the ring's locking under concurrent mutation.
+func TestRingSnapshotFallbackUnderChurn(t *testing.T) {
+	src := NewRing(4)
+	for _, m := range ringMembers(3) {
+		src.Add(m)
+	}
+
+	dst := NewRing(4)
+	var seen uint64
+	snapshots, deltaBatches := 0, 0
+	catchUp := func() {
+		if deltas, ok := src.DeltasSince(seen); ok {
+			if len(deltas) > 0 {
+				deltaBatches++
+			}
+			for _, d := range deltas {
+				if d.Add != nil {
+					dst.Add(*d.Add)
+				}
+				if d.Leave != "" {
+					dst.SetLeaving(d.Leave)
+				}
+				if d.Remove != "" {
+					dst.Remove(d.Remove)
+				}
+				seen = d.Version
+			}
+			return
+		}
+		snap := src.Snapshot()
+		for _, m := range snap.Members {
+			dst.Add(m)
+		}
+		snapshots++
+		seen = snap.Version
+	}
+	catchUp() // initial sync via snapshot
+
+	// Concurrent churn: adds and leaves only — removals do not survive a
+	// snapshot fallback by design (snapshots only add), so a test that
+	// includes them would assert a divergence the protocol documents.
+	const churners = 4
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for g := 0; g < churners; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				id := fmt.Sprintf("churn-%d-%d", g, i)
+				src.Add(Member{ID: id, URL: "http://" + id})
+				if i%5 == 0 {
+					src.SetLeaving(id)
+				}
+			}
+		}(g)
+	}
+	go func() { wg.Wait(); close(done) }()
+
+	// The follower polls while the churn runs: some batches ride deltas,
+	// and with 240 mutations against a 64-entry history at least one poll
+	// must fall back to a snapshot.
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		default:
+		}
+		catchUp()
+	}
+	catchUp() // final drain
+
+	if deltaBatches == 0 {
+		t.Error("no poll ever rode the delta path — churn outran every poll, test proves less than intended")
+	}
+
+	// Controlled burst: more mutations than the bounded history holds,
+	// with no polls in between, must force the snapshot fallback.
+	for i := 0; i < maxDeltaHistory+8; i++ {
+		src.Add(Member{ID: fmt.Sprintf("burst-%d", i), URL: "http://burst"})
+	}
+	if _, ok := src.DeltasSince(seen); ok {
+		t.Fatal("history should be exhausted after a burst longer than maxDeltaHistory")
+	}
+	wasSnapshots := snapshots
+	catchUp()
+	if snapshots != wasSnapshots+1 {
+		t.Fatalf("burst catch-up took %d snapshots, want exactly 1 more", snapshots-wasSnapshots)
+	}
+
+	srcM, dstM := src.Members(), dst.Members()
+	if len(srcM) != len(dstM) {
+		t.Fatalf("follower diverged: %d members vs %d", len(srcM), len(dstM))
+	}
+	for i := range srcM {
+		if srcM[i] != dstM[i] {
+			t.Fatalf("follower diverged at %d: %+v vs %+v", i, srcM[i], dstM[i])
+		}
+	}
+	if src.Active() != dst.Active() {
+		t.Fatalf("active counts diverge: %d vs %d", src.Active(), dst.Active())
+	}
+	for _, k := range keys(500) {
 		if src.Owner(k) != dst.Owner(k) {
 			t.Fatalf("ownership diverged for %s: %s vs %s", k, src.Owner(k), dst.Owner(k))
 		}

@@ -37,7 +37,12 @@ func (n *Node) Handler(local http.Handler) http.Handler {
 	r.mux.HandleFunc("GET /cluster/v1/ping", r.handlePing)
 	r.mux.HandleFunc("POST /cluster/v1/run", r.handleRun)
 	r.mux.HandleFunc("POST /cluster/v1/result", r.handleResult)
+	r.mux.HandleFunc("GET /cluster/v1/result/{hash}", r.handleResultGet)
+	r.mux.HandleFunc("GET /cluster/v1/digest", r.handleDigest)
+	r.mux.HandleFunc("POST /cluster/v1/leave", r.handleLeave)
+	r.mux.HandleFunc("POST /cluster/v1/member", r.handleMember)
 	r.mux.HandleFunc("GET /cluster/v1/status", r.handleStatus)
+	r.mux.HandleFunc("GET /readyz", r.handleReadyz)
 	r.mux.HandleFunc("GET /v1/jobs/{id}", r.handleJob)
 	r.mux.HandleFunc("DELETE /v1/jobs/{id}", r.handleJob)
 	r.mux.Handle("/", local)
@@ -135,9 +140,103 @@ func (r *router) handleResult(w http.ResponseWriter, req *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// handleResultGet serves one cached result to a peer — the transfer
+// half of anti-entropy's pull leg and read-repair's verification probe.
+func (r *router) handleResultGet(w http.ResponseWriter, req *http.Request) {
+	if r.node.svc == nil {
+		r.writeError(w, http.StatusServiceUnavailable, errors.New("cluster: node has no service attached"))
+		return
+	}
+	hash := req.PathValue("hash")
+	res, ok := r.node.svc.Cached(hash)
+	if !ok {
+		r.writeError(w, http.StatusNotFound, fmt.Errorf("cluster: no cached result for %s", hash))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(res)
+}
+
+// handleDigest serves the anti-entropy digest: of everything this node
+// holds, the per-range summary of what the `for` node should hold, with
+// full hash lists for any buckets named in `list`.
+func (r *router) handleDigest(w http.ResponseWriter, req *http.Request) {
+	if r.node.svc == nil {
+		r.writeError(w, http.StatusServiceUnavailable, errors.New("cluster: node has no service attached"))
+		return
+	}
+	q := req.URL.Query()
+	forID := q.Get("for")
+	if forID == "" {
+		r.writeError(w, http.StatusBadRequest, errors.New("cluster: digest needs ?for=<node id>"))
+		return
+	}
+	dv := r.node.digestFor(forID, parseBucketList(q.Get("list")))
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(dv)
+}
+
+// handleLeave runs a graceful decommission: the operator's entry point
+// for planned removal. Returns the drain report; a 409 with the report
+// means some results could not be delivered and the node stayed in the
+// ring (leaving), ready for a retry.
+func (r *router) handleLeave(w http.ResponseWriter, req *http.Request) {
+	rep, err := r.node.Decommission(req.Context())
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err != nil {
+		w.WriteHeader(http.StatusConflict)
+	}
+	json.NewEncoder(w).Encode(rep)
+}
+
+// handleMember applies a planned membership event announced by a peer.
+func (r *router) handleMember(w http.ResponseWriter, req *http.Request) {
+	var ev memberEvent
+	req.Body = http.MaxBytesReader(w, req.Body, 4096)
+	if err := json.NewDecoder(req.Body).Decode(&ev); err != nil {
+		r.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding member event: %w", err))
+		return
+	}
+	if ev.ID == "" {
+		r.writeError(w, http.StatusBadRequest, errors.New("cluster: member event needs an id"))
+		return
+	}
+	switch ev.Event {
+	case "leaving":
+		// Only our own decommission marks us leaving; see integrate.
+		if ev.ID != r.node.self.ID {
+			r.node.ring.SetLeaving(ev.ID)
+		}
+	case "left":
+		r.node.members.removeMember(ev.ID)
+	default:
+		r.writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: unknown member event %q", ev.Event))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleReadyz layers cluster health onto the local readiness probe: a
+// node that is mid-decommission or cut off from a majority of its peers
+// answers 503 so load balancers stop routing to it, even though its
+// local service would admit work.
+func (r *router) handleReadyz(w http.ResponseWriter, req *http.Request) {
+	if r.node.Leaving() {
+		http.Error(w, "leaving cluster", http.StatusServiceUnavailable)
+		return
+	}
+	if r.node.members.DownMajority() {
+		http.Error(w, "degraded: majority of peers down", http.StatusServiceUnavailable)
+		return
+	}
+	r.local.ServeHTTP(w, req)
+}
+
 // statusView is the cluster introspection document.
 type statusView struct {
 	Node         string           `json:"node"`
+	Health       string           `json:"health"` // ok | degraded | leaving
+	Leaving      bool             `json:"leaving,omitempty"`
 	RingVersion  uint64           `json:"ring_version"`
 	Members      []Member         `json:"members"`
 	Peers        []PeerView       `json:"peers"`
@@ -148,9 +247,17 @@ func (r *router) handleStatus(w http.ResponseWriter, req *http.Request) {
 	n := r.node
 	sv := statusView{
 		Node:        n.self.ID,
+		Health:      "ok",
+		Leaving:     n.Leaving(),
 		RingVersion: n.ring.Version(),
 		Members:     n.ring.Members(),
 		Peers:       n.members.Peers(),
+	}
+	if n.members.DownMajority() {
+		sv.Health = "degraded"
+	}
+	if n.Leaving() {
+		sv.Health = "leaving"
 	}
 	for _, peer := range n.hints.Peers() {
 		if sv.HintsPending == nil {

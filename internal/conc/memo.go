@@ -105,6 +105,26 @@ func (m *Memo) Seed(key string, val any) bool {
 	return true
 }
 
+// Keys returns the key of every completed, successful entry, in no
+// particular order — the enumeration seam for range scans over the
+// cache. In-flight computations and remembered failures are excluded:
+// callers enumerate what can be served right now.
+func (m *Memo) Keys() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]string, 0, len(m.entries))
+	for k, e := range m.entries {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				keys = append(keys, k)
+			}
+		default:
+		}
+	}
+	return keys
+}
+
 // Forget drops the entry for key, if any, so the next Do recomputes it.
 func (m *Memo) Forget(key string) {
 	m.mu.Lock()

@@ -118,6 +118,13 @@ func (c *Cache) Store(res *Result) bool {
 	return true
 }
 
+// Hashes enumerates the content hashes of every completed result in
+// the cache — the range-scan seam for cluster rebalancing and
+// anti-entropy digests. In-flight computations are excluded.
+func (c *Cache) Hashes() []string {
+	return c.memo.Keys()
+}
+
 // Stats snapshots the counters.
 func (c *Cache) Stats() CacheStats {
 	return CacheStats{

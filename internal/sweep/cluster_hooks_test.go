@@ -18,6 +18,7 @@ type fakeRemote struct {
 	err       error
 	runs      int
 	completed []*Result
+	repaired  []*Result
 	reqIDs    []string
 	clientIDs []string
 }
@@ -50,6 +51,12 @@ func (f *fakeRemote) RunRemote(ctx context.Context, node string, spec JobSpec) (
 func (f *fakeRemote) Completed(res *Result) {
 	f.mu.Lock()
 	f.completed = append(f.completed, res)
+	f.mu.Unlock()
+}
+
+func (f *fakeRemote) ReadRepair(res *Result) {
+	f.mu.Lock()
+	f.repaired = append(f.repaired, res)
 	f.mu.Unlock()
 }
 
@@ -94,6 +101,48 @@ func TestServiceForwardsNonOwnedToRemote(t *testing.T) {
 	}
 	if runs, _ := fr.counts(); runs != 1 {
 		t.Errorf("repeat re-forwarded: %d calls", runs)
+	}
+}
+
+func TestReplicaCacheHitTriggersReadRepair(t *testing.T) {
+	fr := &fakeRemote{}
+	stub := &stubExec{}
+	svc := NewService(Config{Workers: 1, Remote: fr, exec: stub.exec})
+	defer svc.Close()
+
+	// First run forwards and seeds the local replica cache.
+	if _, _, err := svc.Run(context.Background(), JobSpec{Benchmark: "compress"}); err != nil {
+		t.Fatal(err)
+	}
+	fr.mu.Lock()
+	repairs := len(fr.repaired)
+	fr.mu.Unlock()
+	if repairs != 0 {
+		t.Errorf("a fresh forward fired %d read-repairs; only replica hits should", repairs)
+	}
+
+	// Repeats are replica-local cache hits for a non-owned hash: each one
+	// offers the result for read-repair (deduplication is the cluster
+	// layer's job, not the service's).
+	for i := 0; i < 2; i++ {
+		if _, hit, err := svc.Run(context.Background(), JobSpec{Benchmark: "compress"}); err != nil || !hit {
+			t.Fatalf("repeat %d: hit=%v err=%v", i, hit, err)
+		}
+	}
+	fr.mu.Lock()
+	repairs = len(fr.repaired)
+	repairedHash := ""
+	if repairs > 0 {
+		repairedHash = fr.repaired[0].Hash
+	}
+	fr.mu.Unlock()
+	if repairs != 2 {
+		t.Errorf("read-repairs = %d, want 2 (one per replica hit)", repairs)
+	}
+	norm, _ := JobSpec{Benchmark: "compress"}.Normalize()
+	hash, _ := norm.Hash()
+	if repairedHash != hash {
+		t.Errorf("read-repair offered hash %q, want %q", repairedHash, hash)
 	}
 }
 

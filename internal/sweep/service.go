@@ -203,6 +203,12 @@ type Remote interface {
 	// computed, so the cluster layer can replicate it or hand it back to
 	// its owner.
 	Completed(res *Result)
+	// ReadRepair is called when a request for a non-owned hash was
+	// served from the local replica cache, so the cluster layer can
+	// asynchronously verify the owner (and the rest of the replica set)
+	// still hold the result and refresh any copy that went missing.
+	// Implementations must not block the serving path.
+	ReadRepair(res *Result)
 }
 
 // Config configures a Service.
@@ -578,6 +584,13 @@ func (s *Service) run(ctx context.Context, spec JobSpec, routed bool) (res *Resu
 // holds one, without computing or routing anything.
 func (s *Service) Cached(hash string) (*Result, bool) { return s.cache.Get(hash) }
 
+// CachedHashes enumerates the content hash of every completed result
+// in the cache, in no particular order — the range-scan seam cluster
+// rebalancing and anti-entropy digests iterate over. The journal-backed
+// entries recovered at startup are included, so a restarted node
+// digests everything it ever committed.
+func (s *Service) CachedHashes() []string { return s.cache.Hashes() }
+
 // StoreResult installs a result computed elsewhere — a replication push
 // or a replayed hint from a peer — into the cache and journal, after
 // verifying the result's content hash matches its spec. Idempotent: a
@@ -618,7 +631,9 @@ func (s *Service) compute(ctx context.Context, spec JobSpec, hash string, onStar
 		if owner, local := s.remote.Route(hash); !local {
 			if res, ok := s.cache.Get(hash); ok {
 				// Replicated (or previously forwarded) copy — serve it
-				// without a network hop.
+				// without a network hop, and let the cluster verify the
+				// owner's copy in the background (read-repair).
+				s.remote.ReadRepair(res)
 				return res, true, nil
 			}
 			if onStart != nil {
@@ -627,7 +642,14 @@ func (s *Service) compute(ctx context.Context, spec JobSpec, hash string, onStar
 			}
 			res, err := s.forward(ctx, owner, spec, hash)
 			if err == nil {
-				s.cache.Seed(hash, res)
+				if _, local := s.remote.Route(hash); local {
+					// Ownership moved to us while the forward was in
+					// flight (a rebalance): we are the owner now, so the
+					// copy must be durable, not just a cached replica.
+					s.cache.Store(res)
+				} else {
+					s.cache.Seed(hash, res)
+				}
 				return res, false, nil
 			}
 			if ctx.Err() != nil {
