@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify check soak soak-cluster soak-rebalance vet serve report clean bench fuzz
+.PHONY: build test race verify check soak soak-cluster soak-rebalance vet serve report clean bench bench-serve fuzz
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,8 @@ verify: build vet
 	$(GO) test ./...
 	$(GO) test -race ./internal/core/... ./internal/trace/... ./internal/sweep/... ./internal/faultinject/... ./internal/obs/... ./internal/cluster/...
 	$(GO) test -count=1 -run 'TestGoldenStats' ./internal/core
+	$(GO) test -count=1 ./scripts/benchdiff ./scripts/servediff
+	$(GO) test -count=1 -run 'TestMcbench' ./cmd/mcbench
 	$(MAKE) soak-rebalance
 
 # check is verify plus the perf gate: the core microbenchmarks compared
@@ -34,6 +36,17 @@ check: verify bench
 # a deliberate perf change: cp BENCH_core.json BENCH_baseline.json.
 bench:
 	$(GO) run ./scripts/benchdiff -out BENCH_core.json -baseline BENCH_baseline.json
+
+# bench-serve is the HTTP-path counterpart of bench: mcbench drives a
+# self-hosted mcserved with deterministic open-loop traffic (mixed
+# submits, polls, table2 calls, and NDJSON sweeps at a fixed seed),
+# writes client-observed RPS / p50/p90/p99 / shed rates per traffic mix
+# to BENCH_serve.json, and servediff fails on a >10% p99 or RPS
+# regression against the committed BENCH_serve_baseline.json. After a
+# deliberate service-perf change: cp BENCH_serve.json BENCH_serve_baseline.json.
+bench-serve:
+	$(GO) run ./cmd/mcbench -rate 120 -duration 30s -count 2 -concurrency 64 -seed 1 -instr 10000 -out BENCH_serve.json
+	$(GO) run ./scripts/servediff -cur BENCH_serve.json -baseline BENCH_serve_baseline.json
 
 # fuzz runs the simulator-core fuzzer for a short budget (seed corpus in
 # internal/core/testdata/fuzz is always exercised by plain `make test`).

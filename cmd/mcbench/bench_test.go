@@ -1,0 +1,185 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"multicluster/internal/benchfmt"
+	"multicluster/internal/obs"
+	"multicluster/internal/sweep"
+)
+
+func newBenchTarget(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc := sweep.NewService(sweep.Config{
+		Workers: 4,
+		Metrics: sweep.NewMetrics(obs.NewRegistry()),
+	})
+	ts := httptest.NewServer(sweep.NewServer(svc))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts
+}
+
+func smokeConfig(baseURL string) Config {
+	return Config{
+		BaseURL:      baseURL,
+		Rate:         60,
+		Duration:     1 * time.Second,
+		Concurrency:  16,
+		Seed:         7,
+		Mix:          DefaultMix(),
+		Instructions: 5000,
+		SpecSeeds:    2,
+		Timeout:      30 * time.Second,
+	}
+}
+
+// TestMcbenchSmoke drives a real in-process sweep server at a low fixed
+// rate and pins the harness's three contracts: the seeded plan is
+// deterministic, the BENCH_serve.json it writes parses back through the
+// shared schema, and the client-observed submit/shed counts equal the
+// server's own /metrics counters.
+func TestMcbenchSmoke(t *testing.T) {
+	ts := newBenchTarget(t)
+	cfg := smokeConfig(ts.URL)
+
+	// Same seed, same request sequence: the full arrival plan (timing,
+	// op kinds, argument draws) must be reproducible.
+	plan := buildPlan(cfg)
+	if len(plan) == 0 {
+		t.Fatal("empty plan")
+	}
+	if again := buildPlan(cfg); !reflect.DeepEqual(plan, again) {
+		t.Fatal("two plans from one seed differ")
+	}
+	other := cfg
+	other.Seed = 8
+	if reflect.DeepEqual(plan, buildPlan(other)) {
+		t.Fatal("different seeds produced identical plans")
+	}
+
+	runner := newRunner(cfg)
+	rep := runner.Run(context.Background())
+	if rep.Partial {
+		t.Fatal("uninterrupted run reported partial")
+	}
+	if rep.Overall.Requests != int64(len(plan)) {
+		t.Fatalf("issued %d requests, want the full plan of %d", rep.Overall.Requests, len(plan))
+	}
+	if rep.Overall.OK == 0 {
+		t.Fatal("no successful requests against a healthy server")
+	}
+	if rep.Overall.Errors > 0 {
+		t.Fatalf("%d errors against a healthy server", rep.Overall.Errors)
+	}
+
+	// The report round-trips through the committed-file schema.
+	sc, err := scrapeServer(cfg.BaseURL)
+	if err != nil {
+		t.Fatalf("scraping /metrics: %v", err)
+	}
+	rep.Server = sc
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := rep.File().Write(path); err != nil {
+		t.Fatal(err)
+	}
+	file, err := benchfmt.Read(path)
+	if err != nil {
+		t.Fatalf("re-reading the report: %v", err)
+	}
+	if file.Serve == nil || file.Serve.Partial {
+		t.Fatalf("serve metadata wrong: %+v", file.Serve)
+	}
+	if len(file.Benchmarks) != int(numOpKinds)+1 {
+		t.Fatalf("report has %d benchmark entries, want %d mixes + overall", len(file.Benchmarks), numOpKinds+1)
+	}
+	for _, b := range file.Benchmarks {
+		if !strings.HasPrefix(b.Name, "Serve/") {
+			t.Errorf("benchmark %q not namespaced under Serve/", b.Name)
+		}
+		if b.Requests > 0 && b.ErrorRate == 0 && b.P50Ms > b.P99Ms {
+			t.Errorf("%s: p50 %g > p99 %g", b.Name, b.P50Ms, b.P99Ms)
+		}
+	}
+
+	// Client and server agree about what the run did: every 202 the
+	// client counted is a submission the server counted, every 429 a shed.
+	sub := subStats(rep)
+	if sub == nil {
+		t.Fatal("no submit stats")
+	}
+	if sc.Submitted != sub.OK {
+		t.Errorf("server sweep_jobs_submitted_total = %d, client submit oks = %d", sc.Submitted, sub.OK)
+	}
+	if sc.Shed != sub.Shed {
+		t.Errorf("server sweep_jobs_shed_total = %d, client submit 429s = %d", sc.Shed, sub.Shed)
+	}
+}
+
+// TestMcbenchRunDeterministicAcrossServers repeats one seeded run against
+// two fresh servers: the issued request sequence (and so the per-mix
+// request counts) must be identical even though response timing differs.
+func TestMcbenchRunDeterministicAcrossServers(t *testing.T) {
+	var counts [2][]int64
+	for i := range counts {
+		ts := newBenchTarget(t)
+		cfg := smokeConfig(ts.URL)
+		cfg.Rate = 40
+		rep := newRunner(cfg).Run(context.Background())
+		for _, ks := range rep.Kinds {
+			counts[i] = append(counts[i], ks.Requests)
+		}
+	}
+	if !reflect.DeepEqual(counts[0], counts[1]) {
+		t.Fatalf("per-mix request counts differ across runs of one seed: %v vs %v", counts[0], counts[1])
+	}
+}
+
+// TestMcbenchInterruptFlushesPartialReport cancels the run context the
+// way main's SIGINT handler does and asserts the harness still produces
+// a parseable report covering the work done so far, marked partial.
+func TestMcbenchInterruptFlushesPartialReport(t *testing.T) {
+	ts := newBenchTarget(t)
+	cfg := smokeConfig(ts.URL)
+	cfg.Duration = 30 * time.Second // would run far past the cancel
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	rep := newRunner(cfg).Run(ctx)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("interrupted run took %s to come back", elapsed)
+	}
+	if !rep.Partial {
+		t.Fatal("interrupted run not marked partial")
+	}
+	if rep.Overall.Requests == 0 {
+		t.Fatal("partial report carries no requests")
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_partial.json")
+	if err := rep.File().Write(path); err != nil {
+		t.Fatal(err)
+	}
+	file, err := benchfmt.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if file.Serve == nil || !file.Serve.Partial {
+		t.Fatalf(`partial run's report lacks "partial": true: %+v`, file.Serve)
+	}
+	if file.Serve.DurationSec >= cfg.Duration.Seconds() {
+		t.Fatalf("partial run claims full duration %gs", file.Serve.DurationSec)
+	}
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"multicluster/internal/sweep"
+)
+
+// latHist is the client-side latency histogram: fixed log-spaced bucket
+// edges from 50µs to beyond two minutes (~26% relative resolution, the
+// HDR-histogram idea without the library), safe for concurrent Observe.
+// Percentiles come out of the same HistogramSnapshot.Quantile that reads
+// the server's scraped histograms, so client and server latency numbers
+// are extracted by one implementation and stay comparable.
+type latHist struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; the last is the +Inf bucket
+	count  atomic.Int64
+	sumUs  atomic.Int64 // sum in integer microseconds, cheap and precise enough
+}
+
+// latBounds spans 50µs..~150s multiplying by 1.05 per edge (~306
+// buckets): percentile estimates resolve to better than 5% before
+// interpolation tightens them further, so bucket quantization stays
+// well inside the regression gate's tolerance.
+func latBounds() []float64 {
+	var b []float64
+	for v := 50e-6; v < 150; v *= 1.05 {
+		b = append(b, v)
+	}
+	return b
+}
+
+func newLatHist() *latHist {
+	bounds := latBounds()
+	return &latHist{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one latency in seconds.
+func (h *latHist) Observe(sec float64) {
+	i := sort.SearchFloat64s(h.bounds, sec)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumUs.Add(int64(math.Round(sec * 1e6)))
+}
+
+// Snapshot reduces the histogram to the shared cumulative form.
+func (h *latHist) Snapshot() *sweep.HistogramSnapshot {
+	s := &sweep.HistogramSnapshot{
+		Bounds: h.bounds,
+		Cum:    make([]int64, len(h.bounds)),
+		Count:  h.count.Load(),
+		Sum:    float64(h.sumUs.Load()) / 1e6,
+	}
+	var cum int64
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		s.Cum[i] = cum
+	}
+	return s
+}
+
+// mergeSnapshots sums same-bounds snapshots into one.
+func mergeSnapshots(hs ...*sweep.HistogramSnapshot) *sweep.HistogramSnapshot {
+	m := &sweep.HistogramSnapshot{Bounds: hs[0].Bounds, Cum: make([]int64, len(hs[0].Bounds))}
+	for _, h := range hs {
+		m.Count += h.Count
+		m.Sum += h.Sum
+		for i, c := range h.Cum {
+			m.Cum[i] += c
+		}
+	}
+	return m
+}
+
+// p99Noise measures the run's own tail jitter the way benchdiff's
+// -count samples do for wall clock: the relative spread between the
+// p99s of the run's two halves. servediff widens its p99 gate by this,
+// so a loaded machine slackens the gate instead of failing it.
+func p99Noise(a, b *sweep.HistogramSnapshot) float64 {
+	if a.Count == 0 || b.Count == 0 {
+		return 0
+	}
+	pa, pb := a.Quantile(0.99), b.Quantile(0.99)
+	lo, hi := math.Min(pa, pb), math.Max(pa, pb)
+	if lo <= 0 {
+		return 0
+	}
+	return (hi - lo) / lo
+}

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"multicluster/internal/benchfmt"
+	"multicluster/internal/sweep"
+)
+
+// KindStats is the immutable per-class summary extracted after a run.
+type KindStats struct {
+	Kind     opKind
+	Requests int64
+	OK       int64
+	Shed     int64
+	Errors   int64
+	Canceled int64
+	Dropped  int64
+	Hist     *sweep.HistogramSnapshot
+	// Noise is the relative spread between the p99s of the run's two
+	// halves — the measurement's own jitter, which widens the gate.
+	Noise float64
+}
+
+// Report is the outcome of one load run, the source of both the human
+// summary and BENCH_serve.json.
+type Report struct {
+	Config  Config
+	Elapsed time.Duration
+	Partial bool
+	Kinds   []KindStats
+	Overall KindStats
+	Server  *benchfmt.ServerCounters
+}
+
+// report snapshots the runner's accumulators.
+func (r *Runner) report(elapsed time.Duration, partial bool) *Report {
+	rep := &Report{Config: r.cfg, Elapsed: elapsed, Partial: partial}
+	o0, o1 := r.overall[0].Snapshot(), r.overall[1].Snapshot()
+	rep.Overall = KindStats{Kind: -1, Hist: mergeSnapshots(o0, o1), Noise: p99Noise(o0, o1)}
+	for k := opKind(0); k < numOpKinds; k++ {
+		st := r.stats[k]
+		h0, h1 := st.hists[0].Snapshot(), st.hists[1].Snapshot()
+		ks := KindStats{
+			Kind:     k,
+			Requests: st.requests,
+			OK:       st.ok.Load(),
+			Shed:     st.shed.Load(),
+			Errors:   st.errors.Load(),
+			Canceled: st.canceled.Load(),
+			Dropped:  st.dropped,
+			Hist:     mergeSnapshots(h0, h1),
+			Noise:    p99Noise(h0, h1),
+		}
+		rep.Kinds = append(rep.Kinds, ks)
+		rep.Overall.Requests += ks.Requests
+		rep.Overall.OK += ks.OK
+		rep.Overall.Shed += ks.Shed
+		rep.Overall.Errors += ks.Errors
+		rep.Overall.Canceled += ks.Canceled
+		rep.Overall.Dropped += ks.Dropped
+	}
+	return rep
+}
+
+// result maps one KindStats onto the shared benchmark schema. RPS is
+// completed-ok responses per elapsed second; rates are fractions of
+// issued requests (canceled arrivals excluded — they are an artifact of
+// interruption, not of the server).
+func (ks KindStats) result(name string, elapsed time.Duration) benchfmt.Result {
+	res := benchfmt.Result{Name: name, Requests: ks.Requests}
+	if sec := elapsed.Seconds(); sec > 0 {
+		res.RPS = float64(ks.OK) / sec
+	}
+	if issued := float64(ks.Requests - ks.Canceled); issued > 0 {
+		res.ShedRate = float64(ks.Shed) / issued
+		res.ErrorRate = float64(ks.Errors) / issued
+		res.DropRate = float64(ks.Dropped) / issued
+	}
+	res.P50Ms = ks.Hist.Quantile(0.50) * 1000
+	res.P90Ms = ks.Hist.Quantile(0.90) * 1000
+	res.P99Ms = ks.Hist.Quantile(0.99) * 1000
+	res.Noise = ks.Noise
+	return res
+}
+
+// File renders the report in the schema scripts/benchdiff and
+// scripts/servediff understand: one benchmark entry per traffic class
+// plus the overall aggregate.
+func (rep *Report) File() benchfmt.File {
+	f := benchfmt.File{
+		Command: fmt.Sprintf("mcbench -rate %g -concurrency %d -duration %s -seed %d -instr %d",
+			rep.Config.Rate, rep.Config.Concurrency, rep.Config.Duration, rep.Config.Seed, rep.Config.Instructions),
+		Serve: &benchfmt.ServeMeta{
+			Target:      rep.Config.BaseURL,
+			Seed:        rep.Config.Seed,
+			RatePerSec:  rep.Config.Rate,
+			Concurrency: rep.Config.Concurrency,
+			DurationSec: rep.Elapsed.Seconds(),
+			Partial:     rep.Partial,
+			Server:      rep.Server,
+		},
+	}
+	f.Benchmarks = append(f.Benchmarks, rep.Overall.result("Serve/overall", rep.Elapsed))
+	for _, ks := range rep.Kinds {
+		f.Benchmarks = append(f.Benchmarks, ks.result("Serve/"+ks.Kind.String(), rep.Elapsed))
+	}
+	return f
+}
+
+// scrapeServer reads the server's own counters from GET /metrics so the
+// report carries both sides of the run. A server without a metrics
+// endpoint (404) is not an error — the report just omits the section.
+func scrapeServer(baseURL string) (*benchfmt.ServerCounters, error) {
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	m, err := sweep.ParseMetricsText(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	sc := &benchfmt.ServerCounters{}
+	if v, ok := m.Value("sweep_jobs_submitted_total"); ok {
+		sc.Submitted = int64(v)
+	}
+	if v, ok := m.Value("sweep_jobs_shed_total"); ok {
+		sc.Shed = int64(v)
+	}
+	if h, ok := m.Histogram("sweep_job_total_seconds"); ok {
+		sc.JobTotalP99Ms = h.Quantile(0.99) * 1000
+	}
+	return sc, nil
+}
+
+// print renders the human summary table.
+func (rep *Report) print(w io.Writer) {
+	state := "complete"
+	if rep.Partial {
+		state = "PARTIAL (interrupted)"
+	}
+	fmt.Fprintf(w, "mcbench: %s  target=%s  rate=%g/s  conc=%d  seed=%d  elapsed=%.2fs\n",
+		state, rep.Config.BaseURL, rep.Config.Rate, rep.Config.Concurrency, rep.Config.Seed, rep.Elapsed.Seconds())
+	fmt.Fprintf(w, "  %-16s %8s %8s %9s %9s %9s %7s %7s %7s\n",
+		"mix", "reqs", "rps", "p50ms", "p90ms", "p99ms", "shed%", "err%", "drop%")
+	row := func(name string, ks KindStats) {
+		res := ks.result(name, rep.Elapsed)
+		fmt.Fprintf(w, "  %-16s %8d %8.1f %9.2f %9.2f %9.2f %6.1f%% %6.1f%% %6.1f%%\n",
+			name, res.Requests, res.RPS, res.P50Ms, res.P90Ms, res.P99Ms,
+			100*res.ShedRate, 100*res.ErrorRate, 100*res.DropRate)
+	}
+	row("overall", rep.Overall)
+	for _, ks := range rep.Kinds {
+		row(ks.Kind.String(), ks)
+	}
+	if rep.Server != nil {
+		fmt.Fprintf(w, "  server: submitted=%d shed=%d job_total_p99=%.2fms\n",
+			rep.Server.Submitted, rep.Server.Shed, rep.Server.JobTotalP99Ms)
+		if sub := subStats(rep); sub != nil && (rep.Server.Submitted != sub.OK || rep.Server.Shed != sub.Shed) {
+			// Only meaningful against a server this run had to itself; a
+			// shared target legitimately counts other clients' traffic.
+			fmt.Fprintf(w, "  note: server counters differ from client view (submit ok=%d shed=%d) — shared server?\n",
+				sub.OK, sub.Shed)
+		}
+	}
+}
+
+func subStats(rep *Report) *KindStats {
+	for i := range rep.Kinds {
+		if rep.Kinds[i].Kind == opSubmit {
+			return &rep.Kinds[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+// Package benchfmt defines the JSON schema shared by the repo's committed
+// benchmark artifacts — BENCH_core.json / BENCH_baseline.json (simulator
+// microbenchmarks, written by scripts/benchdiff) and BENCH_serve.json /
+// BENCH_serve_baseline.json (HTTP service load runs, written by
+// cmd/mcbench and gated by scripts/servediff). One schema means one set
+// of tooling can read every trajectory file: a File is a command line
+// plus a flat list of named Results, where core results populate the
+// per-instruction fields and serve results populate the throughput and
+// latency-percentile fields.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Result is one benchmark's measurement. Core microbenchmarks fill the
+// ns/allocs-per-op family (NsPerInstr etc. derived from the instrs/op
+// metric); service load runs fill the RPS/percentile/shed family. Both
+// kinds share Name, which is the comparison key across files.
+type Result struct {
+	Name string `json:"name"`
+
+	// Core microbenchmark fields (BENCH_core.json).
+	NsPerOp        float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp     float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp    float64 `json:"allocs_per_op,omitempty"`
+	InstrsPerOp    float64 `json:"instrs_per_op,omitempty"`
+	NsPerInstr     float64 `json:"ns_per_instr,omitempty"`
+	AllocsPerInstr float64 `json:"allocs_per_instr,omitempty"`
+	MIPS           float64 `json:"mips,omitempty"`
+	// Noise is the run's own (max-min)/min spread of ns/op across the
+	// -count samples: a live measurement of machine-load jitter that
+	// widens the ns/instr gate.
+	Noise float64 `json:"noise,omitempty"`
+
+	// Service load fields (BENCH_serve.json), one Result per traffic mix
+	// plus an overall aggregate. Rates are fractions of issued requests.
+	Requests  int64   `json:"requests,omitempty"`
+	RPS       float64 `json:"rps,omitempty"`
+	P50Ms     float64 `json:"p50_ms,omitempty"`
+	P90Ms     float64 `json:"p90_ms,omitempty"`
+	P99Ms     float64 `json:"p99_ms,omitempty"`
+	ShedRate  float64 `json:"shed_rate,omitempty"`
+	ErrorRate float64 `json:"error_rate,omitempty"`
+	// DropRate counts arrivals the open-loop client had to drop because
+	// every in-flight slot was busy — client-side saturation, distinct
+	// from the server shedding with 429.
+	DropRate float64 `json:"drop_rate,omitempty"`
+}
+
+// ServerCounters is the server's own view of a load run, scraped from
+// GET /metrics after the client finished. The smoke tests assert these
+// equal the client-side counts, so the two sides can never silently
+// disagree about what the run did.
+type ServerCounters struct {
+	Submitted int64 `json:"submitted"`
+	Shed      int64 `json:"shed"`
+	// JobTotalP99Ms is the p99 of sweep_job_total_seconds — the server's
+	// submission-to-terminal job latency, for eyeballing against the
+	// client-observed percentiles.
+	JobTotalP99Ms float64 `json:"job_total_p99_ms,omitempty"`
+}
+
+// ServeMeta records how a load run was configured, so a trajectory file
+// is self-describing and a gate can refuse to compare incomparable runs.
+type ServeMeta struct {
+	Target      string  `json:"target"`
+	Seed        int64   `json:"seed"`
+	RatePerSec  float64 `json:"rate_per_sec"`
+	Concurrency int     `json:"concurrency"`
+	DurationSec float64 `json:"duration_sec"`
+	// Partial marks a run interrupted before its configured duration
+	// (SIGINT); the numbers are real but cover a shorter window, so
+	// servediff refuses to gate against them unless told otherwise.
+	Partial bool            `json:"partial,omitempty"`
+	Server  *ServerCounters `json:"server,omitempty"`
+}
+
+// File is the schema of every BENCH_*.json artifact.
+type File struct {
+	Command    string     `json:"command"`
+	Serve      *ServeMeta `json:"serve,omitempty"`
+	Benchmarks []Result   `json:"benchmarks"`
+}
+
+// Read parses a benchmark artifact from path. A missing file surfaces as
+// an os.IsNotExist error so callers can treat "no baseline yet" as skip.
+func Read(path string) (File, error) {
+	var f File
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return f, fmt.Errorf("benchfmt: parsing %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Write renders the file as indented JSON with a trailing newline.
+func (f File) Write(path string) error {
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchfmt: encoding %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

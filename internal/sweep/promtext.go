@@ -1,0 +1,289 @@
+package sweep
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"multicluster/internal/obs"
+)
+
+// This file is the read side of the metrics surface: a small parser for
+// the Prometheus text exposition format that GET /metrics serves (and
+// internal/obs renders), so the load-bench client (cmd/mcbench) and the
+// tests can compare client-observed numbers against the server's own
+// counters and histograms without pulling in a metrics client library.
+
+// ScrapedMetrics is one parsed exposition: scalar samples (counters,
+// gauges) addressable by name and labels, and reassembled histograms.
+type ScrapedMetrics struct {
+	scalars map[string]float64
+	hists   map[string]*HistogramSnapshot
+}
+
+// HistogramSnapshot is a point-in-time cumulative histogram: the finite
+// upper bucket edges in ascending order, the cumulative count at each
+// edge, and the total count including the implicit +Inf bucket. It is
+// the common shape that both the server's scraped histograms and
+// mcbench's client-side latency histograms reduce to, so one Quantile
+// implementation serves both sides of the comparison.
+type HistogramSnapshot struct {
+	Bounds []float64 // finite upper edges, ascending
+	Cum    []int64   // cumulative observation count at each edge
+	Count  int64     // total observations, +Inf bucket included
+	Sum    float64
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by locating the bucket
+// holding the rank-ceil(q·Count) observation and interpolating linearly
+// inside it, exactly as Prometheus's histogram_quantile does. The
+// estimate therefore never leaves the bucket that holds the true value:
+// it is within one bucket width of any sample-exact percentile. Ranks
+// landing in the +Inf bucket return the last finite edge; an empty
+// histogram returns 0.
+func (h *HistogramSnapshot) Quantile(q float64) float64 {
+	if h == nil || h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.Count {
+		rank = h.Count
+	}
+	var prevCum int64
+	for i, edge := range h.Bounds {
+		cum := h.Cum[i]
+		if rank <= cum {
+			lower := 0.0
+			if i > 0 {
+				lower = h.Bounds[i-1]
+			}
+			return lower + (edge-lower)*float64(rank-prevCum)/float64(cum-prevCum)
+		}
+		prevCum = cum
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// ParseMetricsText parses a Prometheus text exposition (format 0.0.4).
+// Comment and blank lines are skipped; histogram families are recognized
+// by their _bucket/_sum/_count series and reassembled into
+// HistogramSnapshots keyed by the base family name.
+func ParseMetricsText(r io.Reader) (*ScrapedMetrics, error) {
+	m := &ScrapedMetrics{
+		scalars: make(map[string]float64),
+		hists:   make(map[string]*HistogramSnapshot),
+	}
+	type edge struct {
+		le  float64
+		cum int64
+	}
+	buckets := make(map[string][]edge)
+	sums := make(map[string]float64)
+	counts := make(map[string]int64)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, err
+		}
+		if base, ok := strings.CutSuffix(name, "_bucket"); ok {
+			if le, found := takeLabel(labels, "le"); found {
+				key := scrapeKey(base, labels)
+				bound := math.Inf(1)
+				if le != "+Inf" {
+					if bound, err = strconv.ParseFloat(le, 64); err != nil {
+						return nil, fmt.Errorf("sweep: bad le %q in %q", le, line)
+					}
+				}
+				buckets[key] = append(buckets[key], edge{bound, int64(value)})
+				continue
+			}
+		}
+		key := scrapeKey(name, labels)
+		m.scalars[key] = value
+		if base, ok := strings.CutSuffix(name, "_sum"); ok {
+			sums[scrapeKey(base, labels)] = value
+		}
+		if base, ok := strings.CutSuffix(name, "_count"); ok {
+			counts[scrapeKey(base, labels)] = int64(value)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	for key, edges := range buckets {
+		sort.Slice(edges, func(i, j int) bool { return edges[i].le < edges[j].le })
+		h := &HistogramSnapshot{Sum: sums[key], Count: counts[key]}
+		for _, e := range edges {
+			if math.IsInf(e.le, 1) {
+				if h.Count == 0 {
+					h.Count = e.cum
+				}
+				continue
+			}
+			h.Bounds = append(h.Bounds, e.le)
+			h.Cum = append(h.Cum, e.cum)
+		}
+		m.hists[key] = h
+	}
+	return m, nil
+}
+
+// Value returns the scalar sample (counter or gauge) registered under
+// name with exactly the given labels.
+func (m *ScrapedMetrics) Value(name string, labels ...obs.Label) (float64, bool) {
+	v, ok := m.scalars[scrapeKey(name, labelMap(labels))]
+	return v, ok
+}
+
+// Histogram returns the reassembled histogram family under name with
+// exactly the given labels.
+func (m *ScrapedMetrics) Histogram(name string, labels ...obs.Label) (*HistogramSnapshot, bool) {
+	h, ok := m.hists[scrapeKey(name, labelMap(labels))]
+	return h, ok
+}
+
+func labelMap(labels []obs.Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	lm := make(map[string]string, len(labels))
+	for _, l := range labels {
+		lm[l.Name] = l.Value
+	}
+	return lm
+}
+
+// scrapeKey canonicalizes (name, labels) into one map key: the name plus
+// the label pairs sorted by label name.
+func scrapeKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	names := make([]string, 0, len(labels))
+	for n := range labels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	sb.WriteString(name)
+	for _, n := range names {
+		sb.WriteByte('{')
+		sb.WriteString(n)
+		sb.WriteByte('=')
+		sb.WriteString(labels[n])
+		sb.WriteByte('}')
+	}
+	return sb.String()
+}
+
+// takeLabel removes name from labels, returning its value.
+func takeLabel(labels map[string]string, name string) (string, bool) {
+	v, ok := labels[name]
+	if ok {
+		delete(labels, name)
+	}
+	return v, ok
+}
+
+// parseSample splits one exposition line into its metric name, label
+// map, and value. Label values are unescaped (\\, \", \n).
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		end := strings.LastIndexByte(line, '}')
+		if end < i {
+			return "", nil, 0, fmt.Errorf("sweep: unterminated labels in %q", line)
+		}
+		if labels, err = parseLabels(line[i+1 : end]); err != nil {
+			return "", nil, 0, fmt.Errorf("sweep: %v in %q", err, line)
+		}
+		rest = line[end+1:]
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return "", nil, 0, fmt.Errorf("sweep: malformed sample %q", line)
+		}
+		name = fields[0]
+		rest = fields[1]
+	}
+	valueStr := strings.Fields(strings.TrimSpace(rest))
+	if len(valueStr) == 0 {
+		return "", nil, 0, fmt.Errorf("sweep: missing value in %q", line)
+	}
+	value, err = parsePromValue(valueStr[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sweep: bad value in %q: %v", line, err)
+	}
+	return name, labels, value, nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses `k="v",k2="v2"` with Prometheus escaping.
+func parseLabels(s string) (map[string]string, error) {
+	labels := make(map[string]string)
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value after %q", name)
+		}
+		s = s[1:]
+		var sb strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					sb.WriteByte('\n')
+				default:
+					sb.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				closed = true
+				s = s[i+1:]
+				break
+			}
+			sb.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value for %q", name)
+		}
+		labels[name] = sb.String()
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return labels, nil
+}

@@ -1,0 +1,139 @@
+package sweep
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"multicluster/internal/obs"
+)
+
+// TestScrapeReproducesHistogramPercentiles is the client/server
+// consistency proof behind mcbench: latencies observed by the service's
+// own sweep.Metrics histograms, exported through the Prometheus text
+// format and re-parsed by ParseMetricsText, must yield the same
+// percentiles (within one bucket width — the information a fixed-bucket
+// histogram is allowed to lose) that the raw samples had.
+func TestScrapeReproducesHistogramPercentiles(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+
+	// Known latencies spanning the default duration buckets, seeded so
+	// the test is reproducible: log-uniform over [1ms, 20s].
+	rng := rand.New(rand.NewSource(7))
+	lats := make([]float64, 0, 600)
+	for i := 0; i < 600; i++ {
+		lats = append(lats, math.Pow(10, -3+4.3*rng.Float64()))
+	}
+	for _, v := range lats {
+		m.totalTime.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	scr, err := ParseMetricsText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := scr.Histogram("sweep_job_total_seconds")
+	if !ok {
+		t.Fatal("sweep_job_total_seconds histogram missing from scrape")
+	}
+	if h.Count != int64(len(lats)) {
+		t.Fatalf("scraped count = %d, want %d", h.Count, len(lats))
+	}
+	var sum float64
+	for _, v := range lats {
+		sum += v
+	}
+	if math.Abs(h.Sum-sum) > 1e-6*sum {
+		t.Fatalf("scraped sum = %g, want %g", h.Sum, sum)
+	}
+
+	sorted := append([]float64(nil), lats...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0.50, 0.90, 0.99} {
+		got := h.Quantile(q)
+		want := sorted[int(math.Ceil(q*float64(len(sorted))))-1]
+		// The estimate may not leave the bucket holding the true value,
+		// so it is off by strictly less than that bucket's width.
+		i := sort.SearchFloat64s(h.Bounds, want)
+		if i >= len(h.Bounds) {
+			t.Fatalf("q%.2f sample %g beyond the last bucket bound", q, want)
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.Bounds[i-1]
+		}
+		width := h.Bounds[i] - lower
+		if diff := math.Abs(got - want); diff > width {
+			t.Errorf("q%.2f = %g, true percentile %g: off by %g, more than one bucket width %g",
+				q, got, want, diff, width)
+		}
+	}
+}
+
+// TestScrapeScalarAndLabeledSeries pins the scalar and labeled lookups
+// mcbench relies on for the client/server counter cross-check.
+func TestScrapeScalarAndLabeledSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("jobs_total", "help text").Add(41)
+	reg.Counter("jobs_by_state_total", "by state", obs.L("state", "done")).Add(7)
+	reg.Counter("jobs_by_state_total", "by state", obs.L("state", "failed")).Add(2)
+	reg.Gauge("pool_live", "live").Set(3.5)
+	reg.Histogram("lat_seconds", "latency", []float64{0.1, 1}, obs.L("cluster", "0")).Observe(0.05)
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	scr, err := ParseMetricsText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := scr.Value("jobs_total"); !ok || v != 41 {
+		t.Errorf("jobs_total = %g,%v want 41", v, ok)
+	}
+	if v, ok := scr.Value("jobs_by_state_total", obs.L("state", "done")); !ok || v != 7 {
+		t.Errorf(`jobs_by_state_total{state="done"} = %g,%v want 7`, v, ok)
+	}
+	if v, ok := scr.Value("jobs_by_state_total", obs.L("state", "failed")); !ok || v != 2 {
+		t.Errorf(`jobs_by_state_total{state="failed"} = %g,%v want 2`, v, ok)
+	}
+	if v, ok := scr.Value("pool_live"); !ok || v != 3.5 {
+		t.Errorf("pool_live = %g,%v want 3.5", v, ok)
+	}
+	if _, ok := scr.Value("jobs_by_state_total"); ok {
+		t.Error("unlabeled lookup matched a labeled series")
+	}
+	h, ok := scr.Histogram("lat_seconds", obs.L("cluster", "0"))
+	if !ok || h.Count != 1 || len(h.Bounds) != 2 || h.Cum[0] != 1 {
+		t.Errorf("labeled histogram scrape = %+v, ok=%v", h, ok)
+	}
+}
+
+// TestHistogramSnapshotQuantileEdges pins Quantile's corner cases.
+func TestHistogramSnapshotQuantileEdges(t *testing.T) {
+	if q := (&HistogramSnapshot{}).Quantile(0.99); q != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", q)
+	}
+	var nilH *HistogramSnapshot
+	if q := nilH.Quantile(0.5); q != 0 {
+		t.Errorf("nil histogram quantile = %g, want 0", q)
+	}
+	// All mass in the +Inf bucket: report the last finite edge rather
+	// than inventing a number.
+	h := &HistogramSnapshot{Bounds: []float64{1, 2}, Cum: []int64{0, 0}, Count: 5}
+	if q := h.Quantile(0.5); q != 2 {
+		t.Errorf("+Inf-bucket quantile = %g, want last finite edge 2", q)
+	}
+	// Uniform single bucket interpolates linearly from the lower edge.
+	h = &HistogramSnapshot{Bounds: []float64{1, 2}, Cum: []int64{0, 10}, Count: 10}
+	if q := h.Quantile(0.5); q != 1.5 {
+		t.Errorf("mid-bucket quantile = %g, want 1.5", q)
+	}
+}

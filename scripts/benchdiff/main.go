@@ -28,38 +28,23 @@ package main
 import (
 	"bufio"
 	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
 	"strconv"
 	"strings"
+
+	"multicluster/internal/benchfmt"
 )
 
-// Result is one benchmark's measurement. NsPerInstr/AllocsPerInstr/MIPS are
-// derived from the instrs/op metric the benchmarks report, making runs with
-// different iteration counts directly comparable.
-type Result struct {
-	Name          string  `json:"name"`
-	NsPerOp       float64 `json:"ns_per_op"`
-	BytesPerOp    float64 `json:"bytes_per_op"`
-	AllocsPerOp   float64 `json:"allocs_per_op"`
-	InstrsPerOp   float64 `json:"instrs_per_op,omitempty"`
-	NsPerInstr    float64 `json:"ns_per_instr,omitempty"`
-	AllocsPerInstr float64 `json:"allocs_per_instr,omitempty"`
-	MIPS          float64 `json:"mips,omitempty"`
-	// Noise is the run's own (max-min)/min spread of ns/op across the
-	// -count samples: a live measurement of machine-load jitter that
-	// widens the ns/instr gate.
-	Noise float64 `json:"noise,omitempty"`
-}
-
-// File is the schema of BENCH_core.json / BENCH_baseline.json.
-type File struct {
-	Command    string   `json:"command"`
-	Benchmarks []Result `json:"benchmarks"`
-}
+// Result and File are the shared benchmark-artifact schema
+// (internal/benchfmt): benchdiff fills the per-instruction core fields,
+// cmd/mcbench + scripts/servediff fill the service-side fields.
+type (
+	Result = benchfmt.Result
+	File   = benchfmt.File
+)
 
 func main() {
 	var (
@@ -93,19 +78,13 @@ func main() {
 	}
 
 	f := File{Command: "go " + strings.Join(args, " "), Benchmarks: results}
-	buf, err := json.MarshalIndent(f, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-		os.Exit(1)
-	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	if err := f.Write(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(results))
 
-	base, err := readFile(*baseline)
+	base, err := benchfmt.Read(*baseline)
 	if err != nil {
 		if os.IsNotExist(err) {
 			fmt.Printf("no baseline at %s; comparison skipped\n", *baseline)
@@ -184,15 +163,6 @@ func trimCPUSuffix(name string) string {
 		}
 	}
 	return name
-}
-
-func readFile(path string) (File, error) {
-	var f File
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return f, err
-	}
-	return f, json.Unmarshal(raw, &f)
 }
 
 // compare prints the trajectory against the baseline and reports whether

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"multicluster/internal/benchfmt"
+)
+
+// sample output of `go test -bench -benchmem -count 2`: two samples per
+// benchmark (the second of Processor/single8 faster, so it must win),
+// custom instrs/op metric, -8 GOMAXPROCS suffixes, and interleaved
+// non-benchmark lines.
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: multicluster/internal/core
+BenchmarkProcessor/single8-8   	     100	    350000 ns/op	     960 B/op	       3 allocs/op	 1000 instrs/op
+BenchmarkProcessor/dual2x2-8   	      50	    900000 ns/op	    1920 B/op	       6 allocs/op	 1000 instrs/op
+BenchmarkProcessor/single8-8   	     100	    300000 ns/op	     960 B/op	       3 allocs/op	 1000 instrs/op
+BenchmarkProcessor/dual2x2-8   	      50	    990000 ns/op	    1920 B/op	       6 allocs/op	 1000 instrs/op
+PASS
+ok  	multicluster/internal/core	4.2s
+`
+
+func TestParseBenchKeepsFastestSampleAndDerivesPerInstr(t *testing.T) {
+	results, err := parseBench([]byte(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2 (one per name): %+v", len(results), results)
+	}
+	single := results[0]
+	if single.Name != "BenchmarkProcessor/single8" {
+		t.Fatalf("first result %q, want the CPU suffix trimmed single8 entry", single.Name)
+	}
+	if single.NsPerOp != 300000 {
+		t.Errorf("single8 ns/op = %g, want the fastest sample 300000", single.NsPerOp)
+	}
+	if single.NsPerInstr != 300 {
+		t.Errorf("single8 ns/instr = %g, want 300000/1000 = 300", single.NsPerInstr)
+	}
+	if single.AllocsPerInstr != 0.003 {
+		t.Errorf("single8 allocs/instr = %g, want 3/1000", single.AllocsPerInstr)
+	}
+	// Noise is the (max-min)/min spread of the kept (fastest) sample:
+	// single8 saw 350000 and 300000 -> 50000/300000.
+	if want := 50000.0 / 300000.0; single.Noise < want-1e-9 || single.Noise > want+1e-9 {
+		t.Errorf("single8 noise = %g, want %g", single.Noise, want)
+	}
+	dual := results[1]
+	if dual.NsPerOp != 900000 {
+		t.Errorf("dual2x2 ns/op = %g, want first (fastest) sample 900000", dual.NsPerOp)
+	}
+}
+
+func TestParseBenchRejectsMalformedValue(t *testing.T) {
+	if _, err := parseBench([]byte("BenchmarkX-8 100 notanumber ns/op\n")); err == nil {
+		t.Fatal("malformed benchmark line parsed without error")
+	}
+}
+
+// res builds a minimal core result for compare tests.
+func res(name string, nsPerInstr, allocsPerInstr, noise float64) Result {
+	return Result{Name: name, NsPerInstr: nsPerInstr, AllocsPerInstr: allocsPerInstr, Noise: noise}
+}
+
+func TestCompare(t *testing.T) {
+	const tol = 0.10
+	cases := []struct {
+		name string
+		base []Result
+		cur  []Result
+		want bool
+	}{
+		{
+			name: "within tolerance",
+			base: []Result{res("A", 100, 1, 0)},
+			cur:  []Result{res("A", 109, 1.05, 0)},
+			want: true,
+		},
+		{
+			name: "improvement",
+			base: []Result{res("A", 100, 1, 0)},
+			cur:  []Result{res("A", 50, 0.2, 0)},
+			want: true,
+		},
+		{
+			name: "ns regression over gate",
+			base: []Result{res("A", 100, 1, 0)},
+			cur:  []Result{res("A", 120, 1, 0)},
+			want: false,
+		},
+		{
+			name: "noise band widens the wall-clock gate",
+			base: []Result{res("A", 100, 1, 0)},
+			// +18% would fail at bare tolerance, but the run itself was
+			// ±10% noisy, so the gate is 10%+10%.
+			cur:  []Result{res("A", 118, 1, 0.10)},
+			want: true,
+		},
+		{
+			name: "noise band does not excuse alloc regressions",
+			base: []Result{res("A", 100, 1, 0)},
+			cur:  []Result{res("A", 100, 1.2, 0.50)},
+			want: false,
+		},
+		{
+			name: "new benchmark has no baseline and cannot fail",
+			base: []Result{res("A", 100, 1, 0)},
+			cur:  []Result{res("A", 100, 1, 0), res("B", 9999, 99, 0)},
+			want: true,
+		},
+		{
+			name: "removed benchmark cannot fail",
+			base: []Result{res("A", 100, 1, 0), res("B", 100, 1, 0)},
+			cur:  []Result{res("A", 100, 1, 0)},
+			want: true,
+		},
+		{
+			name: "baseline without ns_per_instr is skipped",
+			base: []Result{{Name: "A"}},
+			cur:  []Result{res("A", 9999, 99, 0)},
+			want: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := compare(File{Benchmarks: tc.base}, File{Benchmarks: tc.cur}, tol)
+			if got != tc.want {
+				t.Errorf("compare = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMissingBaselineIsDistinguishable(t *testing.T) {
+	_, err := benchfmt.Read(filepath.Join(t.TempDir(), "nope.json"))
+	if !os.IsNotExist(err) {
+		t.Fatalf("missing baseline read error = %v, want os.IsNotExist", err)
+	}
+}
+
+func TestRoundTripThroughSharedSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	f := File{Command: "go test -bench .", Benchmarks: []Result{res("A", 123, 0.5, 0.02)}}
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := benchfmt.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Command != f.Command || len(got.Benchmarks) != 1 || got.Benchmarks[0] != f.Benchmarks[0] {
+		t.Fatalf("round trip mismatch: wrote %+v, read %+v", f, got)
+	}
+}

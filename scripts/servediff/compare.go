@@ -1,0 +1,75 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"multicluster/internal/benchfmt"
+)
+
+// compare prints the serve trajectory against the baseline and reports
+// whether every traffic mix stayed within the gates. Only entries
+// carrying serve-side numbers participate; mixes present on one side
+// only are reported but never fail the run.
+//
+// The p99 gate is tolerance plus the larger of the two runs' Noise —
+// the relative spread between the p99s of each run's two halves,
+// mcbench's live measurement of machine jitter. Taking the max is what
+// makes the gate symmetric: a baseline captured on a lucky quiet run
+// still remembers how jittery its own halves were, so an honest later
+// run isn't failed for jitter the baseline also exhibited (the same
+// policy benchdiff applies to wall-clock with its sample spread). A
+// failing p99 must also exceed the baseline by p99SlackMs absolutely:
+// tails at single-digit milliseconds move by scheduler quanta, and a
+// 3ms wobble is noise whether it is 5% or 50% of the baseline.
+// Throughput is arrival-driven and stable, so RPS is gated at the bare
+// tolerance.
+func compare(w io.Writer, base, cur benchfmt.File, tolerance, shedSlack, p99SlackMs float64) bool {
+	byName := map[string]benchfmt.Result{}
+	for _, r := range base.Benchmarks {
+		if r.Requests > 0 {
+			byName[r.Name] = r
+		}
+	}
+	ok := true
+	for _, r := range cur.Benchmarks {
+		if r.Requests == 0 {
+			continue
+		}
+		b, found := byName[r.Name]
+		delete(byName, r.Name)
+		if !found {
+			fmt.Fprintf(w, "  %-16s %8.1f rps  p99 %8.2f ms  shed %4.1f%%  (no baseline)\n",
+				r.Name, r.RPS, r.P99Ms, 100*r.ShedRate)
+			continue
+		}
+		status := "ok"
+		if b.P99Ms > 0 {
+			noise := r.Noise
+			if b.Noise > noise {
+				noise = b.Noise
+			}
+			delta := (r.P99Ms - b.P99Ms) / b.P99Ms
+			if delta > tolerance+noise && r.P99Ms-b.P99Ms > p99SlackMs {
+				status = "P99 REGRESSION"
+				ok = false
+			}
+		}
+		if b.RPS > 0 {
+			if drop := (b.RPS - r.RPS) / b.RPS; drop > tolerance {
+				status = "RPS REGRESSION"
+				ok = false
+			}
+		}
+		if r.ShedRate > b.ShedRate+shedSlack {
+			status = "SHED REGRESSION"
+			ok = false
+		}
+		fmt.Fprintf(w, "  %-16s %8.1f -> %8.1f rps  p99 %8.2f -> %8.2f ms (spread %.0f%%)  shed %4.1f%% -> %4.1f%%  %s\n",
+			r.Name, b.RPS, r.RPS, b.P99Ms, r.P99Ms, 100*r.Noise, 100*b.ShedRate, 100*r.ShedRate, status)
+	}
+	for name := range byName {
+		fmt.Fprintf(w, "  %-16s (removed; present only in baseline)\n", name)
+	}
+	return ok
+}

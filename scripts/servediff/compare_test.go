@@ -1,0 +1,146 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"multicluster/internal/benchfmt"
+)
+
+func serveRes(name string, rps, p99, shed float64) benchfmt.Result {
+	return benchfmt.Result{Name: name, Requests: 1000, RPS: rps, P99Ms: p99, ShedRate: shed}
+}
+
+func TestServeCompare(t *testing.T) {
+	const tol, slack, p99Slack = 0.10, 0.05, 5.0
+	cases := []struct {
+		name string
+		base []benchfmt.Result
+		cur  []benchfmt.Result
+		want bool
+	}{
+		{
+			name: "within tolerance",
+			base: []benchfmt.Result{serveRes("Serve/overall", 300, 50, 0)},
+			cur:  []benchfmt.Result{serveRes("Serve/overall", 280, 54, 0.01)},
+			want: true,
+		},
+		{
+			name: "improvement",
+			base: []benchfmt.Result{serveRes("Serve/overall", 300, 50, 0.10)},
+			cur:  []benchfmt.Result{serveRes("Serve/overall", 400, 20, 0)},
+			want: true,
+		},
+		{
+			name: "p99 regression over gate",
+			base: []benchfmt.Result{serveRes("Serve/overall", 300, 50, 0)},
+			cur:  []benchfmt.Result{serveRes("Serve/overall", 300, 60, 0)},
+			want: false,
+		},
+		{
+			name: "noise band widens the p99 gate",
+			base: []benchfmt.Result{serveRes("Serve/overall", 300, 50, 0)},
+			// +20% p99 would fail at the bare tolerance, but the run
+			// measured ±15% spread between its own halves.
+			cur: func() []benchfmt.Result {
+				r := serveRes("Serve/overall", 300, 60, 0)
+				r.Noise = 0.15
+				return []benchfmt.Result{r}
+			}(),
+			want: true,
+		},
+		{
+			name: "baseline noise also widens the p99 gate",
+			// The baseline was captured on a run whose own halves spread
+			// ±15%; a +20% p99 against it is within that jitter even when
+			// the current run happens to measure quiet halves.
+			base: func() []benchfmt.Result {
+				r := serveRes("Serve/overall", 300, 50, 0)
+				r.Noise = 0.15
+				return []benchfmt.Result{r}
+			}(),
+			cur:  []benchfmt.Result{serveRes("Serve/overall", 300, 60, 0)},
+			want: true,
+		},
+		{
+			name: "noise band does not excuse rps regressions",
+			base: []benchfmt.Result{serveRes("Serve/overall", 300, 50, 0)},
+			cur: func() []benchfmt.Result {
+				r := serveRes("Serve/overall", 250, 50, 0)
+				r.Noise = 0.50
+				return []benchfmt.Result{r}
+			}(),
+			want: false,
+		},
+		{
+			name: "small absolute p99 wiggle stays under the slack floor",
+			// +100% relative, but only +4ms absolute — scheduler noise at
+			// these latencies, not a regression.
+			base: []benchfmt.Result{serveRes("Serve/poll", 300, 4, 0)},
+			cur:  []benchfmt.Result{serveRes("Serve/poll", 300, 8, 0)},
+			want: true,
+		},
+		{
+			name: "large absolute p99 jump fails even from a small base",
+			base: []benchfmt.Result{serveRes("Serve/poll", 300, 4, 0)},
+			cur:  []benchfmt.Result{serveRes("Serve/poll", 300, 15, 0)},
+			want: false,
+		},
+		{
+			name: "rps regression over gate",
+			base: []benchfmt.Result{serveRes("Serve/overall", 300, 50, 0)},
+			cur:  []benchfmt.Result{serveRes("Serve/overall", 250, 50, 0)},
+			want: false,
+		},
+		{
+			name: "shed-rate jump over slack",
+			base: []benchfmt.Result{serveRes("Serve/overall", 300, 50, 0.01)},
+			cur:  []benchfmt.Result{serveRes("Serve/overall", 300, 50, 0.10)},
+			want: false,
+		},
+		{
+			name: "new mix has no baseline and cannot fail",
+			base: []benchfmt.Result{serveRes("Serve/overall", 300, 50, 0)},
+			cur: []benchfmt.Result{
+				serveRes("Serve/overall", 300, 50, 0),
+				serveRes("Serve/sse", 1, 99999, 0.99),
+			},
+			want: true,
+		},
+		{
+			name: "removed mix cannot fail",
+			base: []benchfmt.Result{
+				serveRes("Serve/overall", 300, 50, 0),
+				serveRes("Serve/sweep", 10, 500, 0),
+			},
+			cur:  []benchfmt.Result{serveRes("Serve/overall", 300, 50, 0)},
+			want: true,
+		},
+		{
+			name: "core-only entries are ignored",
+			base: []benchfmt.Result{{Name: "BenchmarkProcessor/single8", NsPerInstr: 100}},
+			cur:  []benchfmt.Result{{Name: "BenchmarkProcessor/single8", NsPerInstr: 9999}},
+			want: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := compare(io.Discard,
+				benchfmt.File{Benchmarks: tc.base}, benchfmt.File{Benchmarks: tc.cur}, tol, slack, p99Slack)
+			if got != tc.want {
+				t.Errorf("compare = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestServeCompareReportsRemovedMixes(t *testing.T) {
+	var sb strings.Builder
+	compare(&sb,
+		benchfmt.File{Benchmarks: []benchfmt.Result{serveRes("Serve/sweep", 10, 500, 0)}},
+		benchfmt.File{}, 0.10, 0.05, 5)
+	if !strings.Contains(sb.String(), "Serve/sweep") || !strings.Contains(sb.String(), "removed") {
+		t.Fatalf("removed mix not reported:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,75 @@
+// Command servediff gates the HTTP service's load-bench trajectory: it
+// compares a fresh BENCH_serve.json (written by cmd/mcbench) against the
+// committed BENCH_serve_baseline.json and exits nonzero when throughput
+// or tail latency regressed beyond tolerance.
+//
+// Workflow (wired up as `make bench-serve`):
+//
+//	go run ./cmd/mcbench -out BENCH_serve.json
+//	go run ./scripts/servediff -cur BENCH_serve.json -baseline BENCH_serve_baseline.json
+//
+// Gates, per traffic mix present in both files:
+//
+//   - p99 latency may not exceed the baseline by more than -tolerance
+//     (default 10%), widened by the larger of the two runs' measured
+//     half-window jitter ("noise"), and only when the absolute increase
+//     also exceeds -p99-slack-ms (default 5ms): on a shared box a few
+//     milliseconds of tail movement is scheduler noise at any
+//     percentage.
+//   - RPS may not fall below the baseline by more than -tolerance.
+//   - the shed rate may not exceed the baseline by more than -shed-slack
+//     absolute (default 5 points): a run that starts refusing traffic it
+//     used to serve is a regression even if the survivors are fast.
+//
+// Mixes present on only one side are reported but never fail the run,
+// and a missing baseline file skips comparison (first run on a new
+// machine). A current file marked "partial": true (interrupted run) is
+// refused — its window is not comparable — unless -allow-partial is set.
+//
+// After a deliberate service change, refresh the baseline:
+//
+//	cp BENCH_serve.json BENCH_serve_baseline.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multicluster/internal/benchfmt"
+)
+
+func main() {
+	var (
+		cur       = flag.String("cur", "BENCH_serve.json", "current run JSON path")
+		baseline  = flag.String("baseline", "BENCH_serve_baseline.json", "baseline JSON path (missing file: comparison skipped)")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional p99/RPS regression before failing")
+		shedSlack = flag.Float64("shed-slack", 0.05, "allowed absolute shed-rate increase before failing")
+		p99Slack  = flag.Float64("p99-slack-ms", 5, "absolute p99 increase (ms) a regression must also exceed to fail")
+		allowPart = flag.Bool("allow-partial", false, "gate even against an interrupted (partial) current run")
+	)
+	flag.Parse()
+
+	c, err := benchfmt.Read(*cur)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servediff: %v\n", err)
+		os.Exit(1)
+	}
+	if c.Serve != nil && c.Serve.Partial && !*allowPart {
+		fmt.Fprintf(os.Stderr, "servediff: %s is a partial (interrupted) run; not comparable (-allow-partial overrides)\n", *cur)
+		os.Exit(1)
+	}
+	base, err := benchfmt.Read(*baseline)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("no baseline at %s; comparison skipped\n", *baseline)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "servediff: %v\n", err)
+		os.Exit(1)
+	}
+	if !compare(os.Stdout, base, c, *tolerance, *shedSlack, *p99Slack) {
+		fmt.Fprintf(os.Stderr, "servediff: regressed more than %.0f%% against the baseline\n", 100**tolerance)
+		os.Exit(1)
+	}
+}
