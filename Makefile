@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify check soak soak-cluster soak-rebalance vet serve report clean bench bench-serve fuzz
+.PHONY: build test race verify check soak soak-cluster soak-rebalance soak-lifecycle vet serve report clean bench bench-serve fuzz
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,7 @@ verify: build vet
 	$(GO) test -count=1 -run 'TestGoldenStats' ./internal/core
 	$(GO) test -count=1 ./scripts/benchdiff ./scripts/servediff
 	$(GO) test -count=1 -run 'TestMcbench' ./cmd/mcbench
+	$(MAKE) soak-lifecycle
 	$(MAKE) soak-rebalance
 
 # check is verify plus the perf gate: the core microbenchmarks compared
@@ -64,6 +65,16 @@ soak:
 # sweep with the forward path randomly severed.
 soak-cluster:
 	$(GO) test -race -count=1 -v -run 'TestClusterKillRejoinZeroLoss|TestClusterSoak|TestTwoNodeTable2Identical' ./internal/cluster/...
+
+# soak-lifecycle is the sweep-lifecycle / fair-queueing smoke under the
+# race detector: the first-class sweep resource driven end to end
+# (create, progress polls, cursor-resumed results, rotating tenants),
+# the kill-and-restart journal-resume acceptance test, and the WFQ
+# starvation check (an interactive tenant stays live behind a deep
+# batch-tenant backlog).
+soak-lifecycle:
+	$(GO) test -race -count=1 -v -run 'TestMcbenchLifecycleSoak|TestWFQKeepsInteractiveTenantLive' ./cmd/mcbench
+	$(GO) test -race -count=1 -v -run 'TestSweepKillRestartResume|TestSweepCursorResume|TestPoolWeightedFairness|TestPoolNoStarvation' ./internal/sweep
 
 # soak-rebalance exercises the self-healing paths under the race
 # detector: planned decommission mid-sweep (zero loss, byte-identical

@@ -20,10 +20,11 @@ import (
 type opKind int
 
 const (
-	opSubmit opKind = iota // POST /v1/jobs
-	opPoll                 // GET /v1/jobs/{id} (or the job list)
-	opTable2               // GET /v1/table2
-	opSweep                // POST /v1/sweeps, NDJSON stream read to EOF
+	opSubmit    opKind = iota // POST /v1/jobs
+	opPoll                    // GET /v1/jobs/{id} (or the job list)
+	opTable2                  // GET /v1/table2
+	opSweep                   // POST /v1/sweeps?mode=inline, NDJSON stream read to EOF
+	opLifecycle               // POST /v1/sweeps (202) + progress polls + cursor-resumed results read
 	numOpKinds
 )
 
@@ -37,6 +38,8 @@ func (k opKind) String() string {
 		return "table2"
 	case opSweep:
 		return "sweep"
+	case opLifecycle:
+		return "lifecycle"
 	}
 	return "unknown"
 }
@@ -45,7 +48,9 @@ func (k opKind) String() string {
 type Mix [numOpKinds]int
 
 // DefaultMix leans on the cheap interactive calls the way real clients
-// do, with a trickle of heavyweight streams.
+// do, with a trickle of heavyweight streams. The lifecycle class defaults
+// to 0 so baseline plans (and BENCH_serve.json gates pinned to them) are
+// unchanged; enable it with e.g. -mix submit=6,poll=6,table2=2,lifecycle=2.
 func DefaultMix() Mix { return Mix{opSubmit: 6, opPoll: 6, opTable2: 2, opSweep: 1} }
 
 // ParseMix parses "submit=6,poll=6,table2=2,sweep=1"; omitted classes get
@@ -284,8 +289,10 @@ func (r *Runner) warmup(ctx context.Context) {
 		Seeds:        seeds,
 		Instructions: r.cfg.Instructions,
 	}
+	// Inline mode blocks until every cell has streamed back, so the cache
+	// is fully primed when this returns.
 	if body, err := json.Marshal(grid); err == nil {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.cfg.BaseURL+"/v1/sweeps", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.cfg.BaseURL+"/v1/sweeps?mode=inline", bytes.NewReader(body))
 		if err == nil {
 			req.Header.Set("Content-Type", "application/json")
 			if resp, err := r.client.Do(req); err == nil {
@@ -373,19 +380,11 @@ func (r *Runner) send(ctx context.Context, op plannedOp) (status int, jobID stri
 		return r.get(ctx, fmt.Sprintf("%s/v1/table2?format=json&n=%d", base, r.cfg.Instructions))
 
 	case opSweep:
-		spec := r.specs[int(op.Arg%int64(len(r.specs)))]
-		grid := sweep.Grid{
-			Benchmarks:   []string{spec.Benchmark},
-			Machines:     []string{"single", "dual"},
-			Schedulers:   []string{"none"},
-			Seeds:        []int64{spec.Seed},
-			Instructions: r.cfg.Instructions,
-		}
-		body, merr := json.Marshal(grid)
+		body, merr := json.Marshal(r.sweepGrid(op))
 		if merr != nil {
 			return 0, "", merr
 		}
-		req, rerr := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/sweeps", bytes.NewReader(body))
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/sweeps?mode=inline", bytes.NewReader(body))
 		if rerr != nil {
 			return 0, "", rerr
 		}
@@ -399,8 +398,109 @@ func (r *Runner) send(ctx context.Context, op plannedOp) (status int, jobID stri
 			return 0, "", cerr
 		}
 		return resp.StatusCode, "", nil
+
+	case opLifecycle:
+		return r.sweepLifecycle(ctx, op)
 	}
 	return 0, "", fmt.Errorf("unknown op kind %d", op.Kind)
+}
+
+// sweepGrid is the small two-cell grid an op's argument draw maps to:
+// one benchmark, both machine models, one seed. Identical for opSweep
+// and opLifecycle so the two paths compute the same work.
+func (r *Runner) sweepGrid(op plannedOp) sweep.Grid {
+	spec := r.specs[int(op.Arg%int64(len(r.specs)))]
+	return sweep.Grid{
+		Benchmarks:   []string{spec.Benchmark},
+		Machines:     []string{"single", "dual"},
+		Schedulers:   []string{"none"},
+		Seeds:        []int64{spec.Seed},
+		Instructions: r.cfg.Instructions,
+	}
+}
+
+// sweepLifecycle drives the first-class sweep resource end to end the
+// way a polling client does: create (202), poll progress until the
+// sweep is terminal, then read the results in two cursor-resumed chunks
+// — the second GET picks up exactly where the first stopped. The
+// arrival's argument draw also picks one of a few client ids so the
+// server's weighted-fair queues see real multi-tenant traffic.
+func (r *Runner) sweepLifecycle(ctx context.Context, op plannedOp) (int, string, error) {
+	base := r.cfg.BaseURL
+	tenant := fmt.Sprintf("bench-%d", op.Arg%4)
+	body, err := json.Marshal(r.sweepGrid(op))
+	if err != nil {
+		return 0, "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/sweeps", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client-ID", tenant)
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	var view sweep.SweepView
+	decodeErr := json.NewDecoder(resp.Body).Decode(&view)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return resp.StatusCode, "", nil
+	}
+	if decodeErr != nil {
+		return 0, "", decodeErr
+	}
+
+	// Poll progress until the server reports a terminal state.
+	for view.State == sweep.SweepRunning {
+		select {
+		case <-ctx.Done():
+			return 0, "", ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+		status, err := r.getJSON(ctx, base+"/v1/sweeps/"+view.ID, &view)
+		if err != nil {
+			return 0, "", err
+		}
+		if status != http.StatusOK {
+			return status, "", nil
+		}
+	}
+
+	// Resumable read: first half by limit, remainder by cursor.
+	half := view.Total / 2
+	for _, q := range []string{
+		fmt.Sprintf("?cursor=0&limit=%d", half),
+		fmt.Sprintf("?cursor=%d", half),
+	} {
+		status, _, err := r.get(ctx, base+"/v1/sweeps/"+view.ID+"/results"+q)
+		if err != nil || status != http.StatusOK {
+			return status, "", err
+		}
+	}
+	return http.StatusOK, "", nil
+}
+
+// getJSON fetches url and decodes the body into out.
+func (r *Runner) getJSON(ctx context.Context, url string, out any) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return 0, err
+		}
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
 }
 
 func (r *Runner) get(ctx context.Context, url string) (int, string, error) {

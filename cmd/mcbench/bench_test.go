@@ -2,6 +2,9 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"reflect"
@@ -121,6 +124,111 @@ func TestMcbenchSmoke(t *testing.T) {
 	}
 	if sc.Shed != sub.Shed {
 		t.Errorf("server sweep_jobs_shed_total = %d, client submit 429s = %d", sc.Shed, sub.Shed)
+	}
+}
+
+// TestMcbenchLifecycleSoak is the sweep-lifecycle smoke `make
+// soak-lifecycle` runs: a mix that includes the first-class sweep
+// resource op (create → poll → cursor-resumed results, under rotating
+// X-Client-ID tenants) must complete a full plan against a healthy
+// server with zero errors, alongside the interactive classes.
+func TestMcbenchLifecycleSoak(t *testing.T) {
+	ts := newBenchTarget(t)
+	cfg := smokeConfig(ts.URL)
+	cfg.Mix = Mix{opSubmit: 4, opPoll: 4, opTable2: 1, opSweep: 1, opLifecycle: 3}
+	cfg.Warmup = true
+
+	rep := newRunner(cfg).Run(context.Background())
+	if rep.Partial {
+		t.Fatal("uninterrupted run reported partial")
+	}
+	if rep.Overall.Errors > 0 {
+		t.Fatalf("%d errors against a healthy server", rep.Overall.Errors)
+	}
+	var lifecycleOK int64
+	for _, ks := range rep.Kinds {
+		if ks.Kind == opLifecycle {
+			lifecycleOK = ks.OK
+		}
+	}
+	if lifecycleOK == 0 {
+		t.Fatal("no lifecycle op completed: create/poll/resume path is broken")
+	}
+}
+
+// TestWFQKeepsInteractiveTenantLive is the starvation smoke behind the
+// WFQ redesign: with a deep batch-tenant sweep backlog monopolizing a
+// tiny worker pool, a different tenant's interactive job submissions
+// must still be served promptly — service is shared by tenant weight,
+// not by backlog depth.
+func TestWFQKeepsInteractiveTenantLive(t *testing.T) {
+	svc := sweep.NewService(sweep.Config{
+		Workers: 2,
+		Metrics: sweep.NewMetrics(obs.NewRegistry()),
+	})
+	ts := httptest.NewServer(sweep.NewServer(svc))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+
+	// The batch tenant queues a sweep far wider than the pool: every
+	// benchmark × both machines × both schedulers × 2 seeds.
+	grid := sweep.Grid{
+		Machines:     []string{"single", "dual"},
+		Seeds:        []int64{1, 2},
+		Instructions: 50000,
+	}
+	bulk, err := svc.CreateSweep(sweep.WithClientID(context.Background(), "bulk"), "bulk", grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bulk.Total() < 16 {
+		t.Fatalf("bulk sweep expanded to %d cells, want a deep backlog", bulk.Total())
+	}
+
+	// While that backlog drains, the interactive tenant's submissions
+	// must each complete quickly instead of waiting behind the sweep.
+	client := &http.Client{Timeout: 30 * time.Second}
+	for i := 0; i < 3; i++ {
+		spec := fmt.Sprintf(`{"benchmark":"compress","machine":"dual","seed":%d,"instructions":5000}`, 900+i)
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Client-ID", "interactive")
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job sweep.JobView
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			r2, err := client.Get(ts.URL + "/v1/jobs/" + job.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := json.NewDecoder(r2.Body).Decode(&job); err != nil {
+				t.Fatal(err)
+			}
+			r2.Body.Close()
+			if job.State == sweep.JobDone || job.State == sweep.JobFailed {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("interactive job %s starved behind the bulk sweep backlog: %+v", job.ID, job)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if job.State != sweep.JobDone {
+			t.Fatalf("interactive job failed: %+v", job)
+		}
 	}
 }
 

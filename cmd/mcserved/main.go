@@ -10,25 +10,42 @@
 //
 // Endpoints:
 //
-//	POST   /v1/jobs       submit one job (a JSON JobSpec), returns 202 + job id,
-//	                      429 + Retry-After under load shedding
-//	GET    /v1/jobs       list jobs
-//	GET    /v1/jobs/{id}  poll job status and result
-//	DELETE /v1/jobs/{id}  cancel a job (queued jobs never run)
-//	POST   /v1/sweeps     submit a grid (JSON), streams completed rows as NDJSON
-//	GET    /v1/table2     the paper's Table 2, served from cache (?format=json|csv|text&n=&seed=&window=&width=)
-//	GET    /v1/stats      cache/pool/job/journal counters
-//	GET    /metrics       Prometheus text exposition (core, job, pool, cache, journal)
-//	GET    /debug/vars    expvar (the "sweep" variable mirrors /v1/stats)
-//	GET    /debug/pprof/  net/http/pprof profiler (only with -pprof)
-//	GET    /healthz       liveness probe
-//	GET    /readyz        readiness probe: 503 while overloaded, draining,
-//	                      leaving the cluster, or cut off from a peer majority
+//	POST   /v1/jobs                submit one job (a JSON JobSpec), returns 202 + job id,
+//	                               429 + Retry-After under load shedding
+//	GET    /v1/jobs                list jobs, cursor-paginated (?limit=&after=)
+//	GET    /v1/jobs/{id}           poll job status and result
+//	DELETE /v1/jobs/{id}           cancel a job (queued jobs never run)
+//	POST   /v1/sweeps              create a sweep resource from a grid (JSON), returns 202 + sweep id
+//	                               (?mode=inline streams rows on the connection — deprecated)
+//	GET    /v1/sweeps              list sweeps
+//	GET    /v1/sweeps/{id}         sweep progress: cells done/total, per-outcome counts
+//	GET    /v1/sweeps/{id}/results stream results as NDJSON in grid order; ?cursor=N resumes,
+//	                               ?limit=M paginates
+//	DELETE /v1/sweeps/{id}         cancel a sweep (queued cells never run)
+//	GET    /v1/table2              the paper's Table 2, served from cache (?format=json|csv|text&n=&seed=&window=&width=)
+//	GET    /v1/stats               cache/pool/job/sweep/journal counters
+//	GET    /metrics                Prometheus text exposition (core, job, sweep, pool, cache, journal)
+//	GET    /debug/vars             expvar (the "sweep" variable mirrors /v1/stats)
+//	GET    /debug/pprof/           net/http/pprof profiler (only with -pprof)
+//	GET    /healthz                liveness probe
+//	GET    /readyz                 readiness probe: 503 while overloaded, draining,
+//	                               leaving the cluster, or cut off from a peer majority
 //
 // Every response carries an X-Request-ID header (echoing the request's,
 // or freshly generated) and produces one structured access-log line.
-// Finished jobs are retained for polling up to -job-retention entries;
-// older finished jobs are evicted and their ids answer 404.
+// Errors are a structured JSON envelope {"error":{"code","message"}}
+// with stable machine-readable codes. Finished jobs are retained for
+// polling up to -job-retention entries and finished sweeps up to
+// -sweep-retention; older ones are evicted and their ids answer 404.
+//
+// Sweeps are first-class resources: with -data-dir set their grid spec
+// and completion cursor are journaled, so a killed daemon resumes
+// incomplete sweeps on restart — already-committed cells replay from the
+// result journal without recomputation, and result streams re-read from
+// any cursor are byte-identical across the restart. The worker pool
+// schedules cells with per-tenant weighted-fair queueing keyed on
+// X-Client-ID, so one tenant's 10k-cell grid cannot starve another's
+// interactive requests.
 //
 // Fault tolerance:
 //
@@ -101,6 +118,7 @@ func main() {
 		maxLive      = flag.Int("max-live", 4096, "max admitted unfinished jobs before shedding with 429 (0 = unbounded)")
 		maxPerClient = flag.Int("max-per-client", 256, "max unfinished jobs per client id (0 = unlimited)")
 		jobRetention = flag.Int("job-retention", sweep.DefaultJobRetention, "finished jobs kept for polling before eviction (-1 = unlimited)")
+		sweepKeep    = flag.Int("sweep-retention", sweep.DefaultSweepRetention, "finished sweeps kept for result reads before eviction (-1 = unlimited)")
 		pprofOn      = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		dataDir      = flag.String("data-dir", "", "directory for the persistent result journal (empty = in-memory only)")
 		faults       = flag.String("faults", "", "fault-injection plan, e.g. 'sim:error:0.1,journal:latency:0.5:2ms' (chaos testing)")
@@ -128,6 +146,7 @@ func main() {
 	}
 
 	var journal *sweep.Journal
+	var sweepJournal *sweep.SweepJournal
 	if *dataDir != "" {
 		journal, err = sweep.OpenJournal(filepath.Join(*dataDir, "results.journal"))
 		if err != nil {
@@ -139,20 +158,35 @@ func main() {
 		if js.TruncatedBytes > 0 {
 			log.Printf("mcserved: journal recovery truncated %d corrupt trailing bytes", js.TruncatedBytes)
 		}
+		sweepJournal, err = sweep.OpenSweepJournal(filepath.Join(*dataDir, "sweeps.journal"), *sweepKeep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcserved: %v\n", err)
+			os.Exit(1)
+		}
+		resuming := 0
+		for _, rs := range sweepJournal.Recovered() {
+			if rs.State == sweep.SweepRunning {
+				resuming++
+			}
+		}
+		log.Printf("mcserved: sweep journal %s: %d sweeps recovered, %d resuming",
+			sweepJournal.Path(), len(sweepJournal.Recovered()), resuming)
 	}
 
 	reg := obs.NewRegistry()
 	metrics := sweep.NewMetrics(reg)
 	cfg := sweep.Config{
-		Workers:      *workers,
-		JobTimeout:   *jobTimeout,
-		Retry:        sweep.RetryPolicy{MaxAttempts: *retries, Base: *retryBase, Max: *retryMax},
-		MaxLive:      *maxLive,
-		MaxPerClient: *maxPerClient,
-		JobRetention: *jobRetention,
-		Inject:       plan,
-		Journal:      journal,
-		Metrics:      metrics,
+		Workers:        *workers,
+		JobTimeout:     *jobTimeout,
+		Retry:          sweep.RetryPolicy{MaxAttempts: *retries, Base: *retryBase, Max: *retryMax},
+		MaxLive:        *maxLive,
+		MaxPerClient:   *maxPerClient,
+		JobRetention:   *jobRetention,
+		Inject:         plan,
+		Journal:        journal,
+		SweepJournal:   sweepJournal,
+		SweepRetention: *sweepKeep,
+		Metrics:        metrics,
 	}
 
 	// Cluster mode: join the hash ring and route non-owned work to its

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -45,6 +44,9 @@ func (n *Node) Handler(local http.Handler) http.Handler {
 	r.mux.HandleFunc("GET /readyz", r.handleReadyz)
 	r.mux.HandleFunc("GET /v1/jobs/{id}", r.handleJob)
 	r.mux.HandleFunc("DELETE /v1/jobs/{id}", r.handleJob)
+	r.mux.HandleFunc("GET /v1/sweeps/{id}", r.handleSweepByID)
+	r.mux.HandleFunc("GET /v1/sweeps/{id}/results", r.handleSweepByID)
+	r.mux.HandleFunc("DELETE /v1/sweeps/{id}", r.handleSweepByID)
 	r.mux.Handle("/", local)
 	return r
 }
@@ -59,10 +61,11 @@ func (r *router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	r.mux.ServeHTTP(w, req)
 }
 
-func (r *router) writeError(w http.ResponseWriter, status int, err error) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+// writeError emits the same structured error envelope the sweep server
+// uses, so every error body in the system — local handler, peer
+// endpoint, or proxy hop — has one shape.
+func (r *router) writeError(w http.ResponseWriter, status int, code string, err error) {
+	sweep.WriteAPIError(w, status, code, err.Error())
 }
 
 // handlePing answers a peer heartbeat: identity, ring version, and the
@@ -81,13 +84,13 @@ func (r *router) handlePing(w http.ResponseWriter, req *http.Request) {
 // threaded into the execution context.
 func (r *router) handleRun(w http.ResponseWriter, req *http.Request) {
 	if r.node.svc == nil {
-		r.writeError(w, http.StatusServiceUnavailable, errors.New("cluster: node has no service attached"))
+		r.writeError(w, http.StatusServiceUnavailable, sweep.CodeUnavailable, errors.New("cluster: node has no service attached"))
 		return
 	}
 	var spec sweep.JobSpec
 	req.Body = http.MaxBytesReader(w, req.Body, maxForwardBody)
 	if err := json.NewDecoder(req.Body).Decode(&spec); err != nil {
-		r.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding forwarded spec: %w", err))
+		r.writeError(w, http.StatusBadRequest, sweep.CodeInvalidRequest, fmt.Errorf("decoding forwarded spec: %w", err))
 		return
 	}
 	ctx := req.Context()
@@ -106,11 +109,11 @@ func (r *router) handleRun(w http.ResponseWriter, req *http.Request) {
 	}
 	res, _, err := r.node.svc.RunLocal(ctx, spec)
 	if err != nil {
-		status := http.StatusInternalServerError
+		status, code := http.StatusInternalServerError, sweep.CodeInternal
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			status = http.StatusGatewayTimeout
+			status, code = http.StatusGatewayTimeout, sweep.CodeTimeout
 		}
-		r.writeError(w, status, err)
+		r.writeError(w, status, code, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -123,17 +126,17 @@ func (r *router) handleRun(w http.ResponseWriter, req *http.Request) {
 // at-least-once hint replay safe.
 func (r *router) handleResult(w http.ResponseWriter, req *http.Request) {
 	if r.node.svc == nil {
-		r.writeError(w, http.StatusServiceUnavailable, errors.New("cluster: node has no service attached"))
+		r.writeError(w, http.StatusServiceUnavailable, sweep.CodeUnavailable, errors.New("cluster: node has no service attached"))
 		return
 	}
 	var res sweep.Result
 	req.Body = http.MaxBytesReader(w, req.Body, maxForwardBody)
 	if err := json.NewDecoder(req.Body).Decode(&res); err != nil {
-		r.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding pushed result: %w", err))
+		r.writeError(w, http.StatusBadRequest, sweep.CodeInvalidRequest, fmt.Errorf("decoding pushed result: %w", err))
 		return
 	}
 	if err := r.node.svc.StoreResult(&res); err != nil {
-		r.writeError(w, http.StatusBadRequest, err)
+		r.writeError(w, http.StatusBadRequest, sweep.CodeInvalidSpec, err)
 		return
 	}
 	r.node.metrics.storedResults.Inc()
@@ -144,13 +147,13 @@ func (r *router) handleResult(w http.ResponseWriter, req *http.Request) {
 // half of anti-entropy's pull leg and read-repair's verification probe.
 func (r *router) handleResultGet(w http.ResponseWriter, req *http.Request) {
 	if r.node.svc == nil {
-		r.writeError(w, http.StatusServiceUnavailable, errors.New("cluster: node has no service attached"))
+		r.writeError(w, http.StatusServiceUnavailable, sweep.CodeUnavailable, errors.New("cluster: node has no service attached"))
 		return
 	}
 	hash := req.PathValue("hash")
 	res, ok := r.node.svc.Cached(hash)
 	if !ok {
-		r.writeError(w, http.StatusNotFound, fmt.Errorf("cluster: no cached result for %s", hash))
+		r.writeError(w, http.StatusNotFound, sweep.CodeNotFound, fmt.Errorf("cluster: no cached result for %s", hash))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -162,13 +165,13 @@ func (r *router) handleResultGet(w http.ResponseWriter, req *http.Request) {
 // full hash lists for any buckets named in `list`.
 func (r *router) handleDigest(w http.ResponseWriter, req *http.Request) {
 	if r.node.svc == nil {
-		r.writeError(w, http.StatusServiceUnavailable, errors.New("cluster: node has no service attached"))
+		r.writeError(w, http.StatusServiceUnavailable, sweep.CodeUnavailable, errors.New("cluster: node has no service attached"))
 		return
 	}
 	q := req.URL.Query()
 	forID := q.Get("for")
 	if forID == "" {
-		r.writeError(w, http.StatusBadRequest, errors.New("cluster: digest needs ?for=<node id>"))
+		r.writeError(w, http.StatusBadRequest, sweep.CodeInvalidRequest, errors.New("cluster: digest needs ?for=<node id>"))
 		return
 	}
 	dv := r.node.digestFor(forID, parseBucketList(q.Get("list")))
@@ -194,11 +197,11 @@ func (r *router) handleMember(w http.ResponseWriter, req *http.Request) {
 	var ev memberEvent
 	req.Body = http.MaxBytesReader(w, req.Body, 4096)
 	if err := json.NewDecoder(req.Body).Decode(&ev); err != nil {
-		r.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding member event: %w", err))
+		r.writeError(w, http.StatusBadRequest, sweep.CodeInvalidRequest, fmt.Errorf("decoding member event: %w", err))
 		return
 	}
 	if ev.ID == "" {
-		r.writeError(w, http.StatusBadRequest, errors.New("cluster: member event needs an id"))
+		r.writeError(w, http.StatusBadRequest, sweep.CodeInvalidRequest, errors.New("cluster: member event needs an id"))
 		return
 	}
 	switch ev.Event {
@@ -210,7 +213,7 @@ func (r *router) handleMember(w http.ResponseWriter, req *http.Request) {
 	case "left":
 		r.node.members.removeMember(ev.ID)
 	default:
-		r.writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: unknown member event %q", ev.Event))
+		r.writeError(w, http.StatusBadRequest, sweep.CodeInvalidRequest, fmt.Errorf("cluster: unknown member event %q", ev.Event))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -273,12 +276,18 @@ func (r *router) handleStatus(w http.ResponseWriter, req *http.Request) {
 
 // splitJobID extracts the owning node from a node-prefixed job id
 // ("n2-j17" → "n2"). ok is false for unprefixed (single-node) ids.
-func splitJobID(id string) (node string, ok bool) {
-	i := strings.LastIndex(id, "-j")
+func splitJobID(id string) (node string, ok bool) { return splitResourceID(id, "-j") }
+
+// splitSweepID is splitJobID for sweep ids ("n2-s4" → "n2").
+func splitSweepID(id string) (node string, ok bool) { return splitResourceID(id, "-s") }
+
+// splitResourceID extracts the node prefix ahead of sep+digits.
+func splitResourceID(id, sep string) (node string, ok bool) {
+	i := strings.LastIndex(id, sep)
 	if i <= 0 {
 		return "", false
 	}
-	seq := id[i+2:]
+	seq := id[i+len(sep):]
 	if seq == "" {
 		return "", false
 	}
@@ -294,8 +303,21 @@ func splitJobID(id string) (node string, ok bool) {
 // minted by another node are proxied to it (one hop), everything else
 // is served locally.
 func (r *router) handleJob(w http.ResponseWriter, req *http.Request) {
+	r.routeByID(w, req, splitJobID)
+}
+
+// handleSweepByID routes sweep progress/results/cancel the same way: a
+// sweep lives on (and resumes on) the node that minted its id, so every
+// node can answer for any sweep in the cluster with one proxy hop.
+func (r *router) handleSweepByID(w http.ResponseWriter, req *http.Request) {
+	r.routeByID(w, req, splitSweepID)
+}
+
+// routeByID serves the request locally unless its node-prefixed resource
+// id names a live peer, in which case the request proxies to it.
+func (r *router) routeByID(w http.ResponseWriter, req *http.Request, split func(string) (string, bool)) {
 	id := req.PathValue("id")
-	node, ok := splitJobID(id)
+	node, ok := split(id)
 	if !ok || node == r.node.self.ID || req.Header.Get(headerOrigin) != "" {
 		r.local.ServeHTTP(w, req)
 		return
@@ -308,18 +330,21 @@ func (r *router) handleJob(w http.ResponseWriter, req *http.Request) {
 	}
 	if r.node.members.State(node) != PeerUp {
 		w.Header().Set("Retry-After", "1")
-		r.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("cluster: owning node %s is down", node))
+		r.writeError(w, http.StatusServiceUnavailable, sweep.CodeUnavailable, fmt.Errorf("cluster: owning node %s is down", node))
 		return
 	}
 	r.proxyJob(w, req, node, base)
 }
 
-// proxyJob forwards one job lookup/cancel to the owning node verbatim,
+// proxyJob forwards one resource request to the owning node verbatim,
 // propagating the request id and client identity and marking the hop.
+// Query parameters ride along so sweep result cursors survive the proxy,
+// and the streamed body is flushed as it arrives so a long-running
+// result stream reaches the client incrementally.
 func (r *router) proxyJob(w http.ResponseWriter, req *http.Request, node, base string) {
-	out, err := http.NewRequestWithContext(req.Context(), req.Method, base+req.URL.Path, nil)
+	out, err := http.NewRequestWithContext(req.Context(), req.Method, base+req.URL.RequestURI(), nil)
 	if err != nil {
-		r.writeError(w, http.StatusBadGateway, err)
+		r.writeError(w, http.StatusBadGateway, sweep.CodeBadGateway, err)
 		return
 	}
 	out.Header.Set(headerOrigin, r.node.self.ID)
@@ -333,15 +358,30 @@ func (r *router) proxyJob(w http.ResponseWriter, req *http.Request, node, base s
 	resp, err := r.node.client.Do(out)
 	if err != nil {
 		r.node.members.ReportFailure(node)
-		r.writeError(w, http.StatusBadGateway, fmt.Errorf("cluster: proxying to %s: %w", node, err))
+		r.writeError(w, http.StatusBadGateway, sweep.CodeBadGateway, fmt.Errorf("cluster: proxying to %s: %w", node, err))
 		return
 	}
 	defer resp.Body.Close()
-	for _, h := range []string{"Content-Type", "Retry-After"} {
+	for _, h := range []string{"Content-Type", "Retry-After", "Location", "Deprecation", "X-Sweep-Cursor"} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
 	}
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
 }

@@ -98,21 +98,22 @@ func OpenJournal(path string) (*Journal, error) {
 // append order.
 func (j *Journal) Recovered() []*Result { return j.recovered }
 
-// replay scans the journal from the start, returning every intact record
-// and the offset just past the last good one.
-func (j *Journal) replay() ([]*Result, int64, error) {
-	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
-		return nil, 0, fmt.Errorf("sweep: journal seek: %w", err)
-	}
+// scanRecords reads length-prefixed CRC32-checksummed records from r
+// starting at its current position, returning every intact payload and
+// the offset just past the last good record. Scanning stops — without
+// error — at the first torn or corrupt record (the classic crash tail);
+// valid reports whether each payload also parses, letting callers reject
+// records whose framing is fine but whose content is not.
+func scanRecords(r io.Reader, valid func(payload []byte) bool) ([][]byte, int64) {
 	var (
-		results []*Result
-		good    int64
-		header  [8]byte
+		payloads [][]byte
+		good     int64
+		header   [8]byte
 	)
 	for {
-		if _, err := io.ReadFull(j.f, header[:]); err != nil {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
 			// io.EOF is a clean end; ErrUnexpectedEOF is a torn header.
-			// Either way replay stops at the last good record.
+			// Either way the scan stops at the last good record.
 			break
 		}
 		length := binary.BigEndian.Uint32(header[0:4])
@@ -121,19 +122,48 @@ func (j *Journal) replay() ([]*Result, int64, error) {
 			break
 		}
 		payload := make([]byte, length)
-		if _, err := io.ReadFull(j.f, payload); err != nil {
+		if _, err := io.ReadFull(r, payload); err != nil {
 			break
 		}
 		if crc32.ChecksumIEEE(payload) != sum {
 			break
 		}
-		var res Result
-		if err := json.Unmarshal(payload, &res); err != nil {
+		if valid != nil && !valid(payload) {
 			break
 		}
-		results = append(results, &res)
+		payloads = append(payloads, payload)
 		good += 8 + int64(length)
 	}
+	return payloads, good
+}
+
+// writeRecord frames payload (length prefix + CRC32) and appends it to w.
+func writeRecord(w io.Writer, payload []byte) error {
+	var header [8]byte
+	binary.BigEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(header[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// replay scans the journal from the start, returning every intact record
+// and the offset just past the last good one.
+func (j *Journal) replay() ([]*Result, int64, error) {
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("sweep: journal seek: %w", err)
+	}
+	var results []*Result
+	_, good := scanRecords(j.f, func(payload []byte) bool {
+		var res Result
+		if err := json.Unmarshal(payload, &res); err != nil {
+			return false
+		}
+		results = append(results, &res)
+		return true
+	})
 	return results, good, nil
 }
 
@@ -146,9 +176,6 @@ func (j *Journal) Append(res *Result) error {
 		j.appendErrors.Add(1)
 		return fmt.Errorf("sweep: journal marshal: %w", err)
 	}
-	var header [8]byte
-	binary.BigEndian.PutUint32(header[0:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(payload))
 
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -158,11 +185,7 @@ func (j *Journal) Append(res *Result) error {
 	}
 	// A short write leaves a torn record; recovery truncates it on the
 	// next open, so no attempt is made to repair in place.
-	if _, err := j.f.Write(header[:]); err != nil {
-		j.appendErrors.Add(1)
-		return fmt.Errorf("sweep: journal write: %w", err)
-	}
-	if _, err := j.f.Write(payload); err != nil {
+	if err := writeRecord(j.f, payload); err != nil {
 		j.appendErrors.Add(1)
 		return fmt.Errorf("sweep: journal write: %w", err)
 	}

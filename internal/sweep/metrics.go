@@ -183,9 +183,28 @@ func (m *Metrics) bindService(s *Service) {
 			return float64(len(s.jobs))
 		})
 
+	sweeps := s.sweeps
+	reg.CounterFunc("sweep_sweeps_created_total",
+		"Sweep resources registered (resumed ones included).", func() int64 { return sweeps.stats().Created })
+	reg.CounterFunc("sweep_sweeps_resumed_total",
+		"Sweeps re-materialized from the sweep journal at startup.", func() int64 { return sweeps.stats().Resumed })
+	reg.GaugeFunc("sweep_sweeps_active",
+		"Sweeps currently running.", func() float64 { return float64(sweeps.activeCount()) })
+	for _, st := range []SweepState{SweepDone, SweepCanceled} {
+		st := st
+		reg.CounterFunc("sweep_sweeps_finished_total",
+			"Sweeps reaching a terminal state, by outcome.", func() int64 {
+				sweeps.mu.Lock()
+				defer sweeps.mu.Unlock()
+				return sweeps.states[st]
+			}, obs.L("state", string(st)))
+	}
+
 	pool := s.pool
 	reg.GaugeFunc("sweep_pool_workers", "Worker-pool size.",
 		func() float64 { return float64(pool.Workers()) })
+	reg.GaugeFunc("sweep_pool_tenants", "Tenants with queued work in the weighted-fair scheduler.",
+		func() float64 { return float64(pool.Stats().Tenants) })
 	reg.GaugeFunc("sweep_pool_queued", "Tasks waiting in the pool queue.",
 		func() float64 { return float64(pool.Stats().Queued) })
 	reg.GaugeFunc("sweep_pool_running", "Tasks currently executing.",

@@ -237,7 +237,7 @@ func TestSweepNDJSONNonFlusher(t *testing.T) {
 	srv := NewServer(svc)
 
 	body := strings.NewReader(`{"benchmarks":["compress","ora"],"machines":["dual"],"schedulers":["none"]}`)
-	req := httptest.NewRequest("POST", "/v1/sweeps", body)
+	req := httptest.NewRequest("POST", "/v1/sweeps?mode=inline", body)
 	rec := httptest.NewRecorder()
 	srv.ServeHTTP(nonFlusher{rec}, req)
 

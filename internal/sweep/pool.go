@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
 	"runtime"
@@ -21,23 +22,74 @@ type PanicError struct {
 
 func (e *PanicError) Error() string { return fmt.Sprintf("sweep: job panicked: %v", e.Value) }
 
-// Pool is a bounded worker pool over an unbounded FIFO queue. Work is
-// executed by a fixed set of worker goroutines, in submission order; a
+// Pool is a bounded worker pool with per-tenant weighted-fair queueing.
+// Work is executed by a fixed set of worker goroutines; within one tenant
+// tasks run in submission order (FIFO), and across tenants the scheduler
+// is a stride/virtual-time WFQ: each tenant's queue carries a virtual
+// finish time advanced by 1/weight per dequeued task, and workers always
+// pick the backlogged tenant with the smallest virtual time. A tenant
+// with 10k queued tasks therefore cannot starve a tenant submitting one
+// task at a time — service interleaves proportionally to weight, not to
+// backlog size.
+//
+// Submit (no tenant) enqueues under the empty tenant key, which preserves
+// the historical plain-FIFO behaviour when nobody else is queueing. A
 // panicking task is isolated (recovered, counted, and reported to its own
 // completion callback) and never takes a worker down.
 type Pool struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []func() error
+	queues map[string]*tenantQueue
+	ready  tenantHeap // backlogged tenants, min-ordered by virtual time
+	vnow   float64    // virtual time of the last dequeue
 	closed bool
 	wg     sync.WaitGroup
 
 	workers   int
-	queued    atomic.Int64 // tasks waiting in the queue
+	queued    atomic.Int64 // tasks waiting across all tenant queues
 	running   atomic.Int64 // tasks currently executing
 	completed atomic.Int64 // tasks finished, success or failure
 	failed    atomic.Int64 // tasks that returned an error (incl. panics)
 	panics    atomic.Int64 // tasks that panicked
+}
+
+// tenantQueue is one tenant's FIFO backlog plus its WFQ accounting.
+type tenantQueue struct {
+	key    string
+	tasks  []func() error
+	weight int
+	vtime  float64 // virtual start time of the task at the head
+	index  int     // position in the ready heap, -1 when idle
+}
+
+// tenantHeap orders backlogged tenants by virtual time (ties broken by
+// key so scheduling is deterministic under equal load).
+type tenantHeap []*tenantQueue
+
+func (h tenantHeap) Len() int { return len(h) }
+func (h tenantHeap) Less(i, j int) bool {
+	if h[i].vtime != h[j].vtime {
+		return h[i].vtime < h[j].vtime
+	}
+	return h[i].key < h[j].key
+}
+func (h tenantHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *tenantHeap) Push(x any) {
+	q := x.(*tenantQueue)
+	q.index = len(*h)
+	*h = append(*h, q)
+}
+func (h *tenantHeap) Pop() any {
+	old := *h
+	q := old[len(old)-1]
+	old[len(old)-1] = nil
+	q.index = -1
+	*h = old[:len(old)-1]
+	return q
 }
 
 // PoolStats is a snapshot of the pool counters.
@@ -48,6 +100,8 @@ type PoolStats struct {
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
 	Panics    int64 `json:"panics"`
+	// Tenants is the number of tenants with queued work right now.
+	Tenants int `json:"tenants"`
 }
 
 // NewPool starts a pool with n workers; n < 1 means GOMAXPROCS.
@@ -55,7 +109,7 @@ func NewPool(n int) *Pool {
 	if n < 1 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{workers: n}
+	p := &Pool{workers: n, queues: make(map[string]*tenantQueue)}
 	p.cond = sync.NewCond(&p.mu)
 	p.wg.Add(n)
 	for i := 0; i < n; i++ {
@@ -67,10 +121,21 @@ func NewPool(n int) *Pool {
 // Workers returns the worker count.
 func (p *Pool) Workers() int { return p.workers }
 
-// Submit appends fn to the FIFO queue. fn runs on a worker goroutine; its
-// error (or wrapped panic) is passed to done, which may be nil. Submit
-// never blocks on queue capacity.
+// Submit appends fn to the anonymous tenant's queue. fn runs on a worker
+// goroutine; its error (or wrapped panic) is passed to done, which may be
+// nil. Submit never blocks on queue capacity.
 func (p *Pool) Submit(fn func() error, done func(error)) error {
+	return p.SubmitAs("", 1, fn, done)
+}
+
+// SubmitAs appends fn to tenant's queue with the given scheduling weight
+// (< 1 means 1; a tenant's weight is updated by its latest submission).
+// Tasks of one tenant run FIFO; across tenants the pool shares workers
+// in proportion to weight regardless of backlog depth.
+func (p *Pool) SubmitAs(tenant string, weight int, fn func() error, done func(error)) error {
+	if weight < 1 {
+		weight = 1
+	}
 	task := func() error {
 		err := p.runIsolated(fn)
 		if done != nil {
@@ -83,7 +148,22 @@ func (p *Pool) Submit(fn func() error, done func(error)) error {
 		p.mu.Unlock()
 		return ErrPoolClosed
 	}
-	p.queue = append(p.queue, task)
+	q := p.queues[tenant]
+	if q == nil {
+		q = &tenantQueue{key: tenant, index: -1}
+		p.queues[tenant] = q
+	}
+	q.weight = weight
+	q.tasks = append(q.tasks, task)
+	if q.index < 0 {
+		// A tenant re-entering the schedule starts at the current virtual
+		// time: it gets its fair share from now on, but cannot bank credit
+		// from its idle period to burst ahead of everyone else.
+		if q.vtime < p.vnow {
+			q.vtime = p.vnow
+		}
+		heap.Push(&p.ready, q)
+	}
 	p.queued.Add(1)
 	p.cond.Signal()
 	p.mu.Unlock()
@@ -101,21 +181,45 @@ func (p *Pool) runIsolated(fn func() error) (err error) {
 	return fn()
 }
 
+// next pops the head task of the backlogged tenant with the smallest
+// virtual time and advances the clocks. Called with p.mu held; returns
+// nil when nothing is queued.
+func (p *Pool) next() func() error {
+	if len(p.ready) == 0 {
+		return nil
+	}
+	q := p.ready[0]
+	task := q.tasks[0]
+	q.tasks[0] = nil
+	q.tasks = q.tasks[1:]
+	p.vnow = q.vtime
+	q.vtime += 1 / float64(q.weight)
+	if len(q.tasks) == 0 {
+		heap.Pop(&p.ready)
+		// Idle tenants are forgotten entirely so the map stays proportional
+		// to concurrent load, not to every client id ever seen; re-arrival
+		// restarts at the then-current virtual time, which is exactly what
+		// the re-entry clamp above would have produced anyway.
+		delete(p.queues, q.key)
+	} else {
+		heap.Fix(&p.ready, 0)
+	}
+	return task
+}
+
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	for {
 		p.mu.Lock()
-		for len(p.queue) == 0 && !p.closed {
+		for len(p.ready) == 0 && !p.closed {
 			p.cond.Wait()
 		}
-		if len(p.queue) == 0 {
+		task := p.next()
+		p.mu.Unlock()
+		if task == nil {
 			// closed and drained
-			p.mu.Unlock()
 			return
 		}
-		task := p.queue[0]
-		p.queue = p.queue[1:]
-		p.mu.Unlock()
 
 		p.queued.Add(-1)
 		p.running.Add(1)
@@ -128,7 +232,7 @@ func (p *Pool) worker() {
 	}
 }
 
-// Close stops accepting new work. Workers finish the queue and exit.
+// Close stops accepting new work. Workers finish the queues and exit.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	p.closed = true
@@ -145,6 +249,9 @@ func (p *Pool) Drain() {
 
 // Stats snapshots the counters.
 func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	tenants := len(p.ready)
+	p.mu.Unlock()
 	return PoolStats{
 		Workers:   p.workers,
 		Queued:    p.queued.Load(),
@@ -152,5 +259,6 @@ func (p *Pool) Stats() PoolStats {
 		Completed: p.completed.Load(),
 		Failed:    p.failed.Load(),
 		Panics:    p.panics.Load(),
+		Tenants:   tenants,
 	}
 }

@@ -99,6 +99,100 @@ func TestPoolPanicIsolation(t *testing.T) {
 	}
 }
 
+// gatedPool starts a 1-worker pool whose worker is parked on a gate
+// task, so the test can build up tenant backlogs and then release the
+// worker to observe pure scheduling order.
+func gatedPool(t *testing.T) (p *Pool, release func()) {
+	t.Helper()
+	p = NewPool(1)
+	t.Cleanup(p.Drain)
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	p.SubmitAs("zz-gate", 1, func() error {
+		close(started)
+		<-gate
+		return nil
+	}, nil)
+	<-started
+	return p, func() { close(gate) }
+}
+
+// TestPoolWeightedFairness: with a single worker and the deterministic
+// key tie-break, a weight-2 tenant backlogged against a weight-1 tenant
+// must be served in an exact 2:1 virtual-time pattern, not in backlog
+// order.
+func TestPoolWeightedFairness(t *testing.T) {
+	p, release := gatedPool(t)
+
+	var mu sync.Mutex
+	var order string
+	var wg sync.WaitGroup
+	enqueue := func(tenant string, weight, n int) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			p.SubmitAs(tenant, weight, func() error {
+				mu.Lock()
+				order += tenant
+				mu.Unlock()
+				return nil
+			}, func(error) { wg.Done() })
+		}
+	}
+	// All of w's backlog lands before any of x's, so plain FIFO would run
+	// wwwwwwwwxxxx.
+	enqueue("w", 2, 8)
+	enqueue("x", 1, 4)
+	release()
+	wg.Wait()
+
+	// Both tenants enter at vtime 0; w advances by 1/2 per task, x by 1,
+	// ties go to the smaller key. That yields exactly (w x w) repeated.
+	if want := "wxwwxwwxwwxw"; order != want {
+		t.Fatalf("weighted schedule = %q, want %q", order, want)
+	}
+}
+
+// TestPoolNoStarvation: a tenant with one queued task must be served
+// almost immediately even when another tenant has a deep backlog ahead
+// of it — the WFQ guarantee the sweep fleet relies on to keep
+// interactive clients responsive under batch load.
+func TestPoolNoStarvation(t *testing.T) {
+	p, release := gatedPool(t)
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	submit := func(tenant string) {
+		wg.Add(1)
+		p.SubmitAs(tenant, 1, func() error {
+			mu.Lock()
+			order = append(order, tenant)
+			mu.Unlock()
+			return nil
+		}, func(error) { wg.Done() })
+	}
+	for i := 0; i < 50; i++ {
+		submit("bulk")
+	}
+	submit("live") // enqueued dead last, behind 50 bulk tasks
+	release()
+	wg.Wait()
+
+	pos := -1
+	for i, tenant := range order {
+		if tenant == "live" {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 || pos > 1 {
+		t.Fatalf("interactive task ran at position %d behind a 50-task backlog, want within the first 2", pos)
+	}
+	if len(order) != 51 {
+		t.Fatalf("ran %d tasks, want 51", len(order))
+	}
+}
+
 func TestPoolSubmitAfterClose(t *testing.T) {
 	p := NewPool(1)
 	p.Drain()

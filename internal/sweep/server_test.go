@@ -104,10 +104,69 @@ func TestServerJobLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	list := decodeJSON[[]JobView](t, resp.Body)
+	page := decodeJSON[JobPage](t, resp.Body)
 	resp.Body.Close()
-	if len(list) != 1 || list[0].ID != view.ID {
-		t.Fatalf("GET /v1/jobs = %+v, want the one submitted job", list)
+	if len(page.Jobs) != 1 || page.Jobs[0].ID != view.ID {
+		t.Fatalf("GET /v1/jobs = %+v, want the one submitted job", page)
+	}
+	if page.Next != "" {
+		t.Fatalf("single-page listing has a next cursor: %q", page.Next)
+	}
+}
+
+// TestServerJobsPagination walks the job listing with ?limit=&after=
+// cursors and checks the pages concatenate to the full submission order
+// with no duplicates or gaps.
+func TestServerJobsPagination(t *testing.T) {
+	stub := &stubExec{}
+	ts, _ := newTestServer(t, 2, stub)
+
+	var want []string
+	for _, b := range []string{"compress", "ora", "doduc", "gcc1", "tomcatv"} {
+		resp := postJSON(t, ts.URL+"/v1/jobs", JobSpec{Benchmark: b})
+		view := decodeJSON[JobView](t, resp.Body)
+		resp.Body.Close()
+		want = append(want, view.ID)
+	}
+
+	var got []string
+	after := ""
+	for pages := 0; ; pages++ {
+		if pages > 10 {
+			t.Fatal("pagination never terminated")
+		}
+		resp, err := http.Get(ts.URL + "/v1/jobs?limit=2&after=" + after)
+		if err != nil {
+			t.Fatal(err)
+		}
+		page := decodeJSON[JobPage](t, resp.Body)
+		resp.Body.Close()
+		if len(page.Jobs) > 2 {
+			t.Fatalf("page holds %d jobs, want <= 2", len(page.Jobs))
+		}
+		for _, j := range page.Jobs {
+			got = append(got, j.ID)
+		}
+		if page.Next == "" {
+			break
+		}
+		after = page.Next
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("paginated ids = %v, want %v", got, want)
+	}
+
+	// A bad limit is refused with the structured envelope.
+	resp, err := http.Get(ts.URL + "/v1/jobs?limit=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := decodeJSON[struct {
+		Error APIError `json:"error"`
+	}](t, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || env.Error.Code != CodeInvalidRequest {
+		t.Fatalf("bad limit = %d %+v, want 400 %s", resp.StatusCode, env, CodeInvalidRequest)
 	}
 }
 
@@ -182,17 +241,20 @@ func TestServerSweepStreamsNDJSON(t *testing.T) {
 	stub := &stubExec{}
 	ts, _ := newTestServer(t, 2, stub)
 
-	resp := postJSON(t, ts.URL+"/v1/sweeps", Grid{
+	resp := postJSON(t, ts.URL+"/v1/sweeps?mode=inline", Grid{
 		Benchmarks: []string{"ora", "compress"},
 		Machines:   []string{"dual"},
 		Schedulers: []string{"none", "local"},
 	})
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("POST /v1/sweeps = %d, want 200", resp.StatusCode)
+		t.Fatalf("POST /v1/sweeps?mode=inline = %d, want 200", resp.StatusCode)
 	}
 	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
 		t.Fatalf("sweep content type = %q", ct)
+	}
+	if dep := resp.Header.Get("Deprecation"); dep != "true" {
+		t.Fatalf("inline sweep Deprecation header = %q, want \"true\"", dep)
 	}
 	var rows []SweepRow
 	sc := bufio.NewScanner(resp.Body)

@@ -245,6 +245,12 @@ type Config struct {
 	// Journal, when set, is written through on every computed result and
 	// its recovered records seed the cache at construction.
 	Journal *Journal
+	// SweepJournal, when set, persists sweep lifecycles (grid spec +
+	// completion cursor) so incomplete sweeps resume after a restart.
+	SweepJournal *SweepJournal
+	// SweepRetention bounds how many finished sweeps the registry keeps;
+	// 0 means DefaultSweepRetention, negative means unlimited.
+	SweepRetention int
 	// NodeID, when set, prefixes job IDs ("n1-j42") so any cluster node
 	// can route a lookup by id back to the node that minted it.
 	NodeID string
@@ -261,13 +267,15 @@ type Config struct {
 // content-addressed cache (deduplicating identical specs) onto the bounded
 // worker pool, and results are retained for every later request.
 type Service struct {
-	pool    *Pool
-	cache   Cache
-	exec    func(spec JobSpec) (*Result, error)
-	inject  *faultinject.Plan
-	journal *Journal
-	remote  Remote
-	nodeID  string
+	pool         *Pool
+	cache        Cache
+	exec         func(spec JobSpec) (*Result, error)
+	inject       *faultinject.Plan
+	journal      *Journal
+	sweepJournal *SweepJournal
+	sweeps       *sweepRegistry
+	remote       Remote
+	nodeID       string
 
 	name         string
 	jobTimeout   time.Duration
@@ -327,6 +335,7 @@ func NewService(cfg Config) *Service {
 		exec:         exec,
 		inject:       cfg.Inject,
 		journal:      cfg.Journal,
+		sweepJournal: cfg.SweepJournal,
 		remote:       cfg.Remote,
 		nodeID:       cfg.NodeID,
 		name:         cfg.Name,
@@ -348,7 +357,13 @@ func NewService(cfg Config) *Service {
 			s.cache.Seed(r.Hash, r)
 		}
 	}
+	s.sweeps = newSweepRegistry(s, cfg.SweepJournal, cfg.SweepRetention)
 	cfg.Metrics.bindService(s)
+	// Resume journaled sweeps only after metrics are bound, so recovered
+	// cell completions are observed like any other traffic. Incomplete
+	// sweeps re-run their grids; cells already journaled hit the cache
+	// seeded above, so resumption costs lookups, not simulations.
+	s.sweeps.recover()
 	return s
 }
 
@@ -751,11 +766,14 @@ func (s *Service) retryable(err error) bool {
 
 // runOnPool queues one computation and waits for it. The spec only
 // executes if ctx is still live when a worker picks it up — cancellation
-// while queued skips the simulation entirely.
+// while queued skips the simulation entirely. The task is queued under
+// the requesting client's tenant key (from ctx), so the pool's
+// weighted-fair scheduler interleaves tenants no matter how deep any one
+// tenant's backlog runs.
 func (s *Service) runOnPool(ctx context.Context, spec JobSpec, hash, key string, onStart func()) (*Result, error) {
 	var res *Result
 	ch := make(chan error, 1)
-	submitErr := s.pool.Submit(func() error {
+	submitErr := s.pool.SubmitAs(ClientIDFrom(ctx), 1, func() error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -815,6 +833,54 @@ func (s *Service) Jobs() []JobView {
 	return views
 }
 
+// DefaultJobPageLimit is the page size JobsPage uses when the caller
+// does not specify one.
+const DefaultJobPageLimit = 256
+
+// JobsPage returns up to limit job snapshots in submission order,
+// starting just past the job with id after ("" starts at the beginning).
+// next is the cursor for the following page, empty on the last one. A
+// cursor naming an evicted job yields an empty final page — the listing
+// it belonged to has aged out, so there is nothing left to continue.
+func (s *Service) JobsPage(after string, limit int) (views []JobView, next string) {
+	if limit <= 0 {
+		limit = DefaultJobPageLimit
+	}
+	s.mu.Lock()
+	start := 0
+	if after != "" {
+		start = len(s.order)
+		for i, id := range s.order {
+			if id == after {
+				start = i + 1
+				break
+			}
+		}
+	}
+	jobs := make([]*Job, 0, limit)
+	more := false
+	for _, id := range s.order[start:] {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		if len(jobs) == limit {
+			more = true
+			break
+		}
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	views = make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View()
+	}
+	if more {
+		next = jobs[len(jobs)-1].ID
+	}
+	return views, next
+}
+
 // Ready reports whether the service can accept a new submission right
 // now: not draining and not at its admission limit. The HTTP /readyz
 // endpoint exposes it.
@@ -846,6 +912,10 @@ type Stats struct {
 	Cache CacheStats `json:"cache"`
 	// Journal is present when a persistent journal is attached.
 	Journal *JournalStats `json:"journal,omitempty"`
+	// Sweeps aggregates the sweep-resource registry.
+	Sweeps SweepStats `json:"sweeps"`
+	// SweepJournal is present when a sweep journal is attached.
+	SweepJournal *SweepJournalStats `json:"sweep_journal,omitempty"`
 	// Faults counts injected faults by "site/kind" when chaos is on.
 	Faults map[string]int64 `json:"faults,omitempty"`
 	// Utilization is running workers over total workers, 0..1.
@@ -867,6 +937,11 @@ func (s *Service) Stats() Stats {
 	if s.journal != nil {
 		js := s.journal.Stats()
 		st.Journal = &js
+	}
+	st.Sweeps = s.sweeps.stats()
+	if s.sweepJournal != nil {
+		sjs := s.sweepJournal.Stats()
+		st.SweepJournal = &sjs
 	}
 	if s.inject.Enabled() {
 		st.Faults = s.inject.Counts()
@@ -895,6 +970,11 @@ func (s *Service) Drain(ctx context.Context) error {
 		jobs = append(jobs, j)
 	}
 	s.mu.Unlock()
+	// Halt running sweeps without journaling a terminal state: their
+	// queued cells exit promptly (dead contexts) and the next start
+	// resumes them from the sweep journal. Draining a 10k-cell grid to
+	// completion is not graceful shutdown.
+	s.sweeps.shutdownAll()
 
 	drained := make(chan struct{})
 	go func() {
@@ -912,6 +992,9 @@ func (s *Service) Drain(ctx context.Context) error {
 		if s.journal != nil {
 			s.journal.Close()
 		}
+		if s.sweepJournal != nil {
+			s.sweepJournal.Close()
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -927,6 +1010,7 @@ func (s *Service) Close() {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	s.sweeps.shutdownAll()
 	s.baseCancel()
 	s.pool.Drain()
 }

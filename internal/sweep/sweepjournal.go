@@ -1,0 +1,303 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SweepJournal persists sweep lifecycles so a killed server resumes
+// incomplete sweeps on restart instead of forgetting them. It shares the
+// result journal's record format (length prefix + CRC32 + JSON payload,
+// torn tail truncated on open) but carries sweepRecord payloads:
+//
+//	create   — sweep id, owning client, grid spec, creation time
+//	progress — periodic completion cursor (cells done so far)
+//	finish   — terminal state (done | canceled)
+//
+// The per-cell results themselves are durable in the result journal (the
+// cache writes through on every computed cell), so the sweep journal only
+// has to remember *which grids were promised to whom*: on recovery an
+// unfinished sweep is re-expanded and re-run, and every already-journaled
+// cell completes instantly from the seeded cache — no recomputation.
+//
+// Opening compacts: recovered state is rewritten as a minimal snapshot
+// (create + latest progress + finish per sweep), canceled sweeps and
+// finished sweeps beyond the retention bound are dropped, so the file
+// stays proportional to the live resource set, not to all-time traffic.
+type SweepJournal struct {
+	mu        sync.Mutex
+	f         *os.File
+	path      string
+	recovered []*RecoveredSweep
+
+	appends      atomic.Int64
+	appendErrors atomic.Int64
+	truncated    atomic.Int64 // bytes discarded (torn tail + compaction)
+}
+
+// sweepRecord is one journal entry in a sweep's lifecycle.
+type sweepRecord struct {
+	Kind    string     `json:"kind"` // create | progress | finish
+	ID      string     `json:"id"`
+	Client  string     `json:"client,omitempty"`
+	Grid    *Grid      `json:"grid,omitempty"`
+	Created int64      `json:"created_unix_ms,omitempty"`
+	Done    int        `json:"done,omitempty"`
+	State   SweepState `json:"state,omitempty"`
+}
+
+// RecoveredSweep is one sweep's journaled state as of the last run.
+type RecoveredSweep struct {
+	ID      string
+	Client  string
+	Grid    Grid
+	Created time.Time
+	// Done is the last journaled completion cursor; the real resume point
+	// is the journaled result set, which may be slightly ahead (progress
+	// records are periodic, results are per-cell).
+	Done int
+	// State is the journaled terminal state, or SweepRunning when the
+	// sweep never reached one — the resume case.
+	State SweepState
+}
+
+// SweepJournalStats is a snapshot of the sweep journal counters.
+type SweepJournalStats struct {
+	Path         string `json:"path"`
+	Appends      int64  `json:"appends"`
+	AppendErrors int64  `json:"append_errors"`
+	// TruncatedBytes counts trailing corruption plus compaction savings
+	// discarded on open.
+	TruncatedBytes int64 `json:"truncated_bytes"`
+}
+
+// OpenSweepJournal opens (creating if needed) the sweep journal at path,
+// assembles each sweep's latest state from its records, compacts the file
+// to that snapshot, and returns the journal positioned for appending.
+// keepFinished bounds how many most-recent finished sweeps survive
+// compaction (< 0 means all, 0 means DefaultSweepRetention); canceled
+// sweeps are always dropped — cancellation is a client decision that a
+// restart must not undo.
+func OpenSweepJournal(path string, keepFinished int) (*SweepJournal, error) {
+	if keepFinished == 0 {
+		keepFinished = DefaultSweepRetention
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: sweep journal dir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: opening sweep journal: %w", err)
+	}
+	j := &SweepJournal{f: f, path: path}
+
+	byID := make(map[string]*RecoveredSweep)
+	var order []string
+	var recs []sweepRecord
+	_, good := scanRecords(f, func(payload []byte) bool {
+		var rec sweepRecord
+		if err := json.Unmarshal(payload, &rec); err != nil || rec.ID == "" {
+			return false
+		}
+		recs = append(recs, rec)
+		return true
+	})
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: sweep journal seek: %w", err)
+	}
+	for _, rec := range recs {
+		switch rec.Kind {
+		case "create":
+			if rec.Grid == nil || byID[rec.ID] != nil {
+				continue
+			}
+			byID[rec.ID] = &RecoveredSweep{
+				ID:      rec.ID,
+				Client:  rec.Client,
+				Grid:    *rec.Grid,
+				Created: time.UnixMilli(rec.Created),
+				State:   SweepRunning,
+			}
+			order = append(order, rec.ID)
+		case "progress":
+			if rs := byID[rec.ID]; rs != nil && rec.Done > rs.Done {
+				rs.Done = rec.Done
+			}
+		case "finish":
+			if rs := byID[rec.ID]; rs != nil && rec.State != "" {
+				rs.State = rec.State
+			}
+		}
+	}
+
+	// Keep incomplete sweeps and the most recent keepFinished finished
+	// ones; drop canceled sweeps and older finished history.
+	finished := 0
+	if keepFinished >= 0 {
+		for _, id := range order {
+			if byID[id].State == SweepDone {
+				finished++
+			}
+		}
+	}
+	var kept []*RecoveredSweep
+	for _, id := range order {
+		rs := byID[id]
+		switch rs.State {
+		case SweepCanceled:
+			continue
+		case SweepDone:
+			if keepFinished >= 0 && finished > keepFinished {
+				finished--
+				continue
+			}
+		}
+		kept = append(kept, rs)
+	}
+	j.recovered = kept
+
+	// Compact: rewrite the snapshot atomically, then reopen for append.
+	tmp := path + ".compact"
+	tf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: sweep journal compact: %w", err)
+	}
+	var written int64
+	for _, rs := range kept {
+		for _, rec := range snapshotRecords(rs) {
+			payload, err := json.Marshal(rec)
+			if err != nil {
+				continue
+			}
+			if err := writeRecord(tf, payload); err != nil {
+				tf.Close()
+				os.Remove(tmp)
+				f.Close()
+				return nil, fmt.Errorf("sweep: sweep journal compact: %w", err)
+			}
+			written += 8 + int64(len(payload))
+		}
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		f.Close()
+		return nil, fmt.Errorf("sweep: sweep journal compact: %w", err)
+	}
+	f.Close()
+	if err := os.Rename(tmp, path); err != nil {
+		tf.Close()
+		return nil, fmt.Errorf("sweep: sweep journal compact: %w", err)
+	}
+	j.f = tf
+	j.truncated.Store(size - min64(good, size) + (good - written))
+	return j, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// snapshotRecords renders one recovered sweep back into its minimal
+// record sequence for compaction.
+func snapshotRecords(rs *RecoveredSweep) []sweepRecord {
+	grid := rs.Grid
+	recs := []sweepRecord{{
+		Kind:    "create",
+		ID:      rs.ID,
+		Client:  rs.Client,
+		Grid:    &grid,
+		Created: rs.Created.UnixMilli(),
+	}}
+	if rs.Done > 0 && rs.State == SweepRunning {
+		recs = append(recs, sweepRecord{Kind: "progress", ID: rs.ID, Done: rs.Done})
+	}
+	if rs.State != SweepRunning {
+		recs = append(recs, sweepRecord{Kind: "finish", ID: rs.ID, State: rs.State})
+	}
+	return recs
+}
+
+// Recovered returns the sweeps assembled when the journal was opened, in
+// creation order: incomplete sweeps (State == SweepRunning) to resume,
+// and retained finished ones to re-materialize for result serving.
+func (j *SweepJournal) Recovered() []*RecoveredSweep { return j.recovered }
+
+// Created durably records a new sweep.
+func (j *SweepJournal) Created(id, client string, grid Grid, created time.Time) error {
+	return j.append(sweepRecord{Kind: "create", ID: id, Client: client, Grid: &grid, Created: created.UnixMilli()})
+}
+
+// Progress records the completion cursor: done cells have finished. It is
+// advisory (the result journal is the authoritative resume substrate), so
+// callers emit it periodically, not per cell.
+func (j *SweepJournal) Progress(id string, done int) error {
+	return j.append(sweepRecord{Kind: "progress", ID: id, Done: done})
+}
+
+// Finished durably records a sweep's terminal state.
+func (j *SweepJournal) Finished(id string, state SweepState) error {
+	return j.append(sweepRecord{Kind: "finish", ID: id, State: state})
+}
+
+func (j *SweepJournal) append(rec sweepRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		j.appendErrors.Add(1)
+		return fmt.Errorf("sweep: sweep journal marshal: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		j.appendErrors.Add(1)
+		return errors.New("sweep: sweep journal closed")
+	}
+	if err := writeRecord(j.f, payload); err != nil {
+		j.appendErrors.Add(1)
+		return fmt.Errorf("sweep: sweep journal write: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		j.appendErrors.Add(1)
+		return fmt.Errorf("sweep: sweep journal sync: %w", err)
+	}
+	j.appends.Add(1)
+	return nil
+}
+
+// Close closes the journal file. Further appends fail.
+func (j *SweepJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Path returns the journal file path.
+func (j *SweepJournal) Path() string { return j.path }
+
+// Stats snapshots the journal counters.
+func (j *SweepJournal) Stats() SweepJournalStats {
+	return SweepJournalStats{
+		Path:           j.path,
+		Appends:        j.appends.Load(),
+		AppendErrors:   j.appendErrors.Load(),
+		TruncatedBytes: j.truncated.Load(),
+	}
+}
