@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify check soak soak-cluster soak-rebalance soak-lifecycle vet serve report clean bench bench-serve fuzz
+.PHONY: build test race verify check soak soak-cluster soak-rebalance soak-lifecycle vet serve report clean bench bench-serve bench-sweep fuzz
 
 build:
 	$(GO) build ./...
@@ -20,15 +20,16 @@ verify: build vet
 	$(GO) test ./...
 	$(GO) test -race ./internal/core/... ./internal/trace/... ./internal/sweep/... ./internal/faultinject/... ./internal/obs/... ./internal/cluster/...
 	$(GO) test -count=1 -run 'TestGoldenStats' ./internal/core
-	$(GO) test -count=1 ./scripts/benchdiff ./scripts/servediff
+	$(GO) test -count=1 ./scripts/benchdiff ./scripts/servediff ./scripts/sweepdiff
 	$(GO) test -count=1 -run 'TestMcbench' ./cmd/mcbench
 	$(MAKE) soak-lifecycle
 	$(MAKE) soak-rebalance
 
-# check is verify plus the perf gate: the core microbenchmarks compared
-# against BENCH_baseline.json, so an observability (or any other) change
-# that costs simulator throughput fails before merge.
-check: verify bench
+# check is verify plus the perf gates: the core microbenchmarks compared
+# against BENCH_baseline.json, and the sweep-cell throughput compared
+# against BENCH_sweep_baseline.json, so any change that costs simulator
+# or sweep throughput fails before merge.
+check: verify bench bench-sweep
 
 # bench runs the simulator-core microbenchmarks with -benchmem, writes the
 # perf trajectory to BENCH_core.json, and fails when allocs/instr or
@@ -48,6 +49,16 @@ bench:
 bench-serve:
 	$(GO) run ./cmd/mcbench -rate 120 -duration 30s -count 2 -concurrency 64 -seed 1 -instr 10000 -out BENCH_serve.json
 	$(GO) run ./scripts/servediff -cur BENCH_serve.json -baseline BENCH_serve_baseline.json
+
+# bench-sweep is the grid-throughput gate: the same cell group measured
+# through the lazy per-cell pipeline and the batched shared-artifact
+# pipeline, in cells/sec. It fails when the batched path falls below a
+# 1.5x speedup over lazy (the ratio is intra-run, so machine speed
+# cancels out) or when either benchmark's cells/sec drops more than 10%
+# against the committed BENCH_sweep_baseline.json. After a deliberate
+# perf change: cp BENCH_sweep.json BENCH_sweep_baseline.json.
+bench-sweep:
+	$(GO) run ./scripts/sweepdiff -out BENCH_sweep.json -baseline BENCH_sweep_baseline.json
 
 # fuzz runs the simulator-core fuzzer for a short budget (seed corpus in
 # internal/core/testdata/fuzz is always exercised by plain `make test`).

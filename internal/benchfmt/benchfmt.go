@@ -1,12 +1,14 @@
 // Package benchfmt defines the JSON schema shared by the repo's committed
 // benchmark artifacts — BENCH_core.json / BENCH_baseline.json (simulator
-// microbenchmarks, written by scripts/benchdiff) and BENCH_serve.json /
+// microbenchmarks, written by scripts/benchdiff), BENCH_serve.json /
 // BENCH_serve_baseline.json (HTTP service load runs, written by
-// cmd/mcbench and gated by scripts/servediff). One schema means one set
-// of tooling can read every trajectory file: a File is a command line
-// plus a flat list of named Results, where core results populate the
-// per-instruction fields and serve results populate the throughput and
-// latency-percentile fields.
+// cmd/mcbench and gated by scripts/servediff), and BENCH_sweep.json /
+// BENCH_sweep_baseline.json (sweep-cell throughput, written and gated by
+// scripts/sweepdiff). One schema means one set of tooling can read every
+// trajectory file: a File is a command line plus a flat list of named
+// Results, where core results populate the per-instruction fields, serve
+// results the throughput and latency-percentile fields, and sweep results
+// the cells-per-second field.
 package benchfmt
 
 import (
@@ -34,6 +36,10 @@ type Result struct {
 	// -count samples: a live measurement of machine-load jitter that
 	// widens the ns/instr gate.
 	Noise float64 `json:"noise,omitempty"`
+
+	// Sweep-cell throughput (BENCH_sweep.json): completed grid cells per
+	// second, the headline number of the batched-simulation path.
+	CellsPerSec float64 `json:"cells_per_sec,omitempty"`
 
 	// Service load fields (BENCH_serve.json), one Result per traffic mix
 	// plus an overall aggregate. Rates are fractions of issued requests.

@@ -23,6 +23,7 @@ import (
 	"multicluster/internal/core"
 	"multicluster/internal/experiment"
 	"multicluster/internal/partition"
+	"multicluster/internal/trace"
 	"multicluster/internal/workload"
 )
 
@@ -84,6 +85,43 @@ func TestGoldenStats(t *testing.T) {
 					}
 					checkGolden(t, goldenPath(w.Name, gc.name), stats.Snapshot())
 				})
+			}
+		})
+	}
+}
+
+// TestGoldenStatsBatch replays the whole golden matrix through the batched
+// path: one materialized trace artifact per workload, core.RunBatch over the
+// four canonical machines, each member's snapshot compared against the same
+// fixtures the generator-fed suite uses. Byte-identical fixtures here are
+// the tentpole guarantee — materialization, cursor replay, and cross-member
+// slab recycling are all invisible to the simulation.
+func TestGoldenStatsBatch(t *testing.T) {
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			opts := goldenOpts()
+			b := workload.ByName(w.Name)
+			mp, _, err := experiment.Compile(b, partition.Local{}, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			art, err := trace.Materialize(mp, b.NewDriver(opts.Seed), goldenInstrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gcs := goldenConfigs()
+			cfgs := make([]core.Config, len(gcs))
+			for i, gc := range gcs {
+				cfgs[i] = gc.cfg
+			}
+			stats, err := core.RunBatch(cfgs, art)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, gc := range gcs {
+				checkGolden(t, goldenPath(w.Name, gc.name), stats[i].Snapshot())
 			}
 		})
 	}

@@ -54,6 +54,14 @@ type Processor struct {
 	// block once nothing references into it.
 	slab []dynInst
 
+	// arena, when set (batch runs only), supplies recycled slab blocks
+	// from earlier batch members and collects this processor's blocks
+	// when its run completes; blocks tracks every block taken so the
+	// arena can reclaim them. Nil for standalone processors — recycling
+	// is only safe when one owner controls both processors' lifetimes.
+	arena  *slabArena
+	blocks [][]dynInst
+
 	// linesTouched is fetch's per-cycle scratch for icache lines already
 	// accessed this cycle, kept across cycles to avoid reallocation.
 	linesTouched []uint64
@@ -182,11 +190,25 @@ const dynInstSlabSize = 256
 // newDynInst returns a zeroed dynInst from the current slab block.
 func (p *Processor) newDynInst() *dynInst {
 	if len(p.slab) == 0 {
-		p.slab = make([]dynInst, dynInstSlabSize)
+		p.slab = p.newSlabBlock()
 	}
 	d := &p.slab[0]
 	p.slab = p.slab[1:]
 	return d
+}
+
+// newSlabBlock allocates the next slab block, preferring a recycled one
+// from the batch arena when this processor runs as part of a batch.
+func (p *Processor) newSlabBlock() []dynInst {
+	if p.arena == nil {
+		return make([]dynInst, dynInstSlabSize)
+	}
+	b := p.arena.take()
+	if b == nil {
+		b = make([]dynInst, dynInstSlabSize)
+	}
+	p.blocks = append(p.blocks, b)
+	return b
 }
 
 // oldestUnissued advances the unissued cursor past fully-issued

@@ -1,0 +1,176 @@
+package experiment
+
+import (
+	"encoding/json"
+	"testing"
+
+	"multicluster/internal/core"
+	"multicluster/internal/workload"
+)
+
+// TestWithDefaultsClampsProfileBudget is the regression test for the
+// profile-budget derivation: Instructions/6 floors to zero for budgets
+// under six, and zero means *unlimited* to trace.Profile — before the
+// clamp, a 3-instruction run profiled the driver's whole path.
+func TestWithDefaultsClampsProfileBudget(t *testing.T) {
+	for _, instrs := range []int64{1, 2, 3, 4, 5} {
+		o := (Options{Instructions: instrs}).withDefaults()
+		if o.ProfileInstructions != 1 {
+			t.Errorf("Instructions=%d: ProfileInstructions = %d, want 1", instrs, o.ProfileInstructions)
+		}
+	}
+	if o := (Options{Instructions: 6}).withDefaults(); o.ProfileInstructions != 1 {
+		t.Errorf("Instructions=6: ProfileInstructions = %d, want 1", o.ProfileInstructions)
+	}
+	if o := (Options{Instructions: 60_000}).withDefaults(); o.ProfileInstructions != 10_000 {
+		t.Errorf("Instructions=60000: ProfileInstructions = %d, want 10000", o.ProfileInstructions)
+	}
+	// An explicit budget is never rewritten.
+	if o := (Options{Instructions: 3, ProfileInstructions: 7}).withDefaults(); o.ProfileInstructions != 7 {
+		t.Errorf("explicit ProfileInstructions rewritten to %d", o.ProfileInstructions)
+	}
+}
+
+// batchMachines is the four-machine grid the batch tests step over.
+func batchMachines() []core.Config {
+	return []core.Config{
+		core.SingleCluster8Way(),
+		core.DualCluster4Way(),
+		core.SingleCluster4Way(),
+		core.DualCluster2Way(),
+	}
+}
+
+// TestCachedRunBatchMatchesUncached proves a batch over four machines is
+// byte-identical to the uncached Compile/Simulate path for every member.
+func TestCachedRunBatchMatchesUncached(t *testing.T) {
+	opts := shortOpts()
+	opts.Seed = 424242 // private key space for this test
+
+	cfgs := batchMachines()
+	batched, err := CachedRunBatch("ora", "none", cfgs, opts)
+	if err != nil {
+		t.Fatalf("CachedRunBatch: %v", err)
+	}
+	if len(batched) != len(cfgs) {
+		t.Fatalf("got %d results, want %d", len(batched), len(cfgs))
+	}
+
+	b := workload.ByName("ora")
+	mp, _, err := Compile(b, nil, opts)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	for i, cfg := range cfgs {
+		direct, err := Simulate(mp, b, cfg, opts)
+		if err != nil {
+			t.Fatalf("Simulate member %d: %v", i, err)
+		}
+		want, _ := json.Marshal(direct)
+		got, _ := json.Marshal(batched[i].Stats)
+		if string(got) != string(want) {
+			t.Errorf("member %d: batched stats differ from uncached path:\n batch: %s\ndirect: %s", i, got, want)
+		}
+	}
+}
+
+// TestCachedRunBatchSharesMemoWithCachedRun proves batch and solo paths
+// address the same cache entries: a batch fills the memo for every member,
+// so later CachedRun calls are pure hits — and a pre-existing solo entry
+// is served to the batch, not recomputed.
+func TestCachedRunBatchSharesMemoWithCachedRun(t *testing.T) {
+	opts := shortOpts()
+	opts.Seed = 434343 // private key space for this test
+
+	cfgs := batchMachines()
+	// Pre-seed one member through the solo path.
+	solo, err := CachedRun("ora", "none", cfgs[1], opts)
+	if err != nil {
+		t.Fatalf("CachedRun: %v", err)
+	}
+
+	_, m0 := RunCacheStats()
+	batched, err := CachedRunBatch("ora", "none", cfgs, opts)
+	if err != nil {
+		t.Fatalf("CachedRunBatch: %v", err)
+	}
+	_, m1 := RunCacheStats()
+	// The batch adds exactly one computation: the batch owner's run (which
+	// covers the two remaining members by seeding). Compile and trace are
+	// hits from the solo run.
+	if got := m1 - m0; got != 1 {
+		t.Fatalf("batch after solo executed %d computations, want 1", got)
+	}
+	want, _ := json.Marshal(solo.Stats)
+	got, _ := json.Marshal(batched[1].Stats)
+	if string(got) != string(want) {
+		t.Error("batch result for the pre-seeded member differs from the solo run")
+	}
+
+	_, m2 := RunCacheStats()
+	for i, cfg := range cfgs {
+		r, err := CachedRun("ora", "none", cfg, opts)
+		if err != nil {
+			t.Fatalf("CachedRun member %d: %v", i, err)
+		}
+		want, _ := json.Marshal(batched[i].Stats)
+		got, _ := json.Marshal(r.Stats)
+		if string(got) != string(want) {
+			t.Errorf("member %d: solo result differs from batch", i)
+		}
+	}
+	if _, m3 := RunCacheStats(); m3 != m2 {
+		t.Errorf("solo runs after a batch recomputed %d entries, want 0", m3-m2)
+	}
+}
+
+// TestTraceGeneratedOncePerArtifact is the generation-count assertion of
+// the issue: across a batch over four machines plus repeated solo runs of
+// the same (workload, seed, budget), the trace is generated exactly once.
+func TestTraceGeneratedOncePerArtifact(t *testing.T) {
+	opts := shortOpts()
+	opts.Seed = 454545 // private key space for this test
+
+	before := TraceGenerations()
+	if _, err := CachedRunBatch("compress", "none", batchMachines(), opts); err != nil {
+		t.Fatalf("CachedRunBatch: %v", err)
+	}
+	for _, cfg := range batchMachines() {
+		if _, err := CachedRun("compress", "none", cfg, opts); err != nil {
+			t.Fatalf("CachedRun: %v", err)
+		}
+	}
+	if got := TraceGenerations() - before; got != 1 {
+		t.Errorf("trace generated %d times for one (workload, seed, budget), want exactly 1", got)
+	}
+}
+
+// TestBatchGroupKey pins the grouping contract: same binary and budget
+// batch together, anything that changes the trace separates, and
+// unbatchable specs return the empty key.
+func TestBatchGroupKey(t *testing.T) {
+	opts := shortOpts()
+	base := BatchGroupKey("ora", "none", opts)
+	if base == "" {
+		t.Fatal("batchable spec returned an empty group key")
+	}
+	if got := BatchGroupKey("ora", "none", opts); got != base {
+		t.Error("identical specs got different group keys")
+	}
+	if got := BatchGroupKey("ora", "local", opts); got == base {
+		t.Error("different scheduler shares a group key")
+	}
+	other := opts
+	other.Seed++
+	if got := BatchGroupKey("ora", "none", other); got == base {
+		t.Error("different seed shares a group key")
+	}
+	big := opts
+	big.Instructions = artifactMaxInstrs + 1
+	if got := BatchGroupKey("ora", "none", big); got != "" {
+		t.Error("budget beyond the materialization cap still grouped")
+	}
+	if got := BatchGroupKey("nope", "none", opts); got != "" {
+		t.Error("unknown benchmark got a group key")
+	}
+}

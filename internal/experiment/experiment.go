@@ -66,7 +66,12 @@ func (o Options) withDefaults() Options {
 		o.Instructions = 300_000
 	}
 	if o.ProfileInstructions == 0 {
-		o.ProfileInstructions = o.Instructions / 6
+		// The divide floors to zero for budgets under six instructions, and
+		// zero means *unlimited* to trace.Profile — a tiny simulation would
+		// profile the driver's entire path. Clamp to at least one.
+		if o.ProfileInstructions = o.Instructions / 6; o.ProfileInstructions < 1 {
+			o.ProfileInstructions = 1
+		}
 	}
 	if o.Single.Clusters == 0 {
 		o.Single = core.SingleCluster8Way()
@@ -117,26 +122,37 @@ func Compile(b *workload.Benchmark, part partition.Partitioner, opts Options) (*
 	return mp, alloc, nil
 }
 
-// Simulate runs one binary for one benchmark on one configuration.
+// Simulate runs one binary for one benchmark on one configuration, feeding
+// the processor from a live trace generator.
 func Simulate(mp *isa.Program, b *workload.Benchmark, cfg core.Config, opts Options) (core.Stats, error) {
 	opts = opts.withDefaults()
 	gen, err := trace.NewGenerator(mp, b.NewDriver(opts.Seed), opts.Instructions)
 	if err != nil {
 		return core.Stats{}, fmt.Errorf("%s: %w", b.Name, err)
 	}
-	p, err := core.New(cfg, gen)
+	return SimulateReader(gen, b.Name, cfg, opts)
+}
+
+// SimulateReader runs one configuration over an already-constructed dynamic
+// instruction stream — a live generator or a cursor over a materialized
+// trace.Artifact. The stream fully determines the simulation, so the two
+// feeding paths produce byte-identical statistics (the golden suite pins
+// this). name labels errors.
+func SimulateReader(r trace.Reader, name string, cfg core.Config, opts Options) (core.Stats, error) {
+	opts = opts.withDefaults()
+	p, err := core.New(cfg, r)
 	if err != nil {
-		return core.Stats{}, fmt.Errorf("%s: %w", b.Name, err)
+		return core.Stats{}, fmt.Errorf("%s: %w", name, err)
 	}
 	if opts.Probes != nil {
 		p.SetProbes(opts.Probes)
 	}
 	stats, err := p.Run()
 	if err != nil {
-		return stats, fmt.Errorf("%s: %w", b.Name, err)
+		return stats, fmt.Errorf("%s: %w", name, err)
 	}
 	if stats.Stop != core.StopTraceEnd {
-		return stats, fmt.Errorf("%s: simulation hit the cycle limit (%v)", b.Name, stats)
+		return stats, fmt.Errorf("%s: simulation hit the cycle limit (%v)", name, stats)
 	}
 	return stats, nil
 }
@@ -215,21 +231,20 @@ func Table2Bench(b *workload.Benchmark, opts Options) (Table2Row, error) {
 	return NewTable2Row(b.Name, single, none, localStats), nil
 }
 
-// table2Runs performs the three cached runs behind one Table 2 row.
+// table2Runs performs the three cached runs behind one Table 2 row. The
+// native binary's two machines run as one batch over the shared trace
+// artifact; the local binary (different machine program, different trace)
+// runs on its own.
 func table2Runs(bench string, opts Options) (single, none, local core.Stats, err error) {
-	sr, err := CachedRun(bench, "none", opts.Single, opts)
+	nat, err := CachedRunBatch(bench, "none", []core.Config{opts.Single, opts.Dual}, opts)
 	if err != nil {
-		return single, none, local, fmt.Errorf("single-cluster: %w", err)
-	}
-	nr, err := CachedRun(bench, "none", opts.Dual, opts)
-	if err != nil {
-		return single, none, local, fmt.Errorf("dual/none: %w", err)
+		return single, none, local, fmt.Errorf("native binary: %w", err)
 	}
 	lr, err := CachedRun(bench, "local", opts.Dual, opts)
 	if err != nil {
 		return single, none, local, fmt.Errorf("dual/local: %w", err)
 	}
-	return sr.Stats, nr.Stats, lr.Stats, nil
+	return nat[0].Stats, nat[1].Stats, lr.Stats, nil
 }
 
 // NewTable2Row assembles a Table 2 row from the three runs behind it: the

@@ -112,31 +112,15 @@ type compiledBinary struct {
 	alloc *regalloc.Result
 }
 
-// CachedRun compiles the named benchmark under the named scheduler and
-// simulates it on cfg, memoizing both steps in the process-wide
-// content-addressed cache. Identical (benchmark, scheduler, machine,
-// options) requests — concurrent or sequential — share one computation;
-// results are byte-identical to the uncached Compile/Simulate path because
-// the underlying simulation is deterministic in (spec, seed).
-func CachedRun(benchName, schedName string, cfg core.Config, opts Options) (RunResult, error) {
-	opts = opts.withDefaults()
-	if cfg.MaxCycles == 0 {
-		cfg.MaxCycles = opts.Instructions * 40
-	}
-	if workload.ByName(benchName) == nil {
-		return RunResult{}, fmt.Errorf("experiment: unknown benchmark %q", benchName)
-	}
-	if _, err := SchedulerByName(schedName, opts.Window); err != nil {
-		return RunResult{}, err
-	}
-	// Only the local scheduler reads the window; fold it out of the key
-	// for the others so equivalent specs share one entry.
+// buildCompileKey canonicalizes the compile-determining options into a
+// compileKey. Only the local scheduler reads the window; it is folded out
+// of the key for the others so equivalent specs share one entry.
+func buildCompileKey(benchName, schedName string, opts Options) compileKey {
 	window := opts.Window
 	if schedName != "local" {
 		window = 0
 	}
-
-	ck := compileKey{
+	return compileKey{
 		Kind:      "compile",
 		Benchmark: benchName,
 		Scheduler: schedName,
@@ -146,6 +130,11 @@ func CachedRun(benchName, schedName string, cfg core.Config, opts Options) (RunR
 		PostSched: opts.PostSchedule,
 		Assign:    opts.Dual.Assignment,
 	}
+}
+
+// cachedCompile returns the compiled binary for ck, compiling it once
+// process-wide.
+func cachedCompile(benchName, schedName string, ck compileKey, opts Options) (compiledBinary, error) {
 	cv, err, _ := runMemo.Do(hashKey(ck), func() (any, error) {
 		// A fresh benchmark instance per compile: profiling refreshes the
 		// IL program's block estimates in place, so the instance must not
@@ -162,17 +151,41 @@ func CachedRun(benchName, schedName string, cfg core.Config, opts Options) (RunR
 		return compiledBinary{mp: mp, alloc: alloc}, nil
 	})
 	if err != nil {
+		return compiledBinary{}, err
+	}
+	return cv.(compiledBinary), nil
+}
+
+// CachedRun compiles the named benchmark under the named scheduler and
+// simulates it on cfg, memoizing both steps in the process-wide
+// content-addressed cache. Identical (benchmark, scheduler, machine,
+// options) requests — concurrent or sequential — share one computation;
+// results are byte-identical to the uncached Compile/Simulate path because
+// the underlying simulation is deterministic in (spec, seed).
+//
+// When the budget permits, the simulation feeds from a materialized trace
+// artifact cached next to the compile (see cachedArtifact), so every
+// machine configuration of the same binary shares one trace-generation
+// walk.
+func CachedRun(benchName, schedName string, cfg core.Config, opts Options) (RunResult, error) {
+	opts = opts.withDefaults()
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = opts.Instructions * 40
+	}
+	if workload.ByName(benchName) == nil {
+		return RunResult{}, fmt.Errorf("experiment: unknown benchmark %q", benchName)
+	}
+	if _, err := SchedulerByName(schedName, opts.Window); err != nil {
 		return RunResult{}, err
 	}
-	bin := cv.(compiledBinary)
+	ck := buildCompileKey(benchName, schedName, opts)
+	bin, err := cachedCompile(benchName, schedName, ck, opts)
+	if err != nil {
+		return RunResult{}, err
+	}
 
 	rv, err, _ := runMemo.Do(hashKey(runKey{Kind: "run", Compile: ck, Machine: cfg, Instrs: opts.Instructions}), func() (any, error) {
-		b := workload.ByName(benchName)
-		stats, err := Simulate(bin.mp, b, cfg, opts)
-		if err != nil {
-			return nil, err
-		}
-		return stats, nil
+		return simulateCell(benchName, ck, bin, cfg, opts)
 	})
 	if err != nil {
 		return RunResult{}, err
@@ -182,6 +195,26 @@ func CachedRun(benchName, schedName string, cfg core.Config, opts Options) (RunR
 		Spilled: bin.alloc.Spilled,
 		Demoted: bin.alloc.Demoted,
 	}, nil
+}
+
+// simulateCell computes one run-memo entry: artifact-fed when the budget
+// permits materialization, generator-fed otherwise. The two paths are
+// byte-identical.
+func simulateCell(benchName string, ck compileKey, bin compiledBinary, cfg core.Config, opts Options) (any, error) {
+	art, err := cachedArtifact(benchName, ck, bin.mp, opts)
+	if err != nil {
+		return nil, err
+	}
+	var stats core.Stats
+	if art != nil {
+		stats, err = SimulateReader(art.NewReader(), benchName, cfg, opts)
+	} else {
+		stats, err = Simulate(bin.mp, workload.ByName(benchName), cfg, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return stats, nil
 }
 
 // RunCacheStats reports the process-wide run-memo counters: how many

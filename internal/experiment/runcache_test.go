@@ -30,8 +30,8 @@ func TestCachedRunDeterministicAndDeduped(t *testing.T) {
 		t.Fatalf("CachedRun: %v", err)
 	}
 	_, m1 := RunCacheStats()
-	if m1-m0 != 2 { // one compile + one simulate
-		t.Fatalf("first run executed %d computations, want 2", m1-m0)
+	if m1-m0 != 3 { // one compile + one trace artifact + one simulate
+		t.Fatalf("first run executed %d computations, want 3", m1-m0)
 	}
 
 	second, err := CachedRun("compress", "local", opts.Dual, opts)
@@ -81,12 +81,15 @@ func TestCompareAssignmentsSharesBaseline(t *testing.T) {
 	}
 	_, m1 := RunCacheStats()
 
-	// Even/odd row: native compile, local compile, three simulations = 5.
-	// Low/high row: the native compile and the single-cluster simulation
-	// are assignment-independent only in effect, not in key (the compile
-	// key includes the assignment), so it adds its own 5; but the repeated
-	// single-cluster baseline *within* each row costs nothing extra.
-	perRow := int64(5)
+	// Even/odd row: native compile, native trace artifact, one batched
+	// simulation covering both native machines (the dual entry is seeded
+	// from the batch, not recomputed), local compile, local trace, local
+	// simulation = 6. Low/high row: the native compile and the
+	// single-cluster simulation are assignment-independent only in effect,
+	// not in key (the compile key includes the assignment), so it adds its
+	// own 6; but the repeated single-cluster baseline *within* each row
+	// costs nothing extra.
+	perRow := int64(6)
 	if got := m1 - m0; got != 2*perRow {
 		t.Fatalf("CompareAssignments executed %d computations, want %d", got, 2*perRow)
 	}
@@ -121,8 +124,8 @@ func TestConcurrentIdenticalRunsSingleFlight(t *testing.T) {
 	}
 	wg.Wait()
 	_, m1 := RunCacheStats()
-	if got := m1 - m0; got != 2 {
-		t.Fatalf("%d concurrent identical runs executed %d computations, want 2", n, got)
+	if got := m1 - m0; got != 3 {
+		t.Fatalf("%d concurrent identical runs executed %d computations, want 3 (compile, trace, simulate)", n, got)
 	}
 	want, _ := json.Marshal(results[0].Stats)
 	for i := 1; i < n; i++ {

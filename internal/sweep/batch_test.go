@@ -1,0 +1,185 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"multicluster/internal/experiment"
+)
+
+// TestNormalizeClampsProfileBudget is the regression test for the
+// profile-budget derivation: Instructions/6 floors to zero for budgets
+// under six, and zero means *unlimited* to the profiling pass — before
+// the clamp a 3-instruction canary spec profiled the driver's whole path.
+func TestNormalizeClampsProfileBudget(t *testing.T) {
+	n, err := JobSpec{Benchmark: "ora", Instructions: 3}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.ProfileInstructions != 1 {
+		t.Errorf("Instructions=3: ProfileInstructions = %d, want 1", n.ProfileInstructions)
+	}
+	n, err = JobSpec{Benchmark: "ora", Instructions: 60_000}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.ProfileInstructions != 10_000 {
+		t.Errorf("Instructions=60000: ProfileInstructions = %d, want 10000", n.ProfileInstructions)
+	}
+}
+
+// TestBatchGroupsPartition pins the grouping rules: one group per
+// (benchmark, scheduler, seed, budget) with its distinct machine
+// configurations collected; duplicate machines dedupe; groups of one are
+// dropped (nothing to batch).
+func TestBatchGroupsPartition(t *testing.T) {
+	grid := Grid{
+		Benchmarks:   []string{"ora", "compress"},
+		Machines:     []string{"single", "dual", "single4", "dual2"},
+		Schedulers:   []string{"none"},
+		Instructions: 5_000,
+	}
+	specs, err := grid.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A duplicate machine spec and a lone local-scheduler cell: the former
+	// dedupes into its group, the latter forms a singleton group that must
+	// be dropped.
+	dup, err := (JobSpec{Benchmark: "ora", Machine: "dual", Instructions: 5_000}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lone, err := (JobSpec{Benchmark: "ora", Machine: "dual", Scheduler: "local", Instructions: 5_000}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := batchGroups(append(specs, dup, lone))
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2 (ora/none, compress/none): %+v", len(groups), groups)
+	}
+	for _, g := range groups {
+		if g.scheduler != "none" {
+			t.Errorf("group %s/%s: singleton local group survived", g.benchmark, g.scheduler)
+		}
+		if len(g.cfgs) != 4 {
+			t.Errorf("group %s: %d machine configs, want 4", g.benchmark, len(g.cfgs))
+		}
+	}
+}
+
+// TestBatchableGates pins when prewarming is sound: only the real
+// execution kernel qualifies — a stub exec (as in most service tests)
+// must bypass batching entirely.
+func TestBatchableGates(t *testing.T) {
+	stub := &stubExec{}
+	svc := newStubService(1, stub)
+	defer svc.Close()
+	if svc.batchable() {
+		t.Error("service with a stubbed kernel reports batchable")
+	}
+	real := NewService(Config{Workers: 1})
+	defer real.Close()
+	if !real.batchable() {
+		t.Error("real single-node service does not report batchable")
+	}
+}
+
+// TestSweepSharesOneTraceAcrossCells runs a real four-machine sweep and
+// asserts the issue's generation-count property end to end: concurrent
+// cells over one (workload, seed, budget) share a single materialized
+// trace — generated exactly once — while every cell still succeeds. Run
+// with -race this also exercises concurrent artifact readers.
+func TestSweepSharesOneTraceAcrossCells(t *testing.T) {
+	svc := NewService(Config{Workers: 4})
+	defer svc.Close()
+
+	grid := Grid{
+		Benchmarks:   []string{"ora"},
+		Machines:     []string{"single", "dual", "single4", "dual2"},
+		Schedulers:   []string{"none"},
+		Seeds:        []int64{777001}, // private key space for this test
+		Instructions: 8_000,
+	}
+	before := experiment.TraceGenerations()
+	h, err := svc.CreateSweep(context.Background(), "batch-test", grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for h.State() == SweepRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("sweep did not finish")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if h.State() != SweepDone {
+		t.Fatalf("sweep state = %s, want done", h.State())
+	}
+	for i := 0; i < h.Total(); i++ {
+		row, ok := h.Row(i)
+		if !ok {
+			t.Fatalf("row %d missing", i)
+		}
+		if row.Error != "" || row.Result == nil {
+			t.Fatalf("row %d failed: %+v", i, row)
+		}
+	}
+	if got := experiment.TraceGenerations() - before; got != 1 {
+		t.Errorf("sweep generated the trace %d times, want exactly once", got)
+	}
+}
+
+// TestSweepResultsCursorBeyondGrid is the regression test for the results
+// stream's cursor validation: a cursor past the grid size used to return
+// 200 with an empty body — indistinguishable from a completed read — and
+// now fails loudly. cursor == Total stays a valid empty tail.
+func TestSweepResultsCursorBeyondGrid(t *testing.T) {
+	stub := &stubExec{}
+	ts, svc := newTestServer(t, 2, stub)
+
+	h, err := svc.CreateSweep(context.Background(), "", Grid{
+		Benchmarks: []string{"ora"},
+		Machines:   []string{"dual"},
+		Schedulers: []string{"none", "local"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + h.ID + "/results?cursor=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("cursor beyond grid = %d (%s), want 400", resp.StatusCode, body)
+	}
+	var envelope struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error.Code != CodeInvalidRequest {
+		t.Fatalf("cursor beyond grid error envelope = %s, want code %q", body, CodeInvalidRequest)
+	}
+
+	// cursor == Total is a legitimate resume position: 200 with no rows.
+	resp, err = http.Get(ts.URL + "/v1/sweeps/" + h.ID + "/results?cursor=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cursor == total = %d, want 200", resp.StatusCode)
+	}
+	if len(body) != 0 {
+		t.Fatalf("cursor == total streamed %q, want empty", body)
+	}
+}

@@ -317,6 +317,10 @@ func (r *sweepRegistry) launch(h *SweepHandle) {
 
 	go func() {
 		defer cancel()
+		// Prewarm batchable cell groups before any cell is queued: within
+		// the sweep's tenant the pool is FIFO, so the batches run first and
+		// the cells they cover become cache hits.
+		r.svc.prewarmBatches(h.client, h.specs)
 		width := 2 * r.svc.pool.Workers()
 		if width > len(h.specs) {
 			width = len(h.specs)

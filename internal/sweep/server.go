@@ -391,6 +391,14 @@ func (s *Server) handleSweepResults(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("bad cursor %q: want a non-negative integer", v))
 			return
 		}
+		if n > h.Total() {
+			// cursor == Total is a valid resume position (an empty tail);
+			// anything past it can never have been handed out by this sweep
+			// and indicates a client bug, not an empty page.
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+				fmt.Errorf("cursor %d beyond grid size %d", n, h.Total()))
+			return
+		}
 		cursor = n
 	}
 	limit, ok := parseLimit(w, q.Get("limit"))

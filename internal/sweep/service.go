@@ -276,6 +276,13 @@ type Service struct {
 	sweeps       *sweepRegistry
 	remote       Remote
 	nodeID       string
+	// realExec records that exec is the real simulation kernel (not a test
+	// override), which is what makes batch prewarming sound: prewarms go
+	// straight to experiment.CachedRunBatch and must hit the same memo
+	// entries the cells will. coreProbes is the probe set that kernel
+	// carries, shared with prewarmed batches.
+	realExec   bool
+	coreProbes *core.Probes
 
 	name         string
 	jobTimeout   time.Duration
@@ -316,10 +323,13 @@ const DefaultJobRetention = 1024
 // service accepts work.
 func NewService(cfg Config) *Service {
 	exec := cfg.exec
+	realExec := false
+	var probes *core.Probes
 	if exec == nil {
 		// The real kernel carries the metrics' core probes into every
 		// simulation it actually runs (memoized runs never re-simulate).
-		probes := cfg.Metrics.CoreProbes()
+		realExec = true
+		probes = cfg.Metrics.CoreProbes()
 		exec = func(spec JobSpec) (*Result, error) { return runSpec(spec, probes) }
 	}
 	if cfg.Name == "" {
@@ -338,6 +348,8 @@ func NewService(cfg Config) *Service {
 		sweepJournal: cfg.SweepJournal,
 		remote:       cfg.Remote,
 		nodeID:       cfg.NodeID,
+		realExec:     realExec,
+		coreProbes:   probes,
 		name:         cfg.Name,
 		jobTimeout:   cfg.JobTimeout,
 		retry:        cfg.Retry.normalized(),

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"multicluster/internal/isa"
+)
+
+// Source produces independent readers over one dynamic instruction
+// stream. An Artifact is the canonical implementation: many simulations
+// can walk the same materialized trace concurrently, each through its own
+// cursor.
+type Source interface {
+	NewReader() Reader
+}
+
+// Artifact is a materialized, read-only dynamic instruction stream: the
+// full output of one generator walk packed into columnar storage so that
+// many simulations can replay it without re-running the driver. Per
+// dynamic instruction it stores the static index (4 bytes) and the branch
+// direction (1 bit); effective addresses are stored only for memory
+// operations, in stream order. At the default 300k-instruction budget an
+// artifact is ~2 MB — cheap enough to cache per (workload, seed, budget)
+// and share across every machine configuration of a sweep.
+//
+// An Artifact is immutable after Materialize and safe for concurrent use.
+type Artifact struct {
+	prog  *isa.Program
+	index []int32  // static instruction index, one per dynamic instruction
+	addrs []uint64 // effective addresses of memory operations, in stream order
+	taken []uint64 // branch-direction bitset, one bit per dynamic instruction
+}
+
+// Materialize runs a full generator walk of prog under driver (at most
+// maxInstrs dynamic instructions, 0 meaning unlimited) and packs the
+// resulting stream into an Artifact. The entries a cursor replays are
+// byte-identical to the generator's — the golden cross-check suite pins
+// this.
+func Materialize(prog *isa.Program, driver Driver, maxInstrs int64) (*Artifact, error) {
+	if int64(len(prog.Instrs)) > math.MaxInt32 {
+		return nil, fmt.Errorf("trace: program too large to materialize (%d static instructions)", len(prog.Instrs))
+	}
+	g, err := NewGenerator(prog, driver, maxInstrs)
+	if err != nil {
+		return nil, err
+	}
+	a := &Artifact{prog: prog}
+	if maxInstrs > 0 {
+		a.index = make([]int32, 0, maxInstrs)
+		a.taken = make([]uint64, 0, (maxInstrs+63)/64)
+	}
+	for {
+		e, ok := g.Next()
+		if !ok {
+			break
+		}
+		pos := len(a.index)
+		a.index = append(a.index, int32(e.Index))
+		if pos&63 == 0 {
+			a.taken = append(a.taken, 0)
+		}
+		if e.Taken {
+			a.taken[pos>>6] |= 1 << (uint(pos) & 63)
+		}
+		if e.Instr.Op.Class().IsMem() {
+			a.addrs = append(a.addrs, e.Addr)
+		}
+	}
+	return a, nil
+}
+
+// Len returns the number of dynamic instructions in the artifact.
+func (a *Artifact) Len() int { return len(a.index) }
+
+// Program returns the machine program the artifact was generated from.
+func (a *Artifact) Program() *isa.Program { return a.prog }
+
+// NewReader implements Source: an independent, zero-copy cursor over the
+// artifact. Each Next reconstructs one Entry without allocating.
+func (a *Artifact) NewReader() Reader { return &Cursor{a: a} }
+
+// Cursor replays an Artifact from the beginning; the SliceReader of the
+// packed representation. Not safe for concurrent use — take one cursor
+// per simulation.
+type Cursor struct {
+	a   *Artifact
+	pos int
+	mem int // next unread entry of a.addrs
+}
+
+// Next implements Reader.
+func (c *Cursor) Next() (Entry, bool) {
+	if c.pos >= len(c.a.index) {
+		return Entry{}, false
+	}
+	idx := int(c.a.index[c.pos])
+	in := &c.a.prog.Instrs[idx]
+	e := Entry{
+		Index: idx,
+		Instr: in,
+		Taken: c.a.taken[c.pos>>6]>>(uint(c.pos)&63)&1 == 1,
+	}
+	if in.Op.Class().IsMem() {
+		e.Addr = c.a.addrs[c.mem]
+		c.mem++
+	}
+	c.pos++
+	return e, true
+}

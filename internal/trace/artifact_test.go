@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"testing"
+)
+
+// TestRunEndingControlEntryTaken pins the direction convention of the
+// entry that ends a run: an unconditional control transfer (here bb5's
+// RET) executed like every other one and is recorded taken, while a
+// conditional branch the driver never resolved stays not-taken. Before
+// the fix the RET case was recorded not-taken, so the final control
+// instruction of every trace reached the simulator with an arbitrary
+// direction.
+func TestRunEndingControlEntryTaken(t *testing.T) {
+	mp := lowerFigure6(t)
+
+	// Path exhausts at bb5, whose RET ends the run.
+	g, err := NewGenerator(mp, &ScriptDriver{Path: []string{"bb2", "bb4", "bb5"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := Collect(g, 0)
+	last := entries[len(entries)-1]
+	if !last.Instr.Op.IsControl() || last.Instr.Op.IsCondBranch() {
+		t.Fatalf("final entry is %v, want an unconditional control transfer", last.Instr.Op)
+	}
+	if !last.Taken {
+		t.Errorf("run-ending unconditional control recorded not-taken; unconditional transfers always take their target")
+	}
+
+	// Path exhausts at bb4's loop branch: a conditional branch with no
+	// driver decision ends the run and is recorded not-taken by the
+	// documented convention.
+	g, err = NewGenerator(mp, &ScriptDriver{Path: []string{"bb2", "bb4"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries = Collect(g, 0)
+	last = entries[len(entries)-1]
+	if !last.Instr.Op.IsCondBranch() {
+		t.Fatalf("final entry is %v, want a conditional branch", last.Instr.Op)
+	}
+	if last.Taken {
+		t.Errorf("run-ending unresolved conditional branch recorded taken, want the pinned not-taken convention")
+	}
+}
+
+// TestArtifactMatchesGenerator pins the tentpole property: a materialized
+// artifact replays entry-for-entry identically to a fresh generator walk,
+// including addresses, branch directions, and the run-ending entry.
+func TestArtifactMatchesGenerator(t *testing.T) {
+	mp := lowerFigure6(t)
+	path := []string{"bb2", "bb4", "bb4", "bb4", "bb5"}
+	addrs := map[int][]uint64{0: {0x2000, 0x2010, 0x2020}, 1: {0x3000}}
+
+	g, err := NewGenerator(mp, &ScriptDriver{Path: path, Addrs: addrs}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Collect(g, 0)
+
+	art, err := Materialize(mp, &ScriptDriver{Path: path, Addrs: addrs}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Len() != len(want) {
+		t.Fatalf("artifact Len = %d, want %d", art.Len(), len(want))
+	}
+	got := Collect(art.NewReader(), 0)
+	if len(got) != len(want) {
+		t.Fatalf("artifact replayed %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: artifact %+v, generator %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestArtifactReadersAreIndependent checks that concurrent cursors do not
+// share position state.
+func TestArtifactReadersAreIndependent(t *testing.T) {
+	mp := lowerFigure6(t)
+	art, err := Materialize(mp, &ScriptDriver{Path: []string{"bb2", "bb4", "bb5"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := art.NewReader(), art.NewReader()
+	e1, _ := r1.Next()
+	e1b, _ := r1.Next()
+	e2, _ := r2.Next()
+	if e1 != e2 {
+		t.Errorf("two readers disagree on entry 0: %+v vs %+v", e1, e2)
+	}
+	if e1b == e2 {
+		t.Errorf("reader positions are shared: second Next on r1 returned entry 0 again")
+	}
+}
+
+// TestArtifactHonoursMaxInstrs mirrors the generator's budget cap.
+func TestArtifactHonoursMaxInstrs(t *testing.T) {
+	mp := lowerFigure6(t)
+	path := make([]string, 1000)
+	path[0] = "bb2"
+	for i := 1; i < len(path); i++ {
+		path[i] = "bb4"
+	}
+	art, err := Materialize(mp, &ScriptDriver{Path: path}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Len() != 50 {
+		t.Errorf("artifact Len = %d, want 50 (capped)", art.Len())
+	}
+}
+
+// BenchmarkArtifactCursor measures the per-entry replay cost (the value
+// batched sweeps pay instead of a generator walk per cell).
+func BenchmarkArtifactCursor(b *testing.B) {
+	mp := lowerFigure6(&testing.T{})
+	path := make([]string, 4096)
+	path[0] = "bb2"
+	for i := 1; i < len(path); i++ {
+		path[i] = "bb4"
+	}
+	art, err := Materialize(mp, &ScriptDriver{Path: path}, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i += art.Len() {
+		r := art.NewReader()
+		for {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+		}
+	}
+}

@@ -41,7 +41,12 @@ type Entry struct {
 	Instr *isa.Instruction
 	// Addr is the effective address for memory operations.
 	Addr uint64
-	// Taken is the resolved direction for conditional branches.
+	// Taken is the resolved direction for conditional branches;
+	// unconditional control transfers are always recorded taken. The one
+	// exception is a conditional branch that ends the run (the driver
+	// declined to choose a successor): it has no resolved direction and is
+	// recorded not-taken by convention, pinned by tests so materialized
+	// artifacts and live generators agree byte for byte.
 	Taken bool
 }
 
@@ -115,6 +120,13 @@ func (g *Generator) Next() (Entry, bool) {
 	case in.Op.IsControl():
 		next, ok := g.nextBlock(cur, in)
 		if !ok {
+			// The run ends here, but the final control instruction still
+			// executed: an unconditional transfer (RET, JMP) takes its
+			// target like every other one, so it must not reach the
+			// simulator with an arbitrary not-taken direction. A
+			// conditional branch ending the run has no driver-resolved
+			// direction and stays not-taken by the documented convention.
+			e.Taken = !in.Op.IsCondBranch()
 			g.done = true
 			g.emitted++
 			return e, true

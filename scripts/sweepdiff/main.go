@@ -1,0 +1,234 @@
+// Command sweepdiff runs the sweep-cell throughput benchmarks, records
+// the cells/sec trajectory to a JSON file, and fails when the batched
+// simulation path loses its edge.
+//
+// Workflow (wired up as `make bench-sweep`):
+//
+//	go run ./scripts/sweepdiff -out BENCH_sweep.json -baseline BENCH_sweep_baseline.json
+//
+// runs `go test -bench BenchmarkSweepCells -benchmem .`, parses the
+// result, writes BENCH_sweep.json, and exits nonzero when either gate
+// trips:
+//
+//   - the batched path must complete cells at least -min-speedup times
+//     (default 1.5x) the rate of the lazy per-cell path, measured in the
+//     same run so machine speed cancels out. The gate divides by the
+//     run's own sample spread, so a loaded box widens it instead of
+//     crying wolf.
+//   - against a committed baseline, no benchmark's cells/sec may drop by
+//     more than -tolerance (default 10%) plus the run's own spread.
+//
+// Each benchmark runs -count times (default 3) and the highest-throughput
+// sample is kept (interference only ever slows a run down).
+//
+// After a deliberate perf change, refresh the baseline:
+//
+//	cp BENCH_sweep.json BENCH_sweep_baseline.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+
+	"multicluster/internal/benchfmt"
+)
+
+// Result and File are the shared benchmark-artifact schema
+// (internal/benchfmt): sweepdiff fills Name, CellsPerSec, and the
+// generic per-op fields.
+type (
+	Result = benchfmt.Result
+	File   = benchfmt.File
+)
+
+const (
+	lazyName    = "BenchmarkSweepCellsLazy"
+	batchedName = "BenchmarkSweepCellsBatched"
+)
+
+func main() {
+	var (
+		benchRe    = flag.String("bench", "BenchmarkSweepCells", "benchmark regexp passed to go test")
+		pkg        = flag.String("pkg", ".", "package containing the benchmarks")
+		out        = flag.String("out", "BENCH_sweep.json", "output JSON path")
+		baseline   = flag.String("baseline", "BENCH_sweep_baseline.json", "baseline JSON path (missing file: comparison skipped)")
+		tolerance  = flag.Float64("tolerance", 0.10, "allowed fractional cells/sec drop against the baseline before failing")
+		minSpeedup = flag.Float64("min-speedup", 1.5, "required batched/lazy cells-per-second ratio")
+		benchtime  = flag.String("benchtime", "1s", "value for go test -benchtime")
+		count      = flag.Int("count", 3, "value for go test -count; the highest-throughput sample per benchmark is kept")
+	)
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *benchRe, "-benchmem",
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count), *pkg}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweepdiff: go %s: %v\n%s", strings.Join(args, " "), err, raw)
+		os.Exit(1)
+	}
+	results, err := parseBench(raw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweepdiff: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "sweepdiff: no benchmarks matched %q in %s\n", *benchRe, *pkg)
+		os.Exit(1)
+	}
+
+	f := File{Command: "go " + strings.Join(args, " "), Benchmarks: results}
+	if err := f.Write(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "sweepdiff: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(results))
+
+	ok := checkSpeedup(f, *minSpeedup)
+
+	base, err := benchfmt.Read(*baseline)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("no baseline at %s; comparison skipped\n", *baseline)
+		} else {
+			fmt.Fprintf(os.Stderr, "sweepdiff: %v\n", err)
+			os.Exit(1)
+		}
+	} else if !compare(base, f, *tolerance) {
+		ok = false
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts benchmark lines from `go test -bench` output. A line
+// is the benchmark name, the iteration count, then value/unit pairs. With
+// -count > 1 a name appears several times; the sample with the highest
+// cells/sec wins (first occurrence keeps the ordering).
+func parseBench(raw []byte) ([]Result, error) {
+	var out []Result
+	seen := map[string]int{}
+	minCells := map[string]float64{}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		r := Result{Name: trimCPUSuffix(fields[0])}
+		metrics := map[string]float64{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %v", sc.Text(), err)
+			}
+			metrics[fields[i+1]] = v
+		}
+		r.NsPerOp = metrics["ns/op"]
+		r.BytesPerOp = metrics["B/op"]
+		r.AllocsPerOp = metrics["allocs/op"]
+		r.CellsPerSec = metrics["cells/sec"]
+		if m, ok := minCells[r.Name]; !ok || r.CellsPerSec < m {
+			minCells[r.Name] = r.CellsPerSec
+		}
+		if i, dup := seen[r.Name]; dup {
+			if r.CellsPerSec > out[i].CellsPerSec {
+				out[i] = r
+			}
+			continue
+		}
+		seen[r.Name] = len(out)
+		out = append(out, r)
+	}
+	for i := range out {
+		if m := minCells[out[i].Name]; m > 0 {
+			out[i].Noise = (out[i].CellsPerSec - m) / m
+		}
+	}
+	return out, sc.Err()
+}
+
+// trimCPUSuffix drops the -<GOMAXPROCS> suffix so results compare across
+// machines.
+func trimCPUSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// checkSpeedup gates the batched path's edge over the lazy path within a
+// single run: machine speed cancels out of the ratio, so the only jitter
+// left is the two benchmarks' own sample spread, which shrinks the
+// required floor instead of failing it.
+func checkSpeedup(f File, minSpeedup float64) bool {
+	var lazy, batched Result
+	for _, r := range f.Benchmarks {
+		switch r.Name {
+		case lazyName:
+			lazy = r
+		case batchedName:
+			batched = r
+		}
+	}
+	if lazy.CellsPerSec == 0 || batched.CellsPerSec == 0 {
+		fmt.Fprintf(os.Stderr, "sweepdiff: missing %s or %s cells/sec in the run\n", lazyName, batchedName)
+		return false
+	}
+	speedup := batched.CellsPerSec / lazy.CellsPerSec
+	floor := minSpeedup / (1 + lazy.Noise + batched.Noise)
+	status := "ok"
+	ok := true
+	if speedup < floor {
+		status = "REGRESSION"
+		ok = false
+	}
+	fmt.Printf("  batched/lazy speedup %.2fx (%.1f vs %.1f cells/sec, floor %.2fx after spread)  %s\n",
+		speedup, batched.CellsPerSec, lazy.CellsPerSec, floor, status)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sweepdiff: batched path below the %.2fx speedup floor\n", minSpeedup)
+	}
+	return ok
+}
+
+// compare prints the trajectory against the baseline and reports whether
+// every benchmark's throughput held up: cells/sec may not drop by more
+// than tolerance plus the run's own sample spread. Benchmarks present on
+// only one side are reported but never fail the run.
+func compare(base, cur File, tolerance float64) bool {
+	byName := map[string]Result{}
+	for _, r := range base.Benchmarks {
+		byName[r.Name] = r
+	}
+	ok := true
+	for _, r := range cur.Benchmarks {
+		b, found := byName[r.Name]
+		if !found || b.CellsPerSec == 0 {
+			fmt.Printf("  %-35s %8.1f cells/sec  (no baseline)\n", r.Name, r.CellsPerSec)
+			continue
+		}
+		drop := (b.CellsPerSec - r.CellsPerSec) / b.CellsPerSec
+		status := "ok"
+		if drop > tolerance+r.Noise {
+			status = "REGRESSION"
+			ok = false
+		}
+		fmt.Printf("  %-35s %8.1f -> %8.1f cells/sec (%+6.1f%%, spread %.0f%%)  %s\n",
+			r.Name, b.CellsPerSec, r.CellsPerSec, -100*drop, 100*r.Noise, status)
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sweepdiff: cells/sec dropped more than %.0f%% against the baseline (gate widens by the run's sample spread)\n", 100*tolerance)
+	}
+	return ok
+}

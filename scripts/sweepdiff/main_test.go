@@ -1,0 +1,172 @@
+package main
+
+import (
+	"testing"
+)
+
+// sample output of `go test -bench -benchmem -count 2`: two samples per
+// benchmark (the second lazy sample faster, so it must win), the custom
+// cells/sec metric, -8 GOMAXPROCS suffixes, and interleaved
+// non-benchmark lines.
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: multicluster
+BenchmarkSweepCellsLazy-8      	       2	 600000000 ns/op	        16.00 cells/sec	200000000 B/op	   90000 allocs/op
+BenchmarkSweepCellsBatched-8   	       3	 360000000 ns/op	        27.50 cells/sec	 12000000 B/op	   66000 allocs/op
+BenchmarkSweepCellsLazy-8      	       2	 560000000 ns/op	        17.60 cells/sec	200000000 B/op	   90000 allocs/op
+BenchmarkSweepCellsBatched-8   	       3	 380000000 ns/op	        26.40 cells/sec	 12000000 B/op	   66000 allocs/op
+PASS
+ok  	multicluster	8.0s
+`
+
+func TestParseBenchKeepsHighestThroughputSample(t *testing.T) {
+	results, err := parseBench([]byte(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2 (one per name): %+v", len(results), results)
+	}
+	lazy := results[0]
+	if lazy.Name != lazyName {
+		t.Fatalf("first result %q, want the CPU suffix trimmed %s", lazy.Name, lazyName)
+	}
+	if lazy.CellsPerSec != 17.60 {
+		t.Errorf("lazy cells/sec = %g, want the faster sample 17.60", lazy.CellsPerSec)
+	}
+	// Noise is the (max-min)/min spread of cells/sec across the samples:
+	// lazy saw 16.00 and 17.60 -> 1.60/16.00.
+	if want := 1.60 / 16.00; lazy.Noise < want-1e-9 || lazy.Noise > want+1e-9 {
+		t.Errorf("lazy noise = %g, want %g", lazy.Noise, want)
+	}
+	batched := results[1]
+	if batched.CellsPerSec != 27.50 {
+		t.Errorf("batched cells/sec = %g, want first (faster) sample 27.50", batched.CellsPerSec)
+	}
+}
+
+func TestParseBenchRejectsMalformedValue(t *testing.T) {
+	if _, err := parseBench([]byte("BenchmarkX-8 100 notanumber ns/op\n")); err == nil {
+		t.Fatal("malformed benchmark line parsed without error")
+	}
+}
+
+// res builds a minimal sweep result for the gate tests.
+func res(name string, cellsPerSec, noise float64) Result {
+	return Result{Name: name, CellsPerSec: cellsPerSec, Noise: noise}
+}
+
+func TestCheckSpeedup(t *testing.T) {
+	const min = 1.5
+	cases := []struct {
+		name    string
+		lazy    Result
+		batched Result
+		want    bool
+	}{
+		{
+			name:    "well above the floor",
+			lazy:    res(lazyName, 17.0, 0),
+			batched: res(batchedName, 28.0, 0),
+			want:    true,
+		},
+		{
+			name:    "exactly at the floor",
+			lazy:    res(lazyName, 10.0, 0),
+			batched: res(batchedName, 15.0, 0),
+			want:    true,
+		},
+		{
+			name:    "below the floor on a quiet box",
+			lazy:    res(lazyName, 10.0, 0),
+			batched: res(batchedName, 14.0, 0),
+			want:    false,
+		},
+		{
+			name: "sample spread lowers the floor",
+			// 1.40x would fail clean, but the run itself was ±10% noisy on
+			// both sides, so the floor drops to 1.5/1.2 = 1.25x.
+			lazy:    res(lazyName, 10.0, 0.10),
+			batched: res(batchedName, 14.0, 0.10),
+			want:    true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := File{Benchmarks: []Result{tc.lazy, tc.batched}}
+			if got := checkSpeedup(f, min); got != tc.want {
+				t.Errorf("checkSpeedup = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckSpeedupMissingBenchmarkFails(t *testing.T) {
+	f := File{Benchmarks: []Result{res(lazyName, 17.0, 0)}}
+	if checkSpeedup(f, 1.5) {
+		t.Error("run missing the batched benchmark passed the speedup gate")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	const tol = 0.10
+	cases := []struct {
+		name string
+		base []Result
+		cur  []Result
+		want bool
+	}{
+		{
+			name: "within tolerance",
+			base: []Result{res("A", 28.0, 0)},
+			cur:  []Result{res("A", 26.0, 0)},
+			want: true,
+		},
+		{
+			name: "improvement",
+			base: []Result{res("A", 28.0, 0)},
+			cur:  []Result{res("A", 40.0, 0)},
+			want: true,
+		},
+		{
+			name: "drop over the gate",
+			base: []Result{res("A", 28.0, 0)},
+			cur:  []Result{res("A", 24.0, 0)},
+			want: false,
+		},
+		{
+			name: "noise band widens the gate",
+			base: []Result{res("A", 28.0, 0)},
+			// A 14% drop would fail at bare tolerance, but the run itself
+			// was ±10% noisy, so the gate is 10%+10%.
+			cur:  []Result{res("A", 24.0, 0.10)},
+			want: true,
+		},
+		{
+			name: "new benchmark has no baseline and cannot fail",
+			base: []Result{res("A", 28.0, 0)},
+			cur:  []Result{res("A", 28.0, 0), res("B", 0.1, 0)},
+			want: true,
+		},
+		{
+			name: "removed benchmark cannot fail",
+			base: []Result{res("A", 28.0, 0), res("B", 28.0, 0)},
+			cur:  []Result{res("A", 28.0, 0)},
+			want: true,
+		},
+		{
+			name: "baseline without cells_per_sec is skipped",
+			base: []Result{{Name: "A"}},
+			cur:  []Result{res("A", 0.1, 0)},
+			want: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := compare(File{Benchmarks: tc.base}, File{Benchmarks: tc.cur}, tol)
+			if got != tc.want {
+				t.Errorf("compare = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
